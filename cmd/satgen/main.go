@@ -1,0 +1,96 @@
+// Command satgen generates synthetic SatCom deployment traces: anonymized
+// Tstat-style flow/DNS logs from the full simulator, and optionally a
+// small packet-level pcap capture whose every byte is decodable (for
+// satprobe demos and interoperability tests with standard tooling).
+//
+// Usage:
+//
+//	satgen -out DIR [-customers 200] [-days 1] [-seed 1] [-pcap-flows 50]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"satwatch/internal/netsim"
+	"satwatch/internal/pcapgen"
+	"satwatch/internal/tstat"
+)
+
+func main() {
+	out := flag.String("out", "trace", "output directory")
+	customers := flag.Int("customers", 200, "population size")
+	days := flag.Int("days", 1, "observation window in days")
+	seed := flag.Uint64("seed", 1, "deterministic run seed")
+	pcapFlows := flag.Int("pcap-flows", 50, "flows in the demo pcap (0 disables)")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatalf("satgen: %v", err)
+	}
+
+	sim, err := netsim.Run(netsim.Config{Customers: *customers, Days: *days, Seed: *seed})
+	if err != nil {
+		log.Fatalf("satgen: %v", err)
+	}
+
+	flowsPath := filepath.Join(*out, "flows.tsv")
+	ff, err := os.Create(flowsPath)
+	if err != nil {
+		log.Fatalf("satgen: %v", err)
+	}
+	if err := tstat.WriteFlows(ff, sim.Flows); err != nil {
+		log.Fatalf("satgen: %v", err)
+	}
+	ff.Close()
+
+	dnsPath := filepath.Join(*out, "dns.tsv")
+	df, err := os.Create(dnsPath)
+	if err != nil {
+		log.Fatalf("satgen: %v", err)
+	}
+	if err := tstat.WriteDNS(df, sim.DNS); err != nil {
+		log.Fatalf("satgen: %v", err)
+	}
+	df.Close()
+
+	metaPath := filepath.Join(*out, "meta.tsv")
+	mf, err := os.Create(metaPath)
+	if err != nil {
+		log.Fatalf("satgen: %v", err)
+	}
+	if err := netsim.WriteMeta(mf, sim.Meta); err != nil {
+		log.Fatalf("satgen: %v", err)
+	}
+	mf.Close()
+
+	prefixPath := filepath.Join(*out, "prefixes.tsv")
+	pxf, err := os.Create(prefixPath)
+	if err != nil {
+		log.Fatalf("satgen: %v", err)
+	}
+	if err := netsim.WritePrefixes(pxf, sim.CountryPrefixes); err != nil {
+		log.Fatalf("satgen: %v", err)
+	}
+	pxf.Close()
+
+	fmt.Printf("wrote %s (%d flows), %s (%d DNS transactions), %s, %s\n",
+		flowsPath, len(sim.Flows), dnsPath, len(sim.DNS), metaPath, prefixPath)
+
+	if *pcapFlows > 0 {
+		pcapPath := filepath.Join(*out, "sample.pcap")
+		pf, err := os.Create(pcapPath)
+		if err != nil {
+			log.Fatalf("satgen: %v", err)
+		}
+		st, err := pcapgen.Write(pf, pcapgen.Options{Flows: *pcapFlows, Seed: *seed, Epoch: sim.Epoch})
+		if err != nil {
+			log.Fatalf("satgen: %v", err)
+		}
+		pf.Close()
+		fmt.Printf("wrote %s (%s)\n", pcapPath, st.Describe())
+	}
+}

@@ -1,0 +1,105 @@
+// Command satprobe replays a pcap capture through the Tstat-style probe:
+// every packet is decoded, flows are tracked, DPI names the servers, RTT
+// estimators run, and the resulting flow/DNS logs are written as TSV.
+//
+// Usage:
+//
+//	satprobe -in capture.pcap [-flows flows.tsv] [-dns dns.tsv]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"satwatch/internal/pcapio"
+	"satwatch/internal/tstat"
+)
+
+func main() {
+	in := flag.String("in", "", "pcap capture to replay (required)")
+	flowsOut := flag.String("flows", "", "write flow log TSV here (default: stdout summary only)")
+	dnsOut := flag.String("dns", "", "write DNS log TSV here")
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatalf("satprobe: %v", err)
+	}
+	defer f.Close()
+	rd, err := pcapio.NewReader(f)
+	if err != nil {
+		log.Fatalf("satprobe: %v", err)
+	}
+	if rd.LinkType() != pcapio.LinkTypeRaw {
+		log.Fatalf("satprobe: capture link type %d, need LINKTYPE_RAW (%d)", rd.LinkType(), pcapio.LinkTypeRaw)
+	}
+
+	tr := tstat.NewTracker(tstat.Config{})
+	var epoch time.Time
+	packets, badPackets := 0, 0
+	for {
+		ts, data, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			log.Fatalf("satprobe: reading capture: %v", err)
+		}
+		if epoch.IsZero() {
+			epoch = ts
+		}
+		if err := tr.FeedPacket(ts.Sub(epoch), data); err != nil {
+			badPackets++
+			continue
+		}
+		packets++
+	}
+	flows, dns := tr.Flush()
+
+	fmt.Printf("replayed %d packets (%d undecodable): %d flows, %d DNS transactions\n",
+		packets, badPackets, len(flows), len(dns))
+	byProto := map[tstat.Protocol]int{}
+	withDomain := 0
+	for i := range flows {
+		byProto[flows[i].Proto]++
+		if flows[i].Domain != "" {
+			withDomain++
+		}
+	}
+	for p, n := range byProto {
+		fmt.Printf("  %-10s %d flows\n", p, n)
+	}
+	fmt.Printf("  DPI named %d/%d flows\n", withDomain, len(flows))
+
+	if *flowsOut != "" {
+		out, err := os.Create(*flowsOut)
+		if err != nil {
+			log.Fatalf("satprobe: %v", err)
+		}
+		defer out.Close()
+		if err := tstat.WriteFlows(out, flows); err != nil {
+			log.Fatalf("satprobe: %v", err)
+		}
+		fmt.Printf("flow log written to %s\n", *flowsOut)
+	}
+	if *dnsOut != "" {
+		out, err := os.Create(*dnsOut)
+		if err != nil {
+			log.Fatalf("satprobe: %v", err)
+		}
+		defer out.Close()
+		if err := tstat.WriteDNS(out, dns); err != nil {
+			log.Fatalf("satprobe: %v", err)
+		}
+		fmt.Printf("DNS log written to %s\n", *dnsOut)
+	}
+}

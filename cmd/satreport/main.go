@@ -1,0 +1,143 @@
+// Command satreport runs the full reproduction pipeline and prints every
+// table and figure of the paper's evaluation, optionally exporting the
+// anonymized flow/DNS logs and the ERRANT emulation profiles.
+//
+// Usage:
+//
+//	satreport [-customers 400] [-days 2] [-seed 1] [-logs DIR] [-errant]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"satwatch"
+	"satwatch/internal/analytics"
+	"satwatch/internal/errant"
+	"satwatch/internal/netsim"
+	"satwatch/internal/tstat"
+)
+
+func main() {
+	customers := flag.Int("customers", 400, "population size")
+	days := flag.Int("days", 2, "observation window in days")
+	seed := flag.Uint64("seed", 1, "deterministic run seed")
+	logsDir := flag.String("logs", "", "directory to write flows.tsv and dns.tsv into")
+	fromDir := flag.String("from", "", "re-analyze saved logs (flows.tsv/dns.tsv/meta.tsv/prefixes.tsv) instead of simulating")
+	errantOut := flag.Bool("errant", false, "also print ERRANT-style emulation profiles")
+	flag.Parse()
+
+	start := time.Now()
+	p := satwatch.New(
+		satwatch.WithCustomers(*customers),
+		satwatch.WithDays(*days),
+		satwatch.WithSeed(*seed),
+	)
+	var res *satwatch.Results
+	var err error
+	if *fromDir != "" {
+		res, err = replay(p, *fromDir, *days)
+	} else {
+		res, err = p.Run()
+	}
+	if err != nil {
+		log.Fatalf("satreport: %v", err)
+	}
+	fmt.Print(res.RenderAll())
+	fmt.Printf("— %d flows, %d DNS transactions, %d customers, %v —\n",
+		len(res.Dataset.Flows), len(res.Dataset.DNS), len(res.Output.Meta), time.Since(start).Round(time.Millisecond))
+
+	if *errantOut {
+		fmt.Println()
+		fmt.Print(errant.Render(errant.BuildProfiles(res.Dataset), "eth0"))
+	}
+
+	if *logsDir != "" {
+		if err := os.MkdirAll(*logsDir, 0o755); err != nil {
+			log.Fatalf("satreport: %v", err)
+		}
+		if err := writeLogs(*logsDir, res); err != nil {
+			log.Fatalf("satreport: %v", err)
+		}
+		fmt.Printf("logs written to %s\n", *logsDir)
+	}
+}
+
+// replay rebuilds the analysis from logs previously written by satgen or
+// satreport -logs: the paper's offline pipeline (probe writes at the
+// ground station, the cluster analyzes later). Figure 8b needs the
+// simulator's live beam-load statistics and is empty in replay mode.
+func replay(p *satwatch.Pipeline, dir string, days int) (*satwatch.Results, error) {
+	out := &netsim.Output{}
+	ff, err := os.Open(filepath.Join(dir, "flows.tsv"))
+	if err != nil {
+		return nil, err
+	}
+	defer ff.Close()
+	if out.Flows, err = tstat.ReadFlows(ff); err != nil {
+		return nil, err
+	}
+	df, err := os.Open(filepath.Join(dir, "dns.tsv"))
+	if err != nil {
+		return nil, err
+	}
+	defer df.Close()
+	if out.DNS, err = tstat.ReadDNS(df); err != nil {
+		return nil, err
+	}
+	mf, err := os.Open(filepath.Join(dir, "meta.tsv"))
+	if err != nil {
+		return nil, err
+	}
+	defer mf.Close()
+	if out.Meta, err = netsim.ReadMeta(mf); err != nil {
+		return nil, err
+	}
+	pf, err := os.Open(filepath.Join(dir, "prefixes.tsv"))
+	if err != nil {
+		return nil, err
+	}
+	defer pf.Close()
+	if out.CountryPrefixes, err = netsim.ReadPrefixes(pf); err != nil {
+		return nil, err
+	}
+	ds := analytics.NewDataset(out, days)
+	return p.Analyze(out, ds), nil
+}
+
+func writeLogs(dir string, res *satwatch.Results) error {
+	ff, err := os.Create(filepath.Join(dir, "flows.tsv"))
+	if err != nil {
+		return err
+	}
+	defer ff.Close()
+	if err := tstat.WriteFlows(ff, res.Output.Flows); err != nil {
+		return err
+	}
+	df, err := os.Create(filepath.Join(dir, "dns.tsv"))
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	if err := tstat.WriteDNS(df, res.Output.DNS); err != nil {
+		return err
+	}
+	mf, err := os.Create(filepath.Join(dir, "meta.tsv"))
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	if err := netsim.WriteMeta(mf, res.Output.Meta); err != nil {
+		return err
+	}
+	pf, err := os.Create(filepath.Join(dir, "prefixes.tsv"))
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	return netsim.WritePrefixes(pf, res.Output.CountryPrefixes)
+}

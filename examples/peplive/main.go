@@ -1,0 +1,83 @@
+// Peplive: drive the working RFC 3135 PEP implementation over a real
+// 550 ms emulated satellite link using actual TCP sockets — the same
+// architecture the paper's operator runs (§2.1). An HTTP-ish exchange
+// shows the handshake acceleration: the client's connect() returns
+// immediately because the CPE terminates TCP locally.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"time"
+
+	"satwatch/internal/linkemu"
+	"satwatch/internal/pep"
+	"satwatch/internal/tunnel"
+)
+
+func main() {
+	// An origin "web server" that answers one request per connection.
+	origin, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := origin.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				r := bufio.NewReader(c)
+				line, err := r.ReadString('\n')
+				if err != nil {
+					return
+				}
+				body := "you asked for " + strings.TrimSpace(line) + " via a GEO satellite\n"
+				fmt.Fprintf(c, "HTTP/1.0 200 OK\r\nContent-Length: %d\r\n\r\n%s", len(body), body)
+			}(c)
+		}
+	}()
+
+	// The satellite segment (≈540 ms RTT) and the PEP pair across it.
+	cpeSide, gwSide := linkemu.NewPair(linkemu.GEO(), linkemu.GEO(), 99)
+	cfg := tunnel.Config{RTO: 1500 * time.Millisecond, Window: 256, MaxPayload: 1200}
+	cpe := pep.NewCPE(cpeSide, cfg, nil)
+	gw := pep.NewGateway(gwSide, cfg, nil, nil)
+	go gw.Serve()
+	defer cpe.Close()
+	defer gw.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go cpe.ServeListener(ln, origin.Addr().String())
+
+	// The "customer device" speaks plain TCP to the CPE.
+	t0 := time.Now()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	tConnect := time.Since(t0)
+
+	fmt.Fprintf(conn, "GET /hello\n")
+	tSent := time.Since(t0)
+	resp, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		log.Fatal(err)
+	}
+	tFirstByte := time.Since(t0)
+
+	fmt.Println("RFC 3135 PEP over an emulated 550 ms GEO link:")
+	fmt.Printf("  connect():       %8v   ← local 3WHS at the CPE, no satellite round trip\n", tConnect.Round(time.Millisecond))
+	fmt.Printf("  request sent:    %8v   ← early data accepted immediately\n", tSent.Round(time.Millisecond))
+	fmt.Printf("  first response:  %8v   ← one satellite round trip, unavoidable physics\n", tFirstByte.Round(time.Millisecond))
+	fmt.Printf("  status line:     %q\n", strings.TrimSpace(resp))
+}

@@ -1,0 +1,3 @@
+module satwatch
+
+go 1.22

@@ -1,0 +1,80 @@
+// Package cryptopan implements Crypto-PAn prefix-preserving IP address
+// anonymization (Fan, Xu, Ammar, 2004), the algorithm the paper uses to
+// anonymize customer addresses in real time (§2.3). Two addresses sharing a
+// k-bit prefix map to anonymized addresses sharing exactly a k-bit prefix,
+// so per-subnet (per-country) analyses survive anonymization.
+package cryptopan
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// KeySize is the required key material length: 16 bytes of AES key plus
+// 16 bytes of padding secret.
+const KeySize = 32
+
+// Anonymizer anonymizes IPv4 addresses with a fixed key. It is safe for
+// concurrent use after construction.
+type Anonymizer struct {
+	block cipher.Block
+	pad   [16]byte
+	pad32 uint32
+}
+
+// New builds an Anonymizer from 32 bytes of key material.
+func New(key []byte) (*Anonymizer, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("cryptopan: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	block, err := aes.NewCipher(key[:16])
+	if err != nil {
+		return nil, err
+	}
+	a := &Anonymizer{block: block}
+	// The published algorithm first encrypts the second half of the key
+	// to obtain the padding block.
+	a.block.Encrypt(a.pad[:], key[16:32])
+	a.pad32 = binary.BigEndian.Uint32(a.pad[:4])
+	return a, nil
+}
+
+// Anonymize maps an IPv4 address prefix-preservingly.
+func (a *Anonymizer) Anonymize(addr netip.Addr) (netip.Addr, error) {
+	if !addr.Is4() {
+		return netip.Addr{}, fmt.Errorf("cryptopan: %v is not IPv4", addr)
+	}
+	b := addr.As4()
+	orig := binary.BigEndian.Uint32(b[:])
+
+	var input, output [16]byte
+	copy(input[:], a.pad[:])
+
+	var otp uint32
+	for pos := 0; pos < 32; pos++ {
+		// First pos bits from the original address, the rest from the pad.
+		var mask uint32
+		if pos > 0 {
+			mask = ^uint32(0) << (32 - pos)
+		}
+		mixed := orig&mask | a.pad32&^mask
+		binary.BigEndian.PutUint32(input[:4], mixed)
+		a.block.Encrypt(output[:], input[:])
+		otp |= uint32(output[0]>>7) << (31 - pos)
+	}
+	var out [4]byte
+	binary.BigEndian.PutUint32(out[:], orig^otp)
+	return netip.AddrFrom4(out), nil
+}
+
+// MustAnonymize is Anonymize for addresses already known to be IPv4.
+func (a *Anonymizer) MustAnonymize(addr netip.Addr) netip.Addr {
+	out, err := a.Anonymize(addr)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

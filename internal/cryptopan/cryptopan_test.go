@@ -1,0 +1,132 @@
+package cryptopan
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func testKey() []byte {
+	key := make([]byte, KeySize)
+	for i := range key {
+		key[i] = byte(i*7 + 3)
+	}
+	return key
+}
+
+func newAnon(t *testing.T) *Anonymizer {
+	t.Helper()
+	a, err := New(testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestKeyValidation(t *testing.T) {
+	if _, err := New(make([]byte, 16)); err == nil {
+		t.Fatal("short key accepted")
+	}
+	if _, err := New(make([]byte, 33)); err == nil {
+		t.Fatal("long key accepted")
+	}
+}
+
+func TestDeterministicAndKeyed(t *testing.T) {
+	a := newAnon(t)
+	b := newAnon(t)
+	addr := netip.MustParseAddr("10.20.30.40")
+	if a.MustAnonymize(addr) != b.MustAnonymize(addr) {
+		t.Fatal("same key produced different mappings")
+	}
+	otherKey := testKey()
+	otherKey[0] ^= 0xff
+	c, err := New(otherKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MustAnonymize(addr) == c.MustAnonymize(addr) {
+		t.Fatal("different keys produced the same mapping")
+	}
+}
+
+func TestRejectsIPv6(t *testing.T) {
+	a := newAnon(t)
+	if _, err := a.Anonymize(netip.MustParseAddr("::1")); err == nil {
+		t.Fatal("IPv6 accepted")
+	}
+}
+
+func commonPrefixLen(x, y netip.Addr) int {
+	a, b := x.As4(), y.As4()
+	for i := 0; i < 32; i++ {
+		byteIdx, bit := i/8, 7-i%8
+		if a[byteIdx]>>bit&1 != b[byteIdx]>>bit&1 {
+			return i
+		}
+	}
+	return 32
+}
+
+func TestPrefixPreservation(t *testing.T) {
+	a := newAnon(t)
+	pairs := []struct {
+		x, y string
+		want int
+	}{
+		{"10.1.2.3", "10.1.2.4", 29},   // differ in the low 3 bits
+		{"10.1.2.3", "10.1.3.3", 23},   // differ at bit 23
+		{"10.1.2.3", "11.1.2.3", 7},    // differ at bit 7
+		{"192.168.0.1", "10.0.0.1", 0}, // differ at the first bit
+	}
+	for _, p := range pairs {
+		x, y := netip.MustParseAddr(p.x), netip.MustParseAddr(p.y)
+		if got := commonPrefixLen(x, y); got != p.want {
+			t.Fatalf("test-case sanity: prefix(%s,%s)=%d, want %d", p.x, p.y, got, p.want)
+		}
+		ax, ay := a.MustAnonymize(x), a.MustAnonymize(y)
+		if got := commonPrefixLen(ax, ay); got != p.want {
+			t.Errorf("prefix(%s,%s): original %d bits, anonymized %d", p.x, p.y, p.want, got)
+		}
+	}
+}
+
+func TestPrefixPreservationProperty(t *testing.T) {
+	a := newAnon(t)
+	f := func(x, y [4]byte) bool {
+		ax := a.MustAnonymize(netip.AddrFrom4(x))
+		ay := a.MustAnonymize(netip.AddrFrom4(y))
+		return commonPrefixLen(netip.AddrFrom4(x), netip.AddrFrom4(y)) ==
+			commonPrefixLen(ax, ay)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBijectiveOnSample(t *testing.T) {
+	a := newAnon(t)
+	seen := map[netip.Addr]netip.Addr{}
+	for i := 0; i < 4096; i++ {
+		addr := netip.AddrFrom4([4]byte{byte(i >> 8), byte(i), byte(i * 13), byte(i * 29)})
+		out := a.MustAnonymize(addr)
+		if prev, dup := seen[out]; dup {
+			t.Fatalf("collision: %v and %v both map to %v", prev, addr, out)
+		}
+		seen[out] = addr
+	}
+}
+
+func TestActuallyAnonymizes(t *testing.T) {
+	a := newAnon(t)
+	same := 0
+	for i := 0; i < 256; i++ {
+		addr := netip.AddrFrom4([4]byte{byte(i), 10, 20, 30})
+		if a.MustAnonymize(addr) == addr {
+			same++
+		}
+	}
+	if same > 8 {
+		t.Fatalf("%d/256 addresses mapped to themselves", same)
+	}
+}

@@ -1,0 +1,163 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at draw %d", i)
+		}
+	}
+	if NewRand(7).Uint64() == NewRand(8).Uint64() {
+		t.Fatal("different seeds produced identical first draw")
+	}
+}
+
+func TestForkIndependentOfConsumption(t *testing.T) {
+	a := NewRand(42)
+	b := NewRand(42)
+	for i := 0; i < 50; i++ {
+		a.Float64() // consume the parent
+	}
+	fa := a.Fork("workload")
+	fb := b.Fork("workload")
+	for i := 0; i < 20; i++ {
+		if fa.Uint64() != fb.Uint64() {
+			t.Fatal("forked stream depends on parent consumption")
+		}
+	}
+}
+
+func TestForkLabelsDiffer(t *testing.T) {
+	r := NewRand(1)
+	if r.Fork("a").Uint64() == r.Fork("b").Uint64() {
+		t.Fatal("different labels gave identical streams")
+	}
+	if r.ForkN("x", 1).Uint64() == r.ForkN("x", 2).Uint64() {
+		t.Fatal("different indices gave identical streams")
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRand(9)
+	const mean = 250.0
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(mean)
+	}
+	got := sum / n
+	if math.Abs(got-mean)/mean > 0.02 {
+		t.Fatalf("exponential mean %.2f, want ~%.0f", got, mean)
+	}
+	if r.Exponential(0) != 0 || r.Exponential(-5) != 0 {
+		t.Fatal("non-positive mean should sample 0")
+	}
+}
+
+func TestLogNormalMedianAndMean(t *testing.T) {
+	d := LogNormalFromMedian(100, 1.0)
+	if math.Abs(d.Median()-100) > 1e-9 {
+		t.Fatalf("median %.3f, want 100", d.Median())
+	}
+	wantMean := 100 * math.Exp(0.5)
+	if math.Abs(d.Mean()-wantMean) > 1e-9 {
+		t.Fatalf("mean %.3f, want %.3f", d.Mean(), wantMean)
+	}
+	r := NewRand(11)
+	below := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if d.Sample(r) < 100 {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("%.3f of samples below the median, want ~0.5", frac)
+	}
+}
+
+func TestLogNormalQuantileMonotone(t *testing.T) {
+	d := LogNormalFromMedian(10, 2)
+	prev := 0.0
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		v := d.Quantile(q)
+		if v <= prev {
+			t.Fatalf("quantile %.2f=%.4f not increasing past %.4f", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	p := Pareto{Min: 10, Max: 1000, Alpha: 1.2}
+	r := NewRand(13)
+	for i := 0; i < 10000; i++ {
+		x := p.Sample(r)
+		if x < p.Min || x > p.Max {
+			t.Fatalf("sample %.3f outside [%v,%v]", x, p.Min, p.Max)
+		}
+	}
+}
+
+func TestParetoHeavyTail(t *testing.T) {
+	p := Pareto{Min: 1, Max: 1e6, Alpha: 1.0}
+	r := NewRand(17)
+	over := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if p.Sample(r) > 100 {
+			over++
+		}
+	}
+	// For alpha=1 bounded Pareto with a huge max, P(X>100) ≈ 1/100.
+	frac := float64(over) / n
+	if frac < 0.005 || frac > 0.02 {
+		t.Fatalf("tail fraction %.4f, want ≈0.01", frac)
+	}
+}
+
+func TestNormQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0}, {0.8413, 1.0}, {0.1587, -1.0}, {0.9772, 2.0},
+	}
+	for _, c := range cases {
+		if got := NormQuantile(c.p); math.Abs(got-c.want) > 0.01 {
+			t.Errorf("NormQuantile(%v)=%.4f, want %.2f", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(NormQuantile(0), -1) || !math.IsInf(NormQuantile(1), 1) {
+		t.Fatal("NormQuantile edges not infinite")
+	}
+}
+
+func TestNormQuantileRoundTripProperty(t *testing.T) {
+	// Phi(Phi^-1(p)) ≈ p via the error function.
+	f := func(u uint16) bool {
+		p := (float64(u) + 1) / 65537 // in (0,1)
+		x := NormQuantile(p)
+		phi := 0.5 * (1 + math.Erf(x/math.Sqrt2))
+		return math.Abs(phi-p) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

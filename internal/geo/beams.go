@@ -1,0 +1,77 @@
+package geo
+
+import "fmt"
+
+// Beam is one directional spot beam of the satellite. Each beam is an
+// independent physical channel pair (uplink + downlink frequencies) covering
+// a region of a country (§2.1). Capacity is dimensioned by the operator; the
+// PEP resources assigned to a beam depend on the SLA and service cost
+// (§6.1), which is why PEP saturation and beam-capacity congestion are
+// independent knobs here.
+type Beam struct {
+	ID      int
+	Country CountryCode
+	// TargetPeakUtil is the fraction of the beam's capacity the operator
+	// expects the covered population to offer at that population's peak
+	// hour. The simulator sizes the beam's absolute capacity from the
+	// generated offered load so that this utilization emerges; values
+	// close to 1 reproduce the congested Congolese beams.
+	TargetPeakUtil float64
+	// PEPFactor scales the connection-setup capacity of the PEP resources
+	// the operator assigned to this beam relative to the beam's expected
+	// peak connection-setup rate. Values at or below 1 saturate at peak
+	// (the cause of Congo's multi-second satellite RTTs per §6.1).
+	PEPFactor float64
+}
+
+// beamPlan describes, per country, how many beams cover it and how tightly
+// the operator dimensioned them. Calibrated to §6.1: Congo's beams are
+// congested and PEP-starved, a subset of Nigerian beams see some
+// congestion, Spain/U.K./South Africa are practically uncongested, and
+// Ireland's problem is the channel, not load.
+var beamPlan = []struct {
+	country  CountryCode
+	n        int
+	peakUtil []float64 // per beam; len == n
+	pep      []float64 // per beam; len == n
+}{
+	{"CD", 3, []float64{0.97, 0.93, 0.88}, []float64{0.40, 0.55, 0.70}},
+	{"NG", 3, []float64{0.88, 0.62, 0.55}, []float64{0.85, 1.3, 1.5}},
+	{"ZA", 2, []float64{0.48, 0.42}, []float64{1.8, 1.8}},
+	{"IE", 2, []float64{0.40, 0.38}, []float64{1.8, 1.8}},
+	{"ES", 3, []float64{0.35, 0.32, 0.30}, []float64{2.0, 2.0, 2.0}},
+	{"GB", 2, []float64{0.42, 0.40}, []float64{1.9, 1.9}},
+	{"DE", 1, []float64{0.45}, []float64{1.8}},
+	{"FR", 1, []float64{0.40}, []float64{1.8}},
+	{"IT", 1, []float64{0.38}, []float64{1.8}},
+	{"SN", 1, []float64{0.70}, []float64{1.2}},
+	{"CM", 1, []float64{0.80}, []float64{1.0}},
+	{"GH", 1, []float64{0.72}, []float64{1.2}},
+}
+
+// Beams returns the full beam layout in a stable order with stable IDs.
+func Beams() []Beam {
+	var out []Beam
+	id := 0
+	for _, p := range beamPlan {
+		if len(p.peakUtil) != p.n || len(p.pep) != p.n {
+			panic(fmt.Sprintf("geo: malformed beam plan for %s", p.country))
+		}
+		for i := 0; i < p.n; i++ {
+			out = append(out, Beam{ID: id, Country: p.country, TargetPeakUtil: p.peakUtil[i], PEPFactor: p.pep[i]})
+			id++
+		}
+	}
+	return out
+}
+
+// BeamsFor returns the beams covering a country.
+func BeamsFor(code CountryCode) []Beam {
+	var out []Beam
+	for _, b := range Beams() {
+		if b.Country == code {
+			out = append(out, b)
+		}
+	}
+	return out
+}

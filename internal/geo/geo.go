@@ -1,0 +1,174 @@
+// Package geo models the geometry of the monitored SatCom deployment: the
+// geostationary satellite, the countries it serves, the ground station in
+// Italy, and the per-country propagation delays that put the floor under the
+// 550 ms round trip the paper is named after.
+package geo
+
+import (
+	"math"
+	"time"
+)
+
+// Physical constants of the GEO geometry.
+const (
+	EarthRadiusKm    = 6378.137 // equatorial radius
+	GEOAltitudeKm    = 35786.0  // altitude above the equator
+	GEOOrbitRadiusKm = EarthRadiusKm + GEOAltitudeKm
+	LightSpeedKmPerS = 299792.458
+)
+
+// Continent identifies the two coverage regions of the satellite.
+type Continent uint8
+
+const (
+	Europe Continent = iota
+	Africa
+)
+
+func (c Continent) String() string {
+	if c == Africa {
+		return "Africa"
+	}
+	return "Europe"
+}
+
+// CountryCode is an ISO 3166-1 alpha-2 code.
+type CountryCode string
+
+// Country is a served market with the representative customer location used
+// for link-geometry purposes.
+type Country struct {
+	Code      CountryCode
+	Name      string
+	Continent Continent
+	Lat, Lon  float64 // representative customer centroid, degrees
+	TZOffset  int     // hours ahead of UTC (no DST modeling)
+}
+
+// The served markets. The top-3 per continent (by the paper's Figures 4-11)
+// are Congo, Nigeria, South Africa and Ireland, Spain, United Kingdom; the
+// rest fill out the Figure 2/3 top-10 long tail.
+var countries = []Country{
+	{Code: "CD", Name: "Congo", Continent: Africa, Lat: -2.88, Lon: 23.65, TZOffset: 1},
+	{Code: "NG", Name: "Nigeria", Continent: Africa, Lat: 9.08, Lon: 8.68, TZOffset: 1},
+	{Code: "ZA", Name: "South Africa", Continent: Africa, Lat: -28.99, Lon: 24.66, TZOffset: 2},
+	{Code: "IE", Name: "Ireland", Continent: Europe, Lat: 53.42, Lon: -8.24, TZOffset: 0},
+	{Code: "ES", Name: "Spain", Continent: Europe, Lat: 40.42, Lon: -3.70, TZOffset: 1},
+	{Code: "GB", Name: "U.K.", Continent: Europe, Lat: 54.00, Lon: -2.89, TZOffset: 0},
+	{Code: "DE", Name: "Germany", Continent: Europe, Lat: 51.11, Lon: 10.45, TZOffset: 1},
+	{Code: "FR", Name: "France", Continent: Europe, Lat: 46.60, Lon: 2.21, TZOffset: 1},
+	{Code: "IT", Name: "Italy", Continent: Europe, Lat: 42.83, Lon: 12.83, TZOffset: 1},
+	{Code: "SN", Name: "Senegal", Continent: Africa, Lat: 14.50, Lon: -14.45, TZOffset: 0},
+	{Code: "CM", Name: "Cameroon", Continent: Africa, Lat: 5.69, Lon: 12.74, TZOffset: 1},
+	{Code: "GH", Name: "Ghana", Continent: Africa, Lat: 7.95, Lon: -1.03, TZOffset: 0},
+}
+
+var byCode = func() map[CountryCode]Country {
+	m := make(map[CountryCode]Country, len(countries))
+	for _, c := range countries {
+		m[c.Code] = c
+	}
+	return m
+}()
+
+// Countries returns all served markets in a stable order.
+func Countries() []Country {
+	out := make([]Country, len(countries))
+	copy(out, countries)
+	return out
+}
+
+// ByCode looks a country up by ISO code.
+func ByCode(code CountryCode) (Country, bool) {
+	c, ok := byCode[code]
+	return c, ok
+}
+
+// Top6 returns the three European and three African countries the paper's
+// detailed analysis focuses on, in the paper's presentation order.
+func Top6() []CountryCode {
+	return []CountryCode{"CD", "NG", "ZA", "IE", "ES", "GB"}
+}
+
+// GroundStation is the single gateway in Italy through which all traffic
+// enters the internet (paper §2.1).
+var GroundStation = struct {
+	Lat, Lon float64
+	Country  CountryCode
+}{Lat: 45.07, Lon: 7.69, Country: "IT"}
+
+// Satellite is a geostationary satellite parked at the given longitude.
+// The deployment's satellite sits at 9°E, which places its sub-satellite
+// point essentially on top of Nigeria — the reason the paper finds Nigeria
+// enjoys the shortest slant path (§6.1).
+type Satellite struct {
+	Lon float64
+}
+
+// DefaultSatellite is the satellite used throughout the reproduction.
+var DefaultSatellite = Satellite{Lon: 9.0}
+
+// CentralAngle returns the geocentric angle (radians) between the earth
+// station at (lat, lon) and the sub-satellite point.
+func (s Satellite) CentralAngle(lat, lon float64) float64 {
+	la := lat * math.Pi / 180
+	dl := (lon - s.Lon) * math.Pi / 180
+	c := math.Cos(la) * math.Cos(dl)
+	return math.Acos(clamp(c, -1, 1))
+}
+
+// SlantRangeKm returns the distance from the earth station to the satellite.
+func (s Satellite) SlantRangeKm(lat, lon float64) float64 {
+	g := s.CentralAngle(lat, lon)
+	re, r := EarthRadiusKm, GEOOrbitRadiusKm
+	return math.Sqrt(re*re + r*r - 2*re*r*math.Cos(g))
+}
+
+// ElevationDeg returns the antenna elevation angle in degrees. Values near
+// 90 mean the satellite is close to the zenith; values below ~10 mean the
+// station sits at the edge of the coverage area (Ireland's case).
+func (s Satellite) ElevationDeg(lat, lon float64) float64 {
+	g := s.CentralAngle(lat, lon)
+	sg := math.Sin(g)
+	if sg == 0 {
+		return 90
+	}
+	re, r := EarthRadiusKm, GEOOrbitRadiusKm
+	e := math.Atan((math.Cos(g) - re/r) / sg)
+	return e * 180 / math.Pi
+}
+
+// ZenithDeg returns the zenith angle (90 - elevation), the quantity the
+// paper reasons with in §6.1.
+func (s Satellite) ZenithDeg(lat, lon float64) float64 {
+	return 90 - s.ElevationDeg(lat, lon)
+}
+
+// HopDelay returns the one-way propagation delay earth-station → satellite
+// (a single pass of the slant path).
+func (s Satellite) HopDelay(lat, lon float64) time.Duration {
+	km := s.SlantRangeKm(lat, lon)
+	return time.Duration(km / LightSpeedKmPerS * float64(time.Second))
+}
+
+// SegmentOneWay returns the one-way propagation delay CPE → satellite →
+// ground station: the "traverses 35 786 km twice" of §2.1.
+func (s Satellite) SegmentOneWay(c Country) time.Duration {
+	return s.HopDelay(c.Lat, c.Lon) + s.HopDelay(GroundStation.Lat, GroundStation.Lon)
+}
+
+// SegmentRTT returns the propagation-only round trip CPE ↔ ground station
+// (four passes of the slant path, 240–280 ms each way per the paper).
+func (s Satellite) SegmentRTT(c Country) time.Duration {
+	return 2 * s.SegmentOneWay(c)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,181 @@
+package geo
+
+import (
+	"testing"
+	"time"
+)
+
+func country(t *testing.T, code CountryCode) Country {
+	t.Helper()
+	c, ok := ByCode(code)
+	if !ok {
+		t.Fatalf("country %s missing", code)
+	}
+	return c
+}
+
+func TestCountriesTable(t *testing.T) {
+	all := Countries()
+	if len(all) < 10 {
+		t.Fatalf("only %d countries, want at least the top-10", len(all))
+	}
+	seen := map[CountryCode]bool{}
+	for _, c := range all {
+		if seen[c.Code] {
+			t.Fatalf("duplicate country %s", c.Code)
+		}
+		seen[c.Code] = true
+		if c.Name == "" {
+			t.Fatalf("country %s has no name", c.Code)
+		}
+	}
+	for _, code := range Top6() {
+		if !seen[code] {
+			t.Fatalf("top-6 country %s not in table", code)
+		}
+	}
+	if _, ok := ByCode("XX"); ok {
+		t.Fatal("unknown code resolved")
+	}
+}
+
+func TestTop6Composition(t *testing.T) {
+	af, eu := 0, 0
+	for _, code := range Top6() {
+		c := country(t, code)
+		if c.Continent == Africa {
+			af++
+		} else {
+			eu++
+		}
+	}
+	if af != 3 || eu != 3 {
+		t.Fatalf("top-6 has %d African and %d European countries, want 3+3", af, eu)
+	}
+}
+
+func TestSubSatellitePointGeometry(t *testing.T) {
+	s := Satellite{Lon: 9}
+	if el := s.ElevationDeg(0, 9); el < 89.9 {
+		t.Fatalf("elevation at sub-satellite point %.2f, want ~90", el)
+	}
+	if r := s.SlantRangeKm(0, 9); r < GEOAltitudeKm-1 || r > GEOAltitudeKm+1 {
+		t.Fatalf("slant range at nadir %.1f km, want ~%v", r, GEOAltitudeKm)
+	}
+}
+
+func TestNigeriaClosestToZenith(t *testing.T) {
+	ng := country(t, "NG")
+	ngEl := DefaultSatellite.ElevationDeg(ng.Lat, ng.Lon)
+	for _, code := range Top6() {
+		if code == "NG" {
+			continue
+		}
+		c := country(t, code)
+		if el := DefaultSatellite.ElevationDeg(c.Lat, c.Lon); el >= ngEl {
+			t.Fatalf("%s elevation %.1f >= Nigeria's %.1f; paper §6.1 has Nigeria closest to zenith", code, el, ngEl)
+		}
+	}
+	if ngEl < 75 {
+		t.Fatalf("Nigeria elevation %.1f, want near-zenith", ngEl)
+	}
+}
+
+func TestIrelandEdgeOfCoverage(t *testing.T) {
+	ie := country(t, "IE")
+	es := country(t, "ES")
+	ieZ := DefaultSatellite.ZenithDeg(ie.Lat, ie.Lon)
+	esZ := DefaultSatellite.ZenithDeg(es.Lat, es.Lon)
+	if ieZ <= esZ {
+		t.Fatalf("Ireland zenith angle %.1f <= Spain's %.1f", ieZ, esZ)
+	}
+}
+
+func TestSlantRangeBounds(t *testing.T) {
+	for _, c := range Countries() {
+		r := DefaultSatellite.SlantRangeKm(c.Lat, c.Lon)
+		if r < GEOAltitudeKm || r > 41700 {
+			t.Fatalf("%s slant range %.0f km outside the physically possible band", c.Code, r)
+		}
+	}
+}
+
+func TestSegmentOneWayMatchesPaper(t *testing.T) {
+	// §2.1: the CPE→satellite→ground-station pass accumulates 240-280 ms.
+	for _, code := range Top6() {
+		c := country(t, code)
+		ow := DefaultSatellite.SegmentOneWay(c)
+		if ow < 230*time.Millisecond || ow > 290*time.Millisecond {
+			t.Fatalf("%s one-way segment delay %v outside 240-280 ms band", code, ow)
+		}
+	}
+}
+
+func TestSegmentRTTAbove480ms(t *testing.T) {
+	// Four slant passes: the propagation floor under the ~550 ms RTT.
+	for _, c := range Countries() {
+		rtt := DefaultSatellite.SegmentRTT(c)
+		if rtt < 470*time.Millisecond || rtt > 580*time.Millisecond {
+			t.Fatalf("%s propagation RTT %v outside the GEO band", c.Code, rtt)
+		}
+	}
+}
+
+func TestElevationMonotoneWithLatitude(t *testing.T) {
+	s := DefaultSatellite
+	prev := 91.0
+	for lat := 0.0; lat <= 70; lat += 5 {
+		el := s.ElevationDeg(lat, s.Lon)
+		if el >= prev {
+			t.Fatalf("elevation not decreasing with latitude at %v", lat)
+		}
+		prev = el
+	}
+}
+
+func TestBeamsLayout(t *testing.T) {
+	beams := Beams()
+	if len(beams) == 0 {
+		t.Fatal("no beams")
+	}
+	seen := map[int]bool{}
+	byCountry := map[CountryCode]int{}
+	for _, b := range beams {
+		if seen[b.ID] {
+			t.Fatalf("duplicate beam id %d", b.ID)
+		}
+		seen[b.ID] = true
+		if _, ok := ByCode(b.Country); !ok {
+			t.Fatalf("beam %d covers unknown country %s", b.ID, b.Country)
+		}
+		if b.TargetPeakUtil <= 0 || b.TargetPeakUtil > 1 {
+			t.Fatalf("beam %d peak util %v outside (0,1]", b.ID, b.TargetPeakUtil)
+		}
+		if b.PEPFactor <= 0 {
+			t.Fatalf("beam %d PEP factor %v not positive", b.ID, b.PEPFactor)
+		}
+		byCountry[b.Country]++
+	}
+	for _, c := range Countries() {
+		if byCountry[c.Code] == 0 {
+			t.Fatalf("country %s has no beam coverage", c.Code)
+		}
+	}
+	// §6.1 calibration: Congo's beams run hot and PEP-starved vs Spain's.
+	for _, cd := range BeamsFor("CD") {
+		for _, es := range BeamsFor("ES") {
+			if cd.TargetPeakUtil <= es.TargetPeakUtil {
+				t.Fatal("Congo beam not more utilized than Spain's")
+			}
+			if cd.PEPFactor >= es.PEPFactor {
+				t.Fatal("Congo beam not more PEP-constrained than Spain's")
+			}
+		}
+	}
+}
+
+func TestBeamsForUnknownCountry(t *testing.T) {
+	if got := BeamsFor("XX"); len(got) != 0 {
+		t.Fatalf("beams for unknown country: %v", got)
+	}
+}

@@ -1,0 +1,135 @@
+// Package linkemu emulates the satellite link in real time: a pair of
+// tunnel.Transport endpoints connected by two independent one-way channels
+// with configurable propagation delay, jitter, random loss, and a
+// serialization rate. It lets the live PEP (package pep) run over a
+// realistic 550 ms GEO path entirely in-process — the ERRANT-style
+// emulation the paper released for the research community.
+package linkemu
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"satwatch/internal/dist"
+)
+
+// Link describes one direction of the emulated path.
+type Link struct {
+	// Delay is the one-way propagation delay (≈270 ms for GEO).
+	Delay time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter) — the MAC
+	// and scheduling variability. Jitter also produces reordering.
+	Jitter time.Duration
+	// Loss is the independent datagram loss probability in [0,1].
+	Loss float64
+	// RateBps is the serialization rate in bytes/second; zero means
+	// infinite (no serialization delay).
+	RateBps float64
+}
+
+// GEO returns the deployment-shaped link: ~270 ms one way with moderate
+// jitter, matching the paper's ~550 ms round trip.
+func GEO() Link {
+	return Link{Delay: 270 * time.Millisecond, Jitter: 30 * time.Millisecond, Loss: 0.005, RateBps: 10e6 / 8}
+}
+
+// ErrClosed is returned by ReadDatagram after Close.
+var ErrClosed = errors.New("linkemu: closed")
+
+// endpoint is one side of the pair; it implements tunnel.Transport.
+type endpoint struct {
+	out  *direction // the direction this endpoint writes into
+	in   chan []byte
+	done chan struct{}
+	once sync.Once
+	peer *endpoint
+}
+
+// direction carries packets one way.
+type direction struct {
+	link Link
+
+	mu       sync.Mutex
+	r        *dist.Rand
+	nextFree time.Time // when the serializer is free again
+}
+
+// NewPair builds two connected endpoints. aToB shapes datagrams written by
+// the first endpoint, bToA those written by the second. The seed drives
+// loss and jitter deterministically (delivery order can still vary with
+// goroutine scheduling, as on a real link).
+func NewPair(aToB, bToA Link, seed uint64) (a, b interface {
+	WriteDatagram([]byte) error
+	ReadDatagram() ([]byte, error)
+	Close() error
+}) {
+	base := dist.NewRand(seed)
+	dirAB := &direction{link: aToB, r: base.Fork("a2b")}
+	dirBA := &direction{link: bToA, r: base.Fork("b2a")}
+	ea := &endpoint{out: dirAB, in: make(chan []byte, 4096), done: make(chan struct{})}
+	eb := &endpoint{out: dirBA, in: make(chan []byte, 4096), done: make(chan struct{})}
+	ea.peer, eb.peer = eb, ea
+	return ea, eb
+}
+
+// WriteDatagram schedules delivery at the peer after loss, serialization,
+// propagation, and jitter.
+func (e *endpoint) WriteDatagram(b []byte) error {
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	d := e.out
+	d.mu.Lock()
+	if d.link.Loss > 0 && d.r.Bool(d.link.Loss) {
+		d.mu.Unlock()
+		return nil // lost on the air interface
+	}
+	now := time.Now()
+	txStart := now
+	if txStart.Before(d.nextFree) {
+		txStart = d.nextFree
+	}
+	var ser time.Duration
+	if d.link.RateBps > 0 {
+		ser = time.Duration(float64(len(b)) / d.link.RateBps * float64(time.Second))
+	}
+	d.nextFree = txStart.Add(ser)
+	extra := time.Duration(0)
+	if d.link.Jitter > 0 {
+		extra = time.Duration(d.r.Float64() * float64(d.link.Jitter))
+	}
+	deliverAt := txStart.Add(ser + d.link.Delay + extra)
+	d.mu.Unlock()
+
+	pkt := make([]byte, len(b))
+	copy(pkt, b)
+	peer := e.peer
+	time.AfterFunc(time.Until(deliverAt), func() {
+		select {
+		case peer.in <- pkt:
+		case <-peer.done:
+		default:
+			// Inbox full: tail-drop, as a real modem queue would.
+		}
+	})
+	return nil
+}
+
+// ReadDatagram blocks for the next delivered datagram.
+func (e *endpoint) ReadDatagram() ([]byte, error) {
+	select {
+	case pkt := <-e.in:
+		return pkt, nil
+	case <-e.done:
+		return nil, ErrClosed
+	}
+}
+
+// Close shuts this endpoint down; pending reads fail.
+func (e *endpoint) Close() error {
+	e.once.Do(func() { close(e.done) })
+	return nil
+}

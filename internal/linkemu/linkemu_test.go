@@ -1,0 +1,152 @@
+package linkemu
+
+import (
+	"testing"
+	"time"
+)
+
+func fastLink(delay time.Duration) Link {
+	return Link{Delay: delay, Jitter: 0, Loss: 0, RateBps: 0}
+}
+
+func TestDeliveryAndDelay(t *testing.T) {
+	a, b := NewPair(fastLink(30*time.Millisecond), fastLink(30*time.Millisecond), 1)
+	defer a.Close()
+	defer b.Close()
+	start := time.Now()
+	if err := a.WriteDatagram([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ReadDatagram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if string(got) != "ping" {
+		t.Fatalf("got %q", got)
+	}
+	if elapsed < 25*time.Millisecond {
+		t.Fatalf("delivered in %v, want ≥ ~30ms propagation", elapsed)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("delivered in %v, absurdly late", elapsed)
+	}
+}
+
+func TestBothDirections(t *testing.T) {
+	a, b := NewPair(fastLink(5*time.Millisecond), fastLink(5*time.Millisecond), 2)
+	defer a.Close()
+	defer b.Close()
+	a.WriteDatagram([]byte("up"))
+	b.WriteDatagram([]byte("down"))
+	if got, _ := b.ReadDatagram(); string(got) != "up" {
+		t.Fatalf("b got %q", got)
+	}
+	if got, _ := a.ReadDatagram(); string(got) != "down" {
+		t.Fatalf("a got %q", got)
+	}
+}
+
+func TestTotalLoss(t *testing.T) {
+	lossy := Link{Delay: time.Millisecond, Loss: 1.0}
+	a, b := NewPair(lossy, fastLink(time.Millisecond), 3)
+	defer a.Close()
+	defer b.Close()
+	a.WriteDatagram([]byte("vanish"))
+	done := make(chan struct{})
+	go func() {
+		b.ReadDatagram()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("datagram survived a 100% lossy link")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestPartialLossStatistics(t *testing.T) {
+	lossy := Link{Delay: 0, Loss: 0.3}
+	a, b := NewPair(lossy, fastLink(0), 4)
+	defer a.Close()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		a.WriteDatagram([]byte{byte(i)})
+	}
+	received := make(chan int, 1)
+	go func() {
+		count := 0
+		for {
+			if _, err := b.ReadDatagram(); err != nil {
+				received <- count
+				return
+			}
+			count++
+		}
+	}()
+	time.Sleep(200 * time.Millisecond)
+	b.Close()
+	got := <-received
+	frac := float64(got) / n
+	if frac < 0.6 || frac > 0.8 {
+		t.Fatalf("received %.2f of datagrams through a 30%% lossy link", frac)
+	}
+}
+
+func TestRateSerialization(t *testing.T) {
+	// 10 KB through a 100 KB/s link: serialization alone is ~100 ms.
+	rated := Link{Delay: 0, RateBps: 100_000}
+	a, b := NewPair(rated, fastLink(0), 5)
+	defer a.Close()
+	defer b.Close()
+	start := time.Now()
+	const chunks = 10
+	for i := 0; i < chunks; i++ {
+		a.WriteDatagram(make([]byte, 1000))
+	}
+	for i := 0; i < chunks; i++ {
+		if _, err := b.ReadDatagram(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < 80*time.Millisecond {
+		t.Fatalf("10 KB crossed a 100 KB/s link in %v", elapsed)
+	}
+}
+
+func TestCloseUnblocksRead(t *testing.T) {
+	a, b := NewPair(fastLink(time.Millisecond), fastLink(time.Millisecond), 6)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := b.ReadDatagram()
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("read returned nil after close")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("read still blocked after close")
+	}
+	if err := a.WriteDatagram([]byte("x")); err != nil {
+		t.Fatal("writes to the open side should still succeed")
+	}
+	a.Close()
+	if err := a.WriteDatagram([]byte("x")); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+}
+
+func TestGEOProfile(t *testing.T) {
+	l := GEO()
+	if l.Delay < 230*time.Millisecond || l.Delay > 300*time.Millisecond {
+		t.Fatalf("GEO one-way delay %v outside the physical band", l.Delay)
+	}
+	if l.Loss <= 0 || l.Loss > 0.05 {
+		t.Fatalf("GEO loss %v implausible", l.Loss)
+	}
+}

@@ -1,0 +1,336 @@
+// Package mac models the satellite data-link layer of the SatCom access
+// network (§2.1 of the paper): a slotted-Aloha reservation channel for a
+// CPE's first transmission, a TDMA frame scheduler that shares the uplink
+// among active CPEs, and an ARQ loop that repairs the residual frame errors
+// left by FEC (package phy).
+//
+// The package runs an honest slot-level discrete-event micro-simulation
+// (package simtime) for a grid of (utilization, frame error rate) operating
+// points and distills each run into an empirical access-delay distribution.
+// The macro flow simulator then samples those distributions — this is what
+// makes the satellite-segment RTT distributions of Figure 8 emerge from the
+// MAC mechanism rather than from played-back numbers.
+//
+// Two standard stabilizations keep the contention channel from collapsing,
+// as deployed DVB-RCS-style systems do: contenders transmit with
+// probability min(1, R/n̂) where n̂ estimates the contender population
+// (stabilized Aloha), and a CPE holds its reservation for a configurable
+// number of frames after its queue drains so steady flows do not re-contend
+// for every burst.
+package mac
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"satwatch/internal/dist"
+	"satwatch/internal/simtime"
+)
+
+// Params are the data-link dimensioning knobs.
+type Params struct {
+	// FrameDuration is the TDMA frame period.
+	FrameDuration time.Duration
+	// SlotsPerFrame is the number of traffic slots shared each frame.
+	SlotsPerFrame int
+	// ReservationSlots is the number of slotted-Aloha contention slots
+	// per frame used by CPEs requesting capacity for a new burst.
+	ReservationSlots int
+	// NumCPE is the number of active terminals sharing the beam in the
+	// micro-simulation.
+	NumCPE int
+	// HopRTT is the terminal↔scheduler control-loop round trip: a
+	// reservation grant or an ARQ NAK needs a full bounce off the
+	// satellite before the CPE learns about it.
+	HopRTT time.Duration
+	// HoldFrames is how many frames a CPE keeps its reservation open
+	// after its transmit queue drains, avoiding re-contention for
+	// closely spaced bursts.
+	HoldFrames int
+	// MaxARQRetries bounds ARQ recovery attempts per frame.
+	MaxARQRetries int
+	// SimFrames is the number of TDMA frames each micro-simulation runs.
+	SimFrames int
+	// Seed makes table construction reproducible.
+	Seed uint64
+}
+
+// DefaultParams returns a dimensioning typical of GEO broadband systems:
+// 45 ms superframes, 64 traffic slots, 8 contention slots, a ~260 ms
+// control loop (one satellite bounce plus processing), and a ~0.9 s
+// reservation hold.
+func DefaultParams() Params {
+	return Params{
+		FrameDuration:    45 * time.Millisecond,
+		SlotsPerFrame:    64,
+		ReservationSlots: 8,
+		NumCPE:           48,
+		HopRTT:           260 * time.Millisecond,
+		HoldFrames:       20,
+		MaxARQRetries:    6,
+		SimFrames:        2400,
+		Seed:             0x5a7c0,
+	}
+}
+
+// quantile levels retained from each micro-simulation run.
+var tableLevels = []float64{0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}
+
+// SimulateAccessDelay runs the slot-level micro-simulation at the given
+// offered utilization (fraction of SlotsPerFrame demanded on average) and
+// residual frame error rate, and returns the empirical distribution of the
+// uplink access delay: the time from a transmission request arriving at a
+// CPE to its successful delivery to the scheduler, excluding propagation of
+// the data itself (the caller adds slant-path delays).
+func SimulateAccessDelay(p Params, util, fer float64, seed uint64) *dist.Empirical {
+	if util < 0.01 {
+		util = 0.01
+	}
+	if util > 0.99 {
+		util = 0.99
+	}
+	r := dist.NewRand(seed)
+	var sched simtime.Scheduler
+
+	type cpe struct {
+		backlog    int  // queued slot-requests
+		reserved   bool // holds an active capacity reservation
+		contending bool // waiting to win a contention slot
+		grant      bool // reservation grant in flight (control loop)
+		holdUntil  int  // frame number the reservation is held through
+	}
+	cpes := make([]*cpe, p.NumCPE)
+	for i := range cpes {
+		cpes[i] = &cpe{}
+	}
+
+	// Each "request" is one slot's worth of payload. Poisson arrivals at
+	// aggregate rate util*SlotsPerFrame per frame, spread over the CPEs.
+	meanInterarrival := float64(p.FrameDuration) / (util * float64(p.SlotsPerFrame))
+
+	type job struct {
+		owner   *cpe
+		arrived simtime.Stamp
+	}
+	var delays []time.Duration
+	var queue []*job // FIFO across CPEs
+
+	record := func(arrived, done simtime.Stamp, warmup simtime.Stamp) {
+		if arrived >= warmup {
+			delays = append(delays, time.Duration(done-arrived))
+		}
+	}
+	warmup := simtime.Stamp(p.SimFrames/10) * simtime.Stamp(p.FrameDuration)
+
+	var arrive func(now simtime.Stamp)
+	arrive = func(now simtime.Stamp) {
+		c := cpes[r.IntN(len(cpes))]
+		if !c.reserved && !c.contending && !c.grant {
+			c.contending = true
+		}
+		c.backlog++
+		queue = append(queue, &job{owner: c, arrived: now})
+		sched.After(time.Duration(r.Exponential(meanInterarrival)), arrive)
+	}
+	sched.After(time.Duration(r.Exponential(meanInterarrival)), arrive)
+
+	frameNo := 0
+	var frame func(now simtime.Stamp)
+	frame = func(now simtime.Stamp) {
+		frameNo++
+		if frameNo > p.SimFrames {
+			return
+		}
+		// Stabilized slotted-Aloha: contenders transmit with probability
+		// R/n̂ and pick a random reservation slot; sole occupants win.
+		var contenders []*cpe
+		for _, c := range cpes {
+			if c.contending {
+				contenders = append(contenders, c)
+			}
+		}
+		if n := len(contenders); n > 0 {
+			pTx := 1.0
+			if n > p.ReservationSlots {
+				pTx = float64(p.ReservationSlots) / float64(n)
+			}
+			slotPick := make(map[int][]*cpe, p.ReservationSlots)
+			for _, c := range contenders {
+				if r.Bool(pTx) {
+					s := r.IntN(p.ReservationSlots)
+					slotPick[s] = append(slotPick[s], c)
+				}
+			}
+			for _, cs := range slotPick {
+				if len(cs) == 1 {
+					winner := cs[0]
+					winner.contending = false
+					winner.grant = true
+					// The grant arrives one control loop later.
+					sched.After(p.HopRTT, func(simtime.Stamp) {
+						winner.grant = false
+						winner.reserved = true
+					})
+				}
+				// Collisions retry next frame (contending stays set).
+			}
+		}
+		// TDMA grants: serve up to SlotsPerFrame queued jobs whose owner
+		// holds an active reservation, in FIFO order across CPEs.
+		slotTime := simtime.Stamp(p.FrameDuration) / simtime.Stamp(p.SlotsPerFrame)
+		granted := 0
+		rest := queue[:0]
+		for _, j := range queue {
+			if granted < p.SlotsPerFrame && j.owner.reserved {
+				granted++
+				j.owner.backlog--
+				j.owner.holdUntil = frameNo + p.HoldFrames
+				// The transmission errors with probability fer; each ARQ
+				// recovery costs a control loop plus the retx frame.
+				done := now + slotTime
+				for retries := 0; retries < p.MaxARQRetries && r.Bool(fer); retries++ {
+					done += simtime.Stamp(p.HopRTT) + simtime.Stamp(p.FrameDuration)
+				}
+				record(j.arrived, done, warmup)
+			} else {
+				rest = append(rest, j)
+			}
+		}
+		queue = rest
+		// Close reservations whose hold expired with an empty queue.
+		for _, c := range cpes {
+			if c.reserved && c.backlog == 0 && frameNo > c.holdUntil {
+				c.reserved = false
+			}
+			// A reservation that closed while traffic queued up again
+			// must re-contend (arrival saw reserved=true at queue time).
+			if !c.reserved && !c.grant && !c.contending && c.backlog > 0 {
+				c.contending = true
+			}
+		}
+		sched.After(p.FrameDuration, frame)
+	}
+	sched.After(p.FrameDuration, frame)
+
+	deadline := simtime.Stamp(p.SimFrames+1) * simtime.Stamp(p.FrameDuration)
+	sched.RunUntil(deadline)
+
+	return distill(delays, p)
+}
+
+// distill reduces raw delay samples to an empirical quantile table.
+func distill(delays []time.Duration, p Params) *dist.Empirical {
+	if len(delays) == 0 {
+		// Pathological (e.g. zero offered load): a flat half-frame.
+		half := float64(p.FrameDuration) / 2
+		e, _ := dist.NewEmpirical([]float64{0.25, 0.75}, []float64{half, half})
+		return e
+	}
+	sort.Slice(delays, func(i, j int) bool { return delays[i] < delays[j] })
+	values := make([]float64, len(tableLevels))
+	for i, q := range tableLevels {
+		idx := int(q * float64(len(delays)-1))
+		values[i] = float64(delays[idx])
+	}
+	// Enforce monotonicity against duplicate quantile collapses.
+	for i := 1; i < len(values); i++ {
+		if values[i] < values[i-1] {
+			values[i] = values[i-1]
+		}
+	}
+	e, err := dist.NewEmpirical(tableLevels, values)
+	if err != nil {
+		panic("mac: distill produced invalid empirical: " + err.Error())
+	}
+	return e
+}
+
+// Model interpolates access-delay distributions over a precomputed
+// (utilization, FER) grid, computing grid cells lazily and caching them.
+// It is safe for concurrent use.
+type Model struct {
+	p     Params
+	utils []float64
+	fers  []float64
+
+	mu    sync.Mutex
+	cells map[[2]int]*dist.Empirical
+}
+
+// NewModel builds a lazily-populated access-delay model.
+func NewModel(p Params) *Model {
+	return &Model{
+		p:     p,
+		utils: []float64{0.05, 0.20, 0.35, 0.50, 0.65, 0.78, 0.88, 0.94, 0.98},
+		fers:  []float64{1e-5, 1e-3, 6e-3, 2.5e-2, 0.12},
+		cells: make(map[[2]int]*dist.Empirical),
+	}
+}
+
+// Params returns the dimensioning the model was built with.
+func (m *Model) Params() Params { return m.p }
+
+func nearestIdx(grid []float64, x float64) int {
+	best, bd := 0, -1.0
+	for i, g := range grid {
+		d := g - x
+		if d < 0 {
+			d = -d
+		}
+		if bd < 0 || d < bd {
+			best, bd = i, d
+		}
+	}
+	return best
+}
+
+func (m *Model) cell(ui, fi int) *dist.Empirical {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := [2]int{ui, fi}
+	if c, ok := m.cells[key]; ok {
+		return c
+	}
+	seed := m.p.Seed ^ uint64(ui*31+fi+1)*0x9e3779b97f4a7c15
+	c := SimulateAccessDelay(m.p, m.utils[ui], m.fers[fi], seed)
+	m.cells[key] = c
+	return c
+}
+
+// SampleUplink draws one uplink access delay at the given beam utilization
+// and frame error rate.
+func (m *Model) SampleUplink(util, fer float64, r *dist.Rand) time.Duration {
+	ui := nearestIdx(m.utils, util)
+	fi := nearestIdx(m.fers, fer)
+	return time.Duration(m.cell(ui, fi).Sample(r))
+}
+
+// SampleDownlink draws one downlink delay. The downlink is a broadcast
+// channel with no contention: delay is frame alignment plus queueing that
+// grows with utilization, plus ARQ recovery on frame errors.
+func (m *Model) SampleDownlink(util, fer float64, r *dist.Rand) time.Duration {
+	if util > 0.98 {
+		util = 0.98
+	}
+	if util < 0 {
+		util = 0
+	}
+	frame := float64(m.p.FrameDuration)
+	align := r.Float64() * frame / 2
+	// M/D/1-style waiting time in units of frame service time.
+	wait := frame * util / (2 * (1 - util))
+	d := align + wait
+	for retries := 0; retries < m.p.MaxARQRetries && r.Bool(fer); retries++ {
+		d += float64(m.p.HopRTT) + frame
+	}
+	return time.Duration(d)
+}
+
+// QuantileUplink reports the q-quantile of the uplink access delay at an
+// operating point, for tests and for Figure 8b's per-beam medians.
+func (m *Model) QuantileUplink(util, fer, q float64) time.Duration {
+	ui := nearestIdx(m.utils, util)
+	fi := nearestIdx(m.fers, fer)
+	return time.Duration(m.cell(ui, fi).Quantile(q))
+}

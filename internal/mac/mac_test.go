@@ -1,0 +1,151 @@
+package mac
+
+import (
+	"testing"
+	"time"
+
+	"satwatch/internal/dist"
+)
+
+// fastParams shrinks the micro-simulation for test runtime.
+func fastParams() Params {
+	p := DefaultParams()
+	p.SimFrames = 600
+	return p
+}
+
+func TestAccessDelayPositiveAndBounded(t *testing.T) {
+	p := fastParams()
+	e := SimulateAccessDelay(p, 0.5, 1e-3, 1)
+	for _, q := range []float64{0.05, 0.5, 0.95} {
+		d := time.Duration(e.Quantile(q))
+		if d <= 0 {
+			t.Fatalf("q%.2f delay %v not positive", q, d)
+		}
+		if d > 30*time.Second {
+			t.Fatalf("q%.2f delay %v absurd", q, d)
+		}
+	}
+}
+
+func TestModerateLoadDelaysAreSmall(t *testing.T) {
+	// With held reservations, steady-state access at moderate load should
+	// be dominated by frame alignment: well under one control loop.
+	p := fastParams()
+	e := SimulateAccessDelay(p, 0.5, 1e-5, 2)
+	if med := time.Duration(e.Quantile(0.5)); med > 150*time.Millisecond {
+		t.Fatalf("median access delay %v at util 0.5, want < 150ms", med)
+	}
+}
+
+func TestSparseTrafficPaysContention(t *testing.T) {
+	// At very low utilization reservations expire between bursts, so the
+	// tail pays slotted-Aloha plus the grant control loop (≥ HopRTT).
+	p := fastParams()
+	e := SimulateAccessDelay(p, 0.05, 1e-5, 3)
+	if p95 := time.Duration(e.Quantile(0.95)); p95 < p.HopRTT {
+		t.Fatalf("p95 %v at sparse load, want ≥ control loop %v", p95, p.HopRTT)
+	}
+}
+
+func TestOverloadInflatesDelay(t *testing.T) {
+	p := fastParams()
+	low := SimulateAccessDelay(p, 0.5, 1e-5, 4)
+	high := SimulateAccessDelay(p, 0.98, 1e-5, 4)
+	if high.Quantile(0.9) <= low.Quantile(0.9) {
+		t.Fatalf("p90 at util 0.98 (%v) not above util 0.5 (%v)",
+			time.Duration(high.Quantile(0.9)), time.Duration(low.Quantile(0.9)))
+	}
+}
+
+func TestHighFERInflatesTail(t *testing.T) {
+	p := fastParams()
+	clean := SimulateAccessDelay(p, 0.4, 1e-5, 5)
+	dirty := SimulateAccessDelay(p, 0.4, 0.12, 5)
+	if dirty.Quantile(0.95) <= clean.Quantile(0.95) {
+		t.Fatal("FER 0.12 did not inflate the p95 access delay")
+	}
+	// One ARQ recovery costs at least a control loop.
+	if gap := dirty.Quantile(0.99) - clean.Quantile(0.99); time.Duration(gap) < p.HopRTT/2 {
+		t.Fatalf("p99 gap %v too small for ARQ recovery", time.Duration(gap))
+	}
+}
+
+func TestSimulationDeterminism(t *testing.T) {
+	p := fastParams()
+	a := SimulateAccessDelay(p, 0.65, 1e-3, 77)
+	b := SimulateAccessDelay(p, 0.65, 1e-3, 77)
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("same seed diverged at q%.1f", q)
+		}
+	}
+}
+
+func TestUtilClamping(t *testing.T) {
+	p := fastParams()
+	// Out-of-range utilizations must not hang or panic.
+	if SimulateAccessDelay(p, -1, 1e-3, 6) == nil {
+		t.Fatal("nil distribution for clamped low util")
+	}
+	if SimulateAccessDelay(p, 2, 1e-3, 7) == nil {
+		t.Fatal("nil distribution for clamped high util")
+	}
+}
+
+func TestModelSamplingAndCaching(t *testing.T) {
+	p := fastParams()
+	m := NewModel(p)
+	r := dist.NewRand(9)
+	d1 := m.SampleUplink(0.5, 1e-3, r)
+	if d1 <= 0 {
+		t.Fatalf("sample %v not positive", d1)
+	}
+	// Second call hits the cached cell; quantiles must be stable.
+	q := m.QuantileUplink(0.5, 1e-3, 0.5)
+	if q != m.QuantileUplink(0.5, 1e-3, 0.5) {
+		t.Fatal("cached cell unstable")
+	}
+	if m.Params().SimFrames != p.SimFrames {
+		t.Fatal("Params accessor broken")
+	}
+}
+
+func TestDownlinkQueueingGrowsWithUtil(t *testing.T) {
+	m := NewModel(fastParams())
+	r1 := dist.NewRand(10)
+	r2 := dist.NewRand(10)
+	var lo, hi time.Duration
+	for i := 0; i < 2000; i++ {
+		lo += m.SampleDownlink(0.2, 1e-5, r1)
+		hi += m.SampleDownlink(0.97, 1e-5, r2)
+	}
+	if hi <= lo*2 {
+		t.Fatalf("downlink congestion too mild: mean(0.97)=%v vs mean(0.2)=%v", hi/2000, lo/2000)
+	}
+}
+
+func TestDownlinkFERAddsControlLoops(t *testing.T) {
+	m := NewModel(fastParams())
+	r1 := dist.NewRand(11)
+	r2 := dist.NewRand(11)
+	var clean, dirty time.Duration
+	for i := 0; i < 3000; i++ {
+		clean += m.SampleDownlink(0.3, 0, r1)
+		dirty += m.SampleDownlink(0.3, 0.12, r2)
+	}
+	if dirty <= clean {
+		t.Fatal("downlink FER did not add delay")
+	}
+}
+
+func TestDistillEmptyFallback(t *testing.T) {
+	e := distill(nil, DefaultParams())
+	if e == nil {
+		t.Fatal("nil fallback distribution")
+	}
+	half := float64(DefaultParams().FrameDuration) / 2
+	if e.Quantile(0.5) != half {
+		t.Fatalf("fallback quantile %v, want %v", e.Quantile(0.5), half)
+	}
+}

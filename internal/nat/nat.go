@@ -1,0 +1,111 @@
+// Package nat implements the ground station's NAT function (§2.1): every
+// customer CPE holds a private IPv4 address, so all internet-bound
+// connections are rewritten to the gateway's public pool, and no inbound
+// connection can ever be initiated toward a customer.
+package nat
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"satwatch/internal/packet"
+)
+
+// Binding is one active translation.
+type Binding struct {
+	Inside  packet.Endpoint // customer-side (private) endpoint
+	Outside packet.Endpoint // public endpoint presented to the internet
+}
+
+// Table is a port-translating NAT with a public address pool. Safe for
+// concurrent use.
+type Table struct {
+	mu      sync.Mutex
+	pool    []netip.Addr
+	nextIP  int
+	nextPrt uint16
+	byIn    map[packet.Endpoint]Binding
+	byOut   map[packet.Endpoint]Binding
+}
+
+// portFloor is the first public port handed out.
+const portFloor = 1024
+
+// NewTable builds a NAT over the given public address pool.
+func NewTable(pool []netip.Addr) (*Table, error) {
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("nat: empty public pool")
+	}
+	for _, a := range pool {
+		if !a.Is4() {
+			return nil, fmt.Errorf("nat: pool address %v is not IPv4", a)
+		}
+	}
+	return &Table{
+		pool:    append([]netip.Addr(nil), pool...),
+		nextPrt: portFloor,
+		byIn:    make(map[packet.Endpoint]Binding),
+		byOut:   make(map[packet.Endpoint]Binding),
+	}, nil
+}
+
+// Translate returns (creating if needed) the public endpoint for an inside
+// endpoint. It fails when the pool's port space is exhausted.
+func (t *Table) Translate(inside packet.Endpoint) (packet.Endpoint, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b, ok := t.byIn[inside]; ok {
+		return b.Outside, nil
+	}
+	// Scan for a free (addr, port) pair starting at the cursor.
+	total := len(t.pool) * (65536 - portFloor)
+	for tries := 0; tries < total; tries++ {
+		out := packet.Endpoint{Addr: t.pool[t.nextIP], Port: t.nextPrt}
+		t.advance()
+		if _, used := t.byOut[out]; used {
+			continue
+		}
+		b := Binding{Inside: inside, Outside: out}
+		t.byIn[inside] = b
+		t.byOut[out] = b
+		return out, nil
+	}
+	return packet.Endpoint{}, fmt.Errorf("nat: public port space exhausted")
+}
+
+func (t *Table) advance() {
+	if t.nextPrt == 65535 {
+		t.nextPrt = portFloor
+		t.nextIP = (t.nextIP + 1) % len(t.pool)
+		return
+	}
+	t.nextPrt++
+}
+
+// ReverseLookup maps a public endpoint back to the inside endpoint. ok is
+// false for unsolicited inbound traffic — which the NAT therefore drops,
+// enforcing the "no servers on customer premises" property.
+func (t *Table) ReverseLookup(outside packet.Endpoint) (packet.Endpoint, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.byOut[outside]
+	return b.Inside, ok
+}
+
+// Release drops a binding (connection teardown or idle timeout).
+func (t *Table) Release(inside packet.Endpoint) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b, ok := t.byIn[inside]; ok {
+		delete(t.byIn, inside)
+		delete(t.byOut, b.Outside)
+	}
+}
+
+// Len returns the number of active bindings.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byIn)
+}

@@ -1,0 +1,531 @@
+package netsim
+
+import (
+	"net/netip"
+	"time"
+
+	"satwatch/internal/cdn"
+	"satwatch/internal/dist"
+	"satwatch/internal/dnssim"
+	"satwatch/internal/geo"
+	"satwatch/internal/mac"
+	"satwatch/internal/packet"
+	"satwatch/internal/phy"
+	"satwatch/internal/shaper"
+	"satwatch/internal/tcpmodel"
+	"satwatch/internal/tstat"
+	"satwatch/internal/workload"
+)
+
+// observer is where the synthesizer delivers segment events: a single
+// tracker, or the sharded tracker when pass B runs in parallel.
+type observer interface {
+	Observe(tuple packet.FiveTuple, ev tstat.SegmentEvent)
+}
+
+// synthesizer turns flow intents into vantage-point segment events.
+type synthesizer struct {
+	cfg     Config
+	tracker observer
+	mac     *mac.Model
+	loads   map[int]*beamLoad
+
+	channels map[geo.CountryCode]phy.Channel
+	propRTT  map[geo.CountryCode]time.Duration
+	ports    map[int]uint16
+
+	chCache  map[string][]byte // ClientHello bytes per SNI
+	shBytes  []byte            // ServerHello + Certificate + HelloDone
+	ckeBytes []byte            // ClientKeyExchange + CCS + Finished
+}
+
+const mss = tcpmodel.MSS
+
+// headers per wire packet (IP+TCP), for WireLen accounting.
+const hdrLen = 40
+
+func (s *synthesizer) init() {
+	if s.ports != nil {
+		return
+	}
+	s.ports = map[int]uint16{}
+	s.chCache = map[string][]byte{}
+	s.propRTT = map[geo.CountryCode]time.Duration{}
+	for code := range s.channels {
+		c, _ := geo.ByCode(code)
+		s.propRTT[code] = geo.DefaultSatellite.SegmentRTT(c)
+	}
+	sh, err := (&packet.ServerHello{Version: packet.TLSVersion12, CipherSuite: 0xc02f}).Encode()
+	if err != nil {
+		panic(err)
+	}
+	hs := append(sh, packet.OpaqueHandshake(packet.TLSHandshakeCertificate, 2800)...)
+	hs = append(hs, packet.OpaqueHandshake(packet.TLSHandshakeServerHelloDone, 0)...)
+	rec, err := (&packet.TLSRecord{Type: packet.TLSRecordHandshake, Version: packet.TLSVersion12, Payload: hs}).Encode()
+	if err != nil {
+		panic(err)
+	}
+	s.shBytes = rec
+
+	cke := packet.OpaqueHandshake(packet.TLSHandshakeClientKeyExchange, 66)
+	rec1, err := (&packet.TLSRecord{Type: packet.TLSRecordHandshake, Version: packet.TLSVersion12, Payload: cke}).Encode()
+	if err != nil {
+		panic(err)
+	}
+	ccs, err := (&packet.TLSRecord{Type: packet.TLSRecordChangeCipherSpec, Version: packet.TLSVersion12, Payload: []byte{1}}).Encode()
+	if err != nil {
+		panic(err)
+	}
+	s.ckeBytes = append(rec1, ccs...)
+}
+
+func (s *synthesizer) clientHello(sni string) []byte {
+	if b, ok := s.chCache[sni]; ok {
+		return b
+	}
+	hs, err := (&packet.ClientHello{Version: packet.TLSVersion12, ServerName: sni}).Encode()
+	if err != nil {
+		panic(err)
+	}
+	rec, err := (&packet.TLSRecord{Type: packet.TLSRecordHandshake, Version: packet.TLSVersion12, Payload: hs}).Encode()
+	if err != nil {
+		panic(err)
+	}
+	s.chCache[sni] = rec
+	return rec
+}
+
+func (s *synthesizer) nextPort(custID int) uint16 {
+	p, ok := s.ports[custID]
+	if !ok || p >= 65500 {
+		p = 1024
+	}
+	p++
+	s.ports[custID] = p
+	return p
+}
+
+// pathParams holds the per-flow sampled network conditions.
+type pathParams struct {
+	groundRTT time.Duration
+	satRTT    time.Duration // prop + MAC + PEP, the satellite segment
+	bneckBps  float64       // delivery bottleneck toward the customer
+	upBps     float64
+}
+
+func (s *synthesizer) samplePath(fi *workload.FlowIntent, region cdn.Region, class shaper.Class, r *dist.Rand) pathParams {
+	c := fi.Customer
+	h := hourOf(fi.Start)
+	bl := s.loads[c.Beam]
+	util := 0.0
+	rho := 0.0
+	if bl != nil {
+		util = bl.util(h)
+		rho = bl.pepRho(h, bl.beam.PEPFactor)
+	}
+	if util > 0.98 {
+		util = 0.98
+	}
+
+	var p pathParams
+	p.groundRTT = cdn.SampleGroundRTT(region, r)
+	if s.cfg.AfricanGroundStation && region == cdn.RegionAfrica && c.Country.Continent == geo.Africa {
+		// Ablation A2: a local gateway serves African-hosted content
+		// without the hairpin through Italy.
+		p.groundRTT = time.Duration(dist.LogNormalFromMedian(float64(35*time.Millisecond), 0.2).Sample(r))
+	}
+
+	// Satellite segment: propagation + MAC access + PEP processing.
+	ch := s.channels[c.Country.Code]
+	rain := 0.0
+	if r.Bool(0.08) {
+		rain = 0.6 + 0.4*r.Float64()
+	}
+	fer := ch.FrameErrorRate(rain)
+	sat := s.propRTT[c.Country.Code]
+	if !s.cfg.DisableMAC {
+		sat += s.mac.SampleUplink(util, fer, r)
+		sat += s.mac.SampleDownlink(util, fer, r)
+	}
+	if !s.cfg.DisablePEP {
+		sat += s.cfg.PEP.SetupDelay(rho, r)
+	}
+	p.satRTT = sat
+
+	// Delivery bottleneck: plan shaping, beam congestion, terminal and
+	// AP contention (§6.5's mechanisms).
+	planBps := c.Plan.DownMbps * 1e6 / 8
+	cong := 1.0
+	if util > 0.5 {
+		x := (util - 0.5) / 0.5
+		cong = 1 - 0.55*x*x
+	}
+	term := 1.0
+	if c.Country.Continent == geo.Africa {
+		term = 0.85
+	}
+	apShare := 1.0
+	if c.Multiplex > 1 {
+		apShare = 1 / (1 + 0.06*float64(c.Multiplex-1))
+	}
+	qos := 1.0
+	if class == shaper.ClassVideo {
+		// The operator shapes streaming flows (§2.1 domain-specific
+		// rules) to protect the shared beam.
+		qos = 0.7
+	}
+	p.bneckBps = planBps * cong * term * apShare * qos
+	if p.bneckBps < 50e3/8 {
+		p.bneckBps = 50e3 / 8
+	}
+	p.upBps = c.Plan.UpMbps * 1e6 / 8 * cong * apShare
+	if p.upBps < 25e3/8 {
+		p.upBps = 25e3 / 8
+	}
+	return p
+}
+
+// flow synthesizes one intent into tracker events.
+func (s *synthesizer) flow(fi *workload.FlowIntent, r *dist.Rand) {
+	s.init()
+	c := fi.Customer
+
+	// Server selection.
+	var region cdn.Region
+	var serverAddr netip.Addr
+	var serverPort uint16
+	if fi.Entry.Domain != "" {
+		resolver := c.Resolver
+		if s.cfg.ForceOperatorDNS {
+			resolver, _ = dnssim.ByID(dnssim.ResolverOperator)
+		}
+		region = dnssim.SelectRegion(fi.Entry, resolver, c.Country, r)
+		serverAddr = cdn.ServerAddr(fi.Entry.Domain, region, r.IntN(4))
+		switch fi.Proto {
+		case cdn.AppHTTP:
+			serverPort = 80
+		default:
+			serverPort = 443
+		}
+	} else {
+		region = fi.OpaqueRegion
+		serverAddr = fi.OpaqueServer
+		switch fi.Proto {
+		case cdn.AppTCPOther:
+			serverPort = []uint16{1194, 8443, 22, 25}[r.IntN(4)]
+		case cdn.AppRTP:
+			serverPort = uint16(30000 + r.IntN(2000))
+		default:
+			serverPort = []uint16{3478, 27015, 4500}[r.IntN(3)]
+		}
+	}
+
+	class := shaper.ClassifyFlow(fi.Domain, serverPort)
+	path := s.samplePath(fi, region, class, r)
+	client := packet.Endpoint{Addr: c.Addr, Port: s.nextPort(c.ID)}
+	server := packet.Endpoint{Addr: serverAddr, Port: serverPort}
+
+	// DNS resolution precedes ~30% of catalog flows (the rest hit the
+	// device/CPE cache).
+	if fi.Entry.Domain != "" && r.Bool(0.3) {
+		s.dnsTransaction(fi, c, serverAddr, r)
+	}
+
+	switch fi.Proto {
+	case cdn.AppHTTPS, cdn.AppHTTP, cdn.AppTCPOther:
+		s.tcpFlow(fi, client, server, path, r)
+	case cdn.AppQUIC:
+		s.quicFlow(fi, client, server, path, r)
+	case cdn.AppRTP:
+		s.rtpFlow(fi, client, server, path, r)
+	default:
+		s.udpFlow(fi, client, server, path, r)
+	}
+}
+
+// dnsTransaction emits the query/response pair observed at the vantage
+// point: the response time is the resolver leg from the ground station.
+func (s *synthesizer) dnsTransaction(fi *workload.FlowIntent, c *workload.Customer, answer netip.Addr, r *dist.Rand) {
+	resolver := c.Resolver
+	if s.cfg.ForceOperatorDNS {
+		resolver, _ = dnssim.ByID(dnssim.ResolverOperator)
+	}
+	respTime := resolver.SampleResponseTime(r)
+	tq := fi.Start - respTime - 30*time.Millisecond
+	if tq < 0 {
+		tq = 0
+	}
+	id := uint16(r.Uint64())
+	q := &packet.DNS{ID: id, RD: true,
+		Questions: []packet.DNSQuestion{{Name: fi.Domain, Type: packet.DNSTypeA, Class: packet.DNSClassIN}}}
+	qb, err := q.Encode()
+	if err != nil {
+		return
+	}
+	resp := &packet.DNS{ID: id, QR: true, RA: true, Questions: q.Questions,
+		Answers: []packet.DNSRR{{Name: fi.Domain, Type: packet.DNSTypeA, Class: packet.DNSClassIN, TTL: 60, Addr: answer}}}
+	rb, err := resp.Encode()
+	if err != nil {
+		return
+	}
+	cp := packet.Endpoint{Addr: c.Addr, Port: s.nextPort(c.ID)}
+	rp := packet.Endpoint{Addr: resolver.Addr, Port: 53}
+	c2r := packet.FiveTuple{Proto: packet.ProtoUDP, Src: cp, Dst: rp}
+	s.tracker.Observe(c2r, tstat.SegmentEvent{T: tq, Payload: len(qb), WireLen: len(qb) + 28, Packets: 1, AppData: qb})
+	s.tracker.Observe(c2r.Reverse(), tstat.SegmentEvent{T: tq + respTime, Payload: len(rb), WireLen: len(rb) + 28, Packets: 1, AppData: rb})
+}
+
+// tcpFlow synthesizes the PEP-side TCP conversation.
+func (s *synthesizer) tcpFlow(fi *workload.FlowIntent, client, server packet.Endpoint, path pathParams, r *dist.Rand) {
+	c2s := packet.FiveTuple{Proto: packet.ProtoTCP, Src: client, Dst: server}
+	s2c := c2s.Reverse()
+	g := path.groundRTT
+	ms := time.Millisecond
+	obs := func(tuple packet.FiveTuple, ev tstat.SegmentEvent) { s.tracker.Observe(tuple, ev) }
+
+	t := fi.Start
+	seq := uint32(1)
+	// Handshake (ground-station PEP ↔ server).
+	obs(c2s, tstat.SegmentEvent{T: t, Flags: packet.FlagSYN, Packets: 1, WireLen: hdrLen + 12})
+	obs(s2c, tstat.SegmentEvent{T: t + g, Flags: packet.FlagSYN | packet.FlagACK, Ack: 1, Packets: 1, WireLen: hdrLen + 12})
+	obs(c2s, tstat.SegmentEvent{T: t + g + ms, Flags: packet.FlagACK, Ack: 1, Packets: 1, WireLen: hdrLen})
+
+	dataStart := t + g + 2*ms
+	switch fi.Proto {
+	case cdn.AppHTTPS:
+		ch := s.clientHello(fi.Domain)
+		tCH := t + g + 2*ms
+		obs(c2s, tstat.SegmentEvent{T: tCH, Flags: packet.FlagACK | packet.FlagPSH, Seq: seq, Payload: len(ch), WireLen: hdrLen + len(ch), Packets: 1, AppData: ch})
+		seq += uint32(len(ch))
+		obs(s2c, tstat.SegmentEvent{T: tCH + g, Flags: packet.FlagACK, Ack: seq, Packets: 1, WireLen: hdrLen})
+		tSH := tCH + g + ms
+		obs(s2c, tstat.SegmentEvent{T: tSH, Flags: packet.FlagACK | packet.FlagPSH, Seq: 1, Payload: len(s.shBytes), WireLen: 3*hdrLen + len(s.shBytes), Packets: 3, AppData: s.shBytes})
+		// The client's next flight crosses the satellite: this gap is
+		// the probe's satellite-RTT estimate (§2.2).
+		tCKE := tSH + path.satRTT
+		obs(c2s, tstat.SegmentEvent{T: tCKE, Flags: packet.FlagACK | packet.FlagPSH, Seq: seq, Payload: len(s.ckeBytes), WireLen: hdrLen + len(s.ckeBytes), Packets: 1, AppData: s.ckeBytes})
+		seq += uint32(len(s.ckeBytes))
+		obs(s2c, tstat.SegmentEvent{T: tCKE + g, Flags: packet.FlagACK, Ack: seq, Packets: 1, WireLen: hdrLen})
+		dataStart = tCKE + g + ms
+	case cdn.AppHTTP:
+		req := (&packet.HTTPRequest{Method: "GET", Target: "/", Headers: []packet.HTTPHeader{{Name: "Host", Value: fi.Domain}}}).Encode()
+		tReq := t + g + 2*ms
+		obs(c2s, tstat.SegmentEvent{T: tReq, Flags: packet.FlagACK | packet.FlagPSH, Seq: seq, Payload: len(req), WireLen: hdrLen + len(req), Packets: 1, AppData: req})
+		seq += uint32(len(req))
+		obs(s2c, tstat.SegmentEvent{T: tReq + g, Flags: packet.FlagACK, Ack: seq, Packets: 1, WireLen: hdrLen})
+		dataStart = tReq + g + ms
+	default: // opaque TCP: first client payload right after the handshake
+		first := 64 + r.IntN(400)
+		obs(c2s, tstat.SegmentEvent{T: t + g + 2*ms, Flags: packet.FlagACK | packet.FlagPSH, Seq: seq, Payload: first, WireLen: hdrLen + first, Packets: 1, AppData: []byte{0x16, 0x99, 0x01}})
+		seq += uint32(first)
+		obs(s2c, tstat.SegmentEvent{T: t + g + 2*ms + g, Flags: packet.FlagACK, Ack: seq, Packets: 1, WireLen: hdrLen})
+		dataStart = t + 2*g + 3*ms
+	}
+
+	// Download phase.
+	tl := tcpmodel.Compute(fi.Down, tcpmodel.Params{RTT: g, BottleneckBps: path.bneckBps, InitialWindow: 10, PEPBuffer: s.cfg.PEP.PerUserBuffer})
+	durData := tl.LastData - tl.FirstData
+	const maxDur = 4 * time.Hour
+	if durData > maxDur {
+		durData = maxDur
+	}
+	endData := s.emitDownload(c2s, s2c, dataStart, durData, fi.Down, seq, r)
+
+	// Upload phase (client payload beyond the request).
+	if fi.Up > 2<<10 {
+		upDur := time.Duration(float64(fi.Up) / path.upBps * float64(time.Second))
+		if upDur > maxDur {
+			upDur = maxDur
+		}
+		tEnd := s.emitUpload(c2s, s2c, dataStart, upDur, fi.Up, &seq, path.groundRTT)
+		if tEnd > endData {
+			endData = tEnd
+		}
+	}
+
+	// Teardown.
+	obs(c2s, tstat.SegmentEvent{T: endData + 2*ms, Flags: packet.FlagFIN | packet.FlagACK, Seq: seq, Packets: 1, WireLen: hdrLen})
+	obs(s2c, tstat.SegmentEvent{T: endData + 2*ms + g, Flags: packet.FlagFIN | packet.FlagACK, Ack: seq + 1, Packets: 1, WireLen: hdrLen})
+}
+
+// emitDownload spreads the server→client bytes over the transfer window:
+// the first segments individually (the probe logs first-10 timings), the
+// rest as burst events with exact byte/packet counts.
+func (s *synthesizer) emitDownload(c2s, s2c packet.FiveTuple, start time.Duration, dur time.Duration, bytes int64, clientSeq uint32, r *dist.Rand) time.Duration {
+	if bytes <= 0 {
+		return start
+	}
+	obs := func(tuple packet.FiveTuple, ev tstat.SegmentEvent) { s.tracker.Observe(tuple, ev) }
+	segs := (bytes + mss - 1) / mss
+	lead := segs
+	if lead > 6 {
+		lead = 6
+	}
+	leadGap := dur / time.Duration(lead*4+1)
+	tv := start
+	var sent int64
+	srvSeq := uint32(1)
+	for i := int64(0); i < lead; i++ {
+		n := int64(mss)
+		if bytes-sent < n {
+			n = bytes - sent
+		}
+		obs(s2c, tstat.SegmentEvent{T: tv, Flags: packet.FlagACK, Seq: srvSeq, Payload: int(n), WireLen: hdrLen + int(n), Packets: 1})
+		srvSeq += uint32(n)
+		sent += n
+		tv += leadGap
+	}
+	remaining := bytes - sent
+	if remaining > 0 {
+		bursts := int64(8)
+		if remaining/mss < bursts {
+			bursts = remaining/mss + 1
+		}
+		burstGap := (start + dur - tv) / time.Duration(bursts)
+		per := remaining / bursts
+		for i := int64(0); i < bursts; i++ {
+			n := per
+			if i == bursts-1 {
+				n = remaining - per*(bursts-1)
+			}
+			if n <= 0 {
+				continue
+			}
+			pkts := int((n + mss - 1) / mss)
+			obs(s2c, tstat.SegmentEvent{T: tv, Flags: packet.FlagACK, Seq: srvSeq, Payload: int(n), WireLen: int(n) + pkts*hdrLen, Packets: pkts})
+			srvSeq += uint32(n)
+			// Delayed ACKs from the PEP side: about one per two
+			// data packets, aggregated alongside the burst.
+			acks := pkts / 2
+			if acks > 0 {
+				obs(c2s, tstat.SegmentEvent{T: tv + time.Millisecond, Flags: packet.FlagACK, Ack: srvSeq, Packets: acks, WireLen: acks * hdrLen})
+			}
+			tv += burstGap
+		}
+	}
+	return tv
+}
+
+// emitUpload spreads client→server bytes over the upload window; server
+// ACKs arrive a ground RTT later, feeding the probe's RTT estimator.
+func (s *synthesizer) emitUpload(c2s, s2c packet.FiveTuple, start time.Duration, dur time.Duration, bytes int64, seq *uint32, g time.Duration) time.Duration {
+	obs := func(tuple packet.FiveTuple, ev tstat.SegmentEvent) { s.tracker.Observe(tuple, ev) }
+	bursts := int64(6)
+	if bytes/mss < bursts {
+		bursts = bytes/mss + 1
+	}
+	gap := dur / time.Duration(bursts)
+	tv := start + 3*time.Millisecond
+	per := bytes / bursts
+	for i := int64(0); i < bursts; i++ {
+		n := per
+		if i == bursts-1 {
+			n = bytes - per*(bursts-1)
+		}
+		if n <= 0 {
+			continue
+		}
+		pkts := int((n + mss - 1) / mss)
+		obs(c2s, tstat.SegmentEvent{T: tv, Flags: packet.FlagACK, Seq: *seq, Payload: int(n), WireLen: int(n) + pkts*hdrLen, Packets: pkts})
+		*seq += uint32(n)
+		obs(s2c, tstat.SegmentEvent{T: tv + g, Flags: packet.FlagACK, Ack: *seq, Packets: (pkts + 1) / 2, WireLen: hdrLen * ((pkts + 1) / 2)})
+		tv += gap
+	}
+	return tv + g
+}
+
+// quicFlow synthesizes a QUIC conversation (UDP is not PEP-accelerated,
+// §2.1, so the whole handshake crosses the satellite).
+func (s *synthesizer) quicFlow(fi *workload.FlowIntent, client, server packet.Endpoint, path pathParams, r *dist.Rand) {
+	c2s := packet.FiveTuple{Proto: packet.ProtoUDP, Src: client, Dst: server}
+	s2c := c2s.Reverse()
+	obs := func(tuple packet.FiveTuple, ev tstat.SegmentEvent) { s.tracker.Observe(tuple, ev) }
+
+	hs, err := (&packet.ClientHello{Version: packet.TLSVersion12, ServerName: fi.Domain}).Encode()
+	if err != nil {
+		return
+	}
+	dcid := make([]byte, 8)
+	for i := range dcid {
+		dcid[i] = byte(r.Uint64())
+	}
+	ini, err := (&packet.QUICInitial{Version: packet.QUICVersion1, DCID: dcid, CryptoPayload: hs}).Encode()
+	if err != nil {
+		return
+	}
+	t := fi.Start
+	g := path.groundRTT
+	obs(c2s, tstat.SegmentEvent{T: t, Payload: 1252, WireLen: 1280, Packets: 1, AppData: ini})
+	obs(s2c, tstat.SegmentEvent{T: t + g, Payload: 3600, WireLen: 3684, Packets: 3})
+	// The client's handshake completion crosses the satellite.
+	obs(c2s, tstat.SegmentEvent{T: t + g + path.satRTT, Payload: 120, WireLen: 148, Packets: 1})
+
+	tl := tcpmodel.Compute(fi.Down, tcpmodel.Params{RTT: g + path.satRTT, BottleneckBps: path.bneckBps, InitialWindow: 10})
+	dur := tl.LastData - tl.FirstData
+	if dur > 4*time.Hour {
+		dur = 4 * time.Hour
+	}
+	s.emitDatagramBurst(s2c, t+g+path.satRTT+g, dur, fi.Down, 10)
+	if fi.Up > 2<<10 {
+		s.emitDatagramBurst(c2s, t+g+path.satRTT+g, dur, fi.Up, 6)
+	}
+}
+
+// rtpFlow synthesizes a real-time media session: constant-rate packets in
+// both directions for the call duration.
+func (s *synthesizer) rtpFlow(fi *workload.FlowIntent, client, server packet.Endpoint, path pathParams, r *dist.Rand) {
+	c2s := packet.FiveTuple{Proto: packet.ProtoUDP, Src: client, Dst: server}
+	s2c := c2s.Reverse()
+	rtp, err := (&packet.RTP{PayloadType: 111, Sequence: uint16(r.Uint64()), SSRC: uint32(r.Uint64())}).Encode()
+	if err != nil {
+		return
+	}
+	probe := append(rtp, make([]byte, 148)...)
+	// First packet carries DPI-visible RTP bytes.
+	s.tracker.Observe(c2s, tstat.SegmentEvent{T: fi.Start, Payload: len(probe), WireLen: len(probe) + 28, Packets: 1, AppData: probe})
+	const rateBps = 80_000.0 / 8
+	dur := time.Duration(float64(fi.Down) / rateBps * float64(time.Second))
+	if dur > time.Hour {
+		dur = time.Hour
+	}
+	s.emitDatagramBurst(s2c, fi.Start+path.groundRTT, dur, fi.Down, 10)
+	s.emitDatagramBurst(c2s, fi.Start+10*time.Millisecond, dur, fi.Up, 10)
+}
+
+// udpFlow synthesizes opaque UDP exchanges.
+func (s *synthesizer) udpFlow(fi *workload.FlowIntent, client, server packet.Endpoint, path pathParams, r *dist.Rand) {
+	c2s := packet.FiveTuple{Proto: packet.ProtoUDP, Src: client, Dst: server}
+	s2c := c2s.Reverse()
+	first := make([]byte, 64)
+	first[0] = 0x01 // neither QUIC long header nor RTP v2
+	s.tracker.Observe(c2s, tstat.SegmentEvent{T: fi.Start, Payload: len(first), WireLen: len(first) + 28, Packets: 1, AppData: first})
+	dur := time.Duration(30+r.IntN(300)) * time.Second
+	s.emitDatagramBurst(s2c, fi.Start+path.groundRTT, dur, fi.Down, 5)
+	s.emitDatagramBurst(c2s, fi.Start+20*time.Millisecond, dur, fi.Up, 4)
+}
+
+// emitDatagramBurst spreads bytes across up to n burst events.
+func (s *synthesizer) emitDatagramBurst(dir packet.FiveTuple, start time.Duration, dur time.Duration, bytes int64, n int64) {
+	if bytes <= 0 {
+		return
+	}
+	const dgram = 1200
+	if bytes/dgram < n {
+		n = bytes/dgram + 1
+	}
+	gap := dur / time.Duration(n)
+	per := bytes / n
+	tv := start
+	for i := int64(0); i < n; i++ {
+		sz := per
+		if i == n-1 {
+			sz = bytes - per*(n-1)
+		}
+		if sz <= 0 {
+			continue
+		}
+		pkts := int((sz + dgram - 1) / dgram)
+		s.tracker.Observe(dir, tstat.SegmentEvent{T: tv, Payload: int(sz), WireLen: int(sz) + pkts*28, Packets: pkts})
+		tv += gap
+	}
+}

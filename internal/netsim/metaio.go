@@ -1,0 +1,167 @@
+package netsim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+
+	"satwatch/internal/dnssim"
+	"satwatch/internal/geo"
+	"satwatch/internal/workload"
+)
+
+// Metadata serialization: the operator-side join table (anonymized client →
+// country/beam/plan/archetype/resolver, plus the anonymized country
+// prefixes). Persisting it alongside the flow/DNS logs makes a simulation
+// output fully re-analyzable from disk — the paper's pipeline, where the
+// probe writes logs at the ground station and the Hadoop cluster joins
+// them with operator metadata later (§3.1).
+
+const metaHeader = "client\tcountry\tbeam\ttype\tplan_mbps\tmultiplex\tresolver"
+const prefixHeader = "prefix\tcountry"
+
+// WriteMeta writes the customer metadata table as TSV.
+func WriteMeta(w io.Writer, meta map[netip.Addr]CustomerMeta) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, metaHeader); err != nil {
+		return err
+	}
+	// Deterministic order.
+	addrs := make([]netip.Addr, 0, len(meta))
+	for a := range meta {
+		addrs = append(addrs, a)
+	}
+	sortAddrs(addrs)
+	for _, a := range addrs {
+		m := meta[a]
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%d\t%d\t%g\t%d\t%s\n",
+			a, m.Country, m.Beam, m.Type, m.PlanMbs, m.Multiplex, m.Resolver); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMeta parses a TSV written by WriteMeta.
+func ReadMeta(r io.Reader) (map[netip.Addr]CustomerMeta, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	out := map[netip.Addr]CustomerMeta{}
+	first := true
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if first {
+			first = false
+			if text != metaHeader {
+				return nil, fmt.Errorf("netsim: meta line 1: unexpected header")
+			}
+			continue
+		}
+		if text == "" {
+			continue
+		}
+		f := strings.Split(text, "\t")
+		if len(f) != 7 {
+			return nil, fmt.Errorf("netsim: meta line %d: %d fields", line, len(f))
+		}
+		addr, err := netip.ParseAddr(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("netsim: meta line %d: %w", line, err)
+		}
+		beam, err := strconv.Atoi(f[2])
+		if err != nil {
+			return nil, fmt.Errorf("netsim: meta line %d: %w", line, err)
+		}
+		typ, err := strconv.Atoi(f[3])
+		if err != nil {
+			return nil, fmt.Errorf("netsim: meta line %d: %w", line, err)
+		}
+		plan, err := strconv.ParseFloat(f[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: meta line %d: %w", line, err)
+		}
+		mux, err := strconv.Atoi(f[5])
+		if err != nil {
+			return nil, fmt.Errorf("netsim: meta line %d: %w", line, err)
+		}
+		out[addr] = CustomerMeta{
+			Country:   geo.CountryCode(f[1]),
+			Beam:      beam,
+			Type:      workload.CustomerType(typ),
+			PlanMbs:   plan,
+			Multiplex: mux,
+			Resolver:  dnssim.ResolverID(f[6]),
+		}
+	}
+	return out, sc.Err()
+}
+
+// WritePrefixes writes the anonymized country-prefix table as TSV.
+func WritePrefixes(w io.Writer, prefixes map[netip.Prefix]geo.CountryCode) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, prefixHeader); err != nil {
+		return err
+	}
+	ps := make([]netip.Prefix, 0, len(prefixes))
+	for p := range prefixes {
+		ps = append(ps, p)
+	}
+	sortPrefixes(ps)
+	for _, p := range ps {
+		if _, err := fmt.Fprintf(bw, "%s\t%s\n", p, prefixes[p]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPrefixes parses a TSV written by WritePrefixes.
+func ReadPrefixes(r io.Reader) (map[netip.Prefix]geo.CountryCode, error) {
+	sc := bufio.NewScanner(r)
+	out := map[netip.Prefix]geo.CountryCode{}
+	first := true
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if first {
+			first = false
+			if text != prefixHeader {
+				return nil, fmt.Errorf("netsim: prefix line 1: unexpected header")
+			}
+			continue
+		}
+		if text == "" {
+			continue
+		}
+		f := strings.Split(text, "\t")
+		if len(f) != 2 {
+			return nil, fmt.Errorf("netsim: prefix line %d: %d fields", line, len(f))
+		}
+		p, err := netip.ParsePrefix(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("netsim: prefix line %d: %w", line, err)
+		}
+		out[p] = geo.CountryCode(f[1])
+	}
+	return out, sc.Err()
+}
+
+func sortAddrs(addrs []netip.Addr) {
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Compare(addrs[j]) < 0 })
+}
+
+func sortPrefixes(ps []netip.Prefix) {
+	sort.Slice(ps, func(i, j int) bool {
+		if c := ps[i].Addr().Compare(ps[j].Addr()); c != 0 {
+			return c < 0
+		}
+		return ps[i].Bits() < ps[j].Bits()
+	})
+}

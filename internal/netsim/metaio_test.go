@@ -1,0 +1,103 @@
+package netsim
+
+import (
+	"bytes"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+
+	"satwatch/internal/geo"
+	"satwatch/internal/workload"
+)
+
+func TestMetaRoundTrip(t *testing.T) {
+	in := map[netip.Addr]CustomerMeta{
+		netip.MustParseAddr("77.1.2.3"): {Country: "CD", Beam: 2, Type: workload.CommunityAP, PlanMbs: 10, Multiplex: 25, Resolver: "Google"},
+		netip.MustParseAddr("77.1.2.4"): {Country: "ES", Beam: 11, Type: workload.Residential, PlanMbs: 50, Multiplex: 1, Resolver: "Operator-EU"},
+	}
+	var buf bytes.Buffer
+	if err := WriteMeta(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadMeta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in=%v\nout=%v", in, out)
+	}
+}
+
+func TestMetaWriteDeterministic(t *testing.T) {
+	in := map[netip.Addr]CustomerMeta{}
+	for i := 0; i < 50; i++ {
+		in[netip.AddrFrom4([4]byte{77, 0, byte(i), 1})] = CustomerMeta{Country: "GB", Beam: i}
+	}
+	var a, b bytes.Buffer
+	WriteMeta(&a, in)
+	WriteMeta(&b, in)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("map-order leakage in meta serialization")
+	}
+}
+
+func TestMetaRejectsGarbage(t *testing.T) {
+	if _, err := ReadMeta(strings.NewReader("nope\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	bad := metaHeader + "\nnot-an-ip\tCD\t1\t0\t10\t1\tGoogle\n"
+	if _, err := ReadMeta(strings.NewReader(bad)); err == nil {
+		t.Fatal("bad address accepted")
+	}
+	short := metaHeader + "\n1.2.3.4\tCD\n"
+	if _, err := ReadMeta(strings.NewReader(short)); err == nil {
+		t.Fatal("short row accepted")
+	}
+}
+
+func TestPrefixRoundTrip(t *testing.T) {
+	in := map[netip.Prefix]geo.CountryCode{
+		netip.MustParsePrefix("77.16.0.0/16"): "CD",
+		netip.MustParsePrefix("77.20.0.0/16"): "ES",
+	}
+	var buf bytes.Buffer
+	if err := WritePrefixes(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadPrefixes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatal("prefix round trip mismatch")
+	}
+	if _, err := ReadPrefixes(strings.NewReader("bad\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+}
+
+func TestFullOutputRoundTrip(t *testing.T) {
+	out := smallRun(t)
+	var mb, pb bytes.Buffer
+	if err := WriteMeta(&mb, out.Meta); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrefixes(&pb, out.CountryPrefixes); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := ReadMeta(&mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefixes, err := ReadPrefixes(&pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Meta, meta) {
+		t.Fatal("simulation metadata did not survive disk round trip")
+	}
+	if !reflect.DeepEqual(out.CountryPrefixes, prefixes) {
+		t.Fatal("prefixes did not survive disk round trip")
+	}
+}

@@ -1,0 +1,333 @@
+// Package netsim is the integrated deployment simulator: it drives the
+// workload population through the satellite network models (geometry, PHY,
+// MAC, PEP, shaper, CDN, DNS) and synthesizes the packet/segment stream a
+// probe at the ground station would capture, feeding it straight into the
+// tstat tracker. Every latency component of the resulting records is
+// produced by an explicit mechanism:
+//
+//	satellite RTT = 4 slant-path passes (geo) + uplink MAC access (mac)
+//	              + downlink queueing (mac) + PEP setup sojourn (pepmodel)
+//	ground RTT    = hosting-region path (cdn) chosen by the customer's
+//	                resolver view (dnssim)
+//	throughput    = plan shaping (shaper) x beam congestion x terminal
+//	                and AP contention factors, rolled out by tcpmodel
+//
+// The simulator runs in two passes: pass A aggregates offered load per
+// (beam, hour) to dimension beam capacity and PEP resources; pass B
+// regenerates the same flows deterministically and synthesizes their
+// timelines under the resulting utilization.
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"runtime"
+	"sync"
+	"time"
+
+	"satwatch/internal/cryptopan"
+	"satwatch/internal/dist"
+	"satwatch/internal/dnssim"
+	"satwatch/internal/geo"
+	"satwatch/internal/mac"
+	"satwatch/internal/pepmodel"
+	"satwatch/internal/phy"
+	"satwatch/internal/tstat"
+	"satwatch/internal/workload"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Customers is the population size; Days the observation window.
+	Customers int
+	Days      int
+	// Seed drives all randomness; identical configs produce identical logs.
+	Seed uint64
+	// Parallelism is the number of pass-B workers (0 → GOMAXPROCS). Flow
+	// synthesis partitions by customer and the sharded tracker merges
+	// deterministically, so results depend only on Seed.
+	Parallelism int
+
+	// MAC overrides the data-link dimensioning (zero value → defaults).
+	MAC mac.Params
+	// PEP overrides the PEP resource model (zero value → defaults).
+	PEP pepmodel.Model
+
+	// Ablations (DESIGN.md A1-A4).
+	//
+	// DisablePEP removes the PEP setup sojourn from the satellite path.
+	DisablePEP bool
+	// DisableMAC replaces the MAC access delays with zero (ideal access).
+	DisableMAC bool
+	// AfricanGroundStation adds a second gateway in Africa: African
+	// customers reaching African-hosted services no longer hairpin
+	// through Italy (§6.2's discussed optimization).
+	AfricanGroundStation bool
+	// ForceOperatorDNS makes every customer use the operator resolver
+	// (§6.4's proposed fix).
+	ForceOperatorDNS bool
+}
+
+// DefaultConfig returns a laptop-scale run: 400 customers over 2 days.
+func DefaultConfig() Config {
+	return Config{Customers: 400, Days: 2, Seed: 1, MAC: mac.DefaultParams(), PEP: pepmodel.Default()}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Customers <= 0 {
+		c.Customers = 400
+	}
+	if c.Days <= 0 {
+		c.Days = 1
+	}
+	if c.MAC.FrameDuration == 0 {
+		c.MAC = mac.DefaultParams()
+	}
+	if c.PEP.SetupTime == 0 {
+		c.PEP = pepmodel.Default()
+	}
+	return c
+}
+
+// CustomerMeta is the operator-side metadata joined to anonymized records
+// during analysis (the paper's §3.1 enrichment, done "with the support of
+// the SatCom operator").
+type CustomerMeta struct {
+	Country geo.CountryCode
+	Beam    int
+	Type    workload.CustomerType
+	PlanMbs float64
+	// Multiplex is the number of end-users behind the CPE.
+	Multiplex int
+	// Resolver is the resolver this customer's devices use.
+	Resolver dnssim.ResolverID
+}
+
+// BeamStat summarizes one beam over the run (Figure 8b inputs).
+type BeamStat struct {
+	Beam           int
+	Country        geo.CountryCode
+	PeakUtil       float64 // utilization at the beam's busiest hour
+	MeanUtil       float64
+	PEPPeakRho     float64
+	CapacityBps    float64
+	OfferedPeakBps float64
+}
+
+// Output is everything a run produces.
+type Output struct {
+	Flows []tstat.FlowRecord
+	DNS   []tstat.DNSRecord
+	// Meta maps anonymized client addresses to operator metadata.
+	Meta map[netip.Addr]CustomerMeta
+	// CountryPrefixes maps anonymized /16 prefixes to countries.
+	CountryPrefixes map[netip.Prefix]geo.CountryCode
+	// Beams carries per-beam load statistics.
+	Beams []BeamStat
+	// Epoch is the wall-clock instant of simulated time zero (UTC
+	// midnight), for pcap export.
+	Epoch time.Time
+}
+
+// hourOf returns the absolute hour index of a simulation timestamp.
+func hourOf(t time.Duration) int { return int(t / time.Hour) }
+
+// beamLoad accumulates pass-A aggregates for one beam.
+type beamLoad struct {
+	beam       geo.Beam
+	bytesHour  []float64 // offered bytes per absolute hour
+	setupsHour []float64 // connection setups per absolute hour
+	capacity   float64   // bytes/sec, dimensioned after pass A
+	pepPeak    float64   // setups/sec at the dimensioning peak
+}
+
+func (b *beamLoad) util(hour int) float64 {
+	if b.capacity <= 0 || hour < 0 || hour >= len(b.bytesHour) {
+		return 0
+	}
+	return b.bytesHour[hour] / 3600 / b.capacity
+}
+
+func (b *beamLoad) pepRho(hour int, factor float64) float64 {
+	if hour < 0 || hour >= len(b.setupsHour) {
+		return 0
+	}
+	return pepmodel.Rho(b.setupsHour[hour]/3600, b.pepPeak, factor)
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Output, error) {
+	cfg = cfg.withDefaults()
+	root := dist.NewRand(cfg.Seed)
+
+	customers, err := workload.BuildPopulation(cfg.Customers, root.Fork("population"))
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Pass A: offered load per beam-hour --------------------------
+	hours := cfg.Days * 24
+	loads := map[int]*beamLoad{}
+	for _, b := range geo.Beams() {
+		loads[b.ID] = &beamLoad{beam: b, bytesHour: make([]float64, hours), setupsHour: make([]float64, hours)}
+	}
+	for _, c := range customers {
+		for day := 0; day < cfg.Days; day++ {
+			r := root.ForkN("day", uint64(c.ID)*1024+uint64(day))
+			for _, fi := range workload.GenerateDay(c, day, r) {
+				bl := loads[c.Beam]
+				h := hourOf(fi.Start)
+				if h >= 0 && h < hours {
+					bl.bytesHour[h] += float64(fi.Down + fi.Up)
+					bl.setupsHour[h]++
+				}
+			}
+		}
+	}
+	// Dimension each beam so its busiest hour hits the operator's target
+	// utilization, and the PEP so its busiest hour hits 1/PEPFactor.
+	for _, bl := range loads {
+		var peakBytes, peakSetups float64
+		for h := 0; h < hours; h++ {
+			if bl.bytesHour[h] > peakBytes {
+				peakBytes = bl.bytesHour[h]
+			}
+			if bl.setupsHour[h] > peakSetups {
+				peakSetups = bl.setupsHour[h]
+			}
+		}
+		offered := peakBytes / 3600
+		if offered <= 0 {
+			offered = 1
+		}
+		bl.capacity = offered / bl.beam.TargetPeakUtil
+		bl.pepPeak = peakSetups / 3600
+		if bl.pepPeak <= 0 {
+			bl.pepPeak = 1.0 / 3600
+		}
+	}
+
+	// --- Pass B: synthesize the vantage-point stream ------------------
+	anonKey := make([]byte, cryptopan.KeySize)
+	kr := root.Fork("anon-key")
+	for i := range anonKey {
+		anonKey[i] = byte(kr.Uint64())
+	}
+	anon, err := cryptopan.New(anonKey)
+	if err != nil {
+		return nil, err
+	}
+	macModel := mac.NewModel(cfg.MAC)
+	channels := map[geo.CountryCode]phy.Channel{}
+	for _, country := range geo.Countries() {
+		channels[country.Code] = phy.ChannelFor(country)
+	}
+	// Warm the MAC grid cells the run will touch before fanning out, so
+	// workers never contend on cell construction.
+	warm := dist.NewRand(cfg.Seed ^ 0xbeef)
+	for _, u := range []float64{0.05, 0.35, 0.65, 0.88, 0.98} {
+		macModel.SampleUplink(u, 1e-3, warm)
+	}
+
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(customers) {
+		workers = len(customers)
+	}
+	// Each worker owns a private tracker and synthesizes only its own
+	// customers (stride partition), so every tracker sees a fully
+	// deterministic single-producer event order; flows never span
+	// workers because 5-tuples are per-customer. The per-worker logs are
+	// merged and sorted afterwards, making the output independent of
+	// scheduling.
+	type workerOut struct {
+		flows []tstat.FlowRecord
+		dns   []tstat.DNSRecord
+	}
+	outs := make([]workerOut, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tracker := tstat.NewTracker(tstat.Config{Anonymizer: anon})
+			syn := &synthesizer{
+				cfg:      cfg,
+				tracker:  tracker,
+				mac:      macModel,
+				loads:    loads,
+				channels: channels,
+			}
+			for ci := w; ci < len(customers); ci += workers {
+				c := customers[ci]
+				for day := 0; day < cfg.Days; day++ {
+					r := root.ForkN("day", uint64(c.ID)*1024+uint64(day))
+					intents := workload.GenerateDay(c, day, r)
+					sr := root.ForkN("synth", uint64(c.ID)*1024+uint64(day))
+					for i := range intents {
+						syn.flow(&intents[i], sr)
+					}
+				}
+			}
+			outs[w].flows, outs[w].dns = tracker.Flush()
+		}(w)
+	}
+	wg.Wait()
+
+	var flows []tstat.FlowRecord
+	var dns []tstat.DNSRecord
+	for _, o := range outs {
+		flows = append(flows, o.flows...)
+		dns = append(dns, o.dns...)
+	}
+	tstat.SortFlows(flows)
+	tstat.SortDNS(dns)
+
+	out := &Output{
+		Flows:           flows,
+		DNS:             dns,
+		Meta:            make(map[netip.Addr]CustomerMeta, len(customers)),
+		CountryPrefixes: map[netip.Prefix]geo.CountryCode{},
+		Epoch:           time.Date(2022, time.February, 7, 0, 0, 0, 0, time.UTC),
+	}
+	for _, c := range customers {
+		out.Meta[anon.MustAnonymize(c.Addr)] = CustomerMeta{
+			Country: c.Country.Code, Beam: c.Beam, Type: c.Type,
+			PlanMbs: c.Plan.DownMbps, Multiplex: c.Multiplex, Resolver: c.Resolver.ID,
+		}
+	}
+	for _, p := range workload.Profiles() {
+		subnet, ok := workload.SubnetFor(p.Country.Code)
+		if !ok {
+			return nil, fmt.Errorf("netsim: no subnet for %s", p.Country.Code)
+		}
+		anonBase := anon.MustAnonymize(subnet.Addr())
+		anonPrefix, err := anonBase.Prefix(subnet.Bits())
+		if err != nil {
+			return nil, err
+		}
+		out.CountryPrefixes[anonPrefix] = p.Country.Code
+	}
+	for _, bl := range loads {
+		var sum, peak, pepPeakRho float64
+		for h := 0; h < hours; h++ {
+			u := bl.util(h)
+			sum += u
+			if u > peak {
+				peak = u
+			}
+			if rho := bl.pepRho(h, bl.beam.PEPFactor); rho > pepPeakRho {
+				pepPeakRho = rho
+			}
+		}
+		out.Beams = append(out.Beams, BeamStat{
+			Beam: bl.beam.ID, Country: bl.beam.Country,
+			PeakUtil: peak, MeanUtil: sum / float64(hours),
+			PEPPeakRho: pepPeakRho, CapacityBps: bl.capacity * 8,
+			OfferedPeakBps: bl.capacity * bl.beam.TargetPeakUtil * 8,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package packet
+
+// SerializeBuffer builds packets back-to-front, gopacket-style: payloads are
+// written first and each lower layer prepends its header, so headers can fix
+// up lengths and checksums over the bytes that follow them.
+type SerializeBuffer struct {
+	data  []byte
+	start int
+}
+
+// NewSerializeBuffer returns a buffer with room for typical headers.
+func NewSerializeBuffer() *SerializeBuffer {
+	const headroom = 128
+	return &SerializeBuffer{data: make([]byte, headroom), start: headroom}
+}
+
+// Bytes returns the serialized packet so far.
+func (b *SerializeBuffer) Bytes() []byte { return b.data[b.start:] }
+
+// Len returns the current serialized length.
+func (b *SerializeBuffer) Len() int { return len(b.data) - b.start }
+
+// Prepend makes room for n bytes in front of the current content and
+// returns that region for the caller to fill.
+func (b *SerializeBuffer) Prepend(n int) []byte {
+	if n <= b.start {
+		b.start -= n
+		return b.data[b.start : b.start+n]
+	}
+	grow := n - b.start + 256
+	nd := make([]byte, len(b.data)+grow)
+	copy(nd[grow:], b.data)
+	b.data = nd
+	b.start += grow
+	b.start -= n
+	return b.data[b.start : b.start+n]
+}
+
+// PushPayload appends payload as the innermost content. It must be called
+// before any header is prepended.
+func (b *SerializeBuffer) PushPayload(p []byte) {
+	b.data = append(b.data[:len(b.data)], p...)
+}
+
+// Serializer is a layer that can prepend itself onto a buffer.
+type Serializer interface {
+	// SerializeTo prepends this layer's wire representation; the buffer
+	// already holds everything above this layer.
+	SerializeTo(b *SerializeBuffer) error
+}
+
+// Serialize builds a packet from layers (outermost first) and a payload.
+func Serialize(payload []byte, layers ...Serializer) ([]byte, error) {
+	b := NewSerializeBuffer()
+	b.PushPayload(payload)
+	for i := len(layers) - 1; i >= 0; i-- {
+		if err := layers[i].SerializeTo(b); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]byte, b.Len())
+	copy(out, b.Bytes())
+	return out, nil
+}

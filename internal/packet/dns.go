@@ -1,0 +1,304 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// DNS record types and classes used by the deployment's resolvers.
+const (
+	DNSTypeA     uint16 = 1
+	DNSTypeCNAME uint16 = 5
+	DNSTypeAAAA  uint16 = 28
+	DNSClassIN   uint16 = 1
+)
+
+// DNS response codes.
+const (
+	DNSRCodeNoError  uint8 = 0
+	DNSRCodeNXDomain uint8 = 3
+	DNSRCodeServFail uint8 = 2
+)
+
+// DNSQuestion is one question section entry.
+type DNSQuestion struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// DNSRR is one resource record. For A/AAAA records Addr carries the
+// address; for CNAME records Target carries the canonical name; for other
+// types Data carries the RDATA opaquely.
+type DNSRR struct {
+	Name   string
+	Type   uint16
+	Class  uint16
+	TTL    uint32
+	Addr   netip.Addr
+	Target string
+	Data   []byte
+}
+
+// DNS is a DNS message (RFC 1035 wire format). Encoding writes names
+// uncompressed; decoding follows compression pointers.
+type DNS struct {
+	ID     uint16
+	QR     bool // response
+	Opcode uint8
+	AA     bool
+	TC     bool
+	RD     bool
+	RA     bool
+	RCode  uint8
+
+	Questions   []DNSQuestion
+	Answers     []DNSRR
+	Authorities []DNSRR
+	Additionals []DNSRR
+}
+
+// LayerType implements Layer.
+func (*DNS) LayerType() LayerType { return LayerTypeDNS }
+
+// Encode serializes the message.
+func (m *DNS) Encode() ([]byte, error) {
+	out := make([]byte, 12, 64)
+	binary.BigEndian.PutUint16(out[0:2], m.ID)
+	var flags uint16
+	if m.QR {
+		flags |= 1 << 15
+	}
+	flags |= uint16(m.Opcode&0xf) << 11
+	if m.AA {
+		flags |= 1 << 10
+	}
+	if m.TC {
+		flags |= 1 << 9
+	}
+	if m.RD {
+		flags |= 1 << 8
+	}
+	if m.RA {
+		flags |= 1 << 7
+	}
+	flags |= uint16(m.RCode & 0xf)
+	binary.BigEndian.PutUint16(out[2:4], flags)
+	binary.BigEndian.PutUint16(out[4:6], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(out[6:8], uint16(len(m.Answers)))
+	binary.BigEndian.PutUint16(out[8:10], uint16(len(m.Authorities)))
+	binary.BigEndian.PutUint16(out[10:12], uint16(len(m.Additionals)))
+	var err error
+	for _, q := range m.Questions {
+		if out, err = appendName(out, q.Name); err != nil {
+			return nil, err
+		}
+		out = binary.BigEndian.AppendUint16(out, q.Type)
+		out = binary.BigEndian.AppendUint16(out, q.Class)
+	}
+	for _, sec := range [][]DNSRR{m.Answers, m.Authorities, m.Additionals} {
+		for _, rr := range sec {
+			if out, err = appendRR(out, rr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func appendRR(out []byte, rr DNSRR) ([]byte, error) {
+	var err error
+	if out, err = appendName(out, rr.Name); err != nil {
+		return nil, err
+	}
+	out = binary.BigEndian.AppendUint16(out, rr.Type)
+	out = binary.BigEndian.AppendUint16(out, rr.Class)
+	out = binary.BigEndian.AppendUint32(out, rr.TTL)
+	var rdata []byte
+	switch rr.Type {
+	case DNSTypeA:
+		if !rr.Addr.Is4() {
+			return nil, fmt.Errorf("dns: A record %q without IPv4 address", rr.Name)
+		}
+		a := rr.Addr.As4()
+		rdata = a[:]
+	case DNSTypeAAAA:
+		if !rr.Addr.Is6() {
+			return nil, fmt.Errorf("dns: AAAA record %q without IPv6 address", rr.Name)
+		}
+		a := rr.Addr.As16()
+		rdata = a[:]
+	case DNSTypeCNAME:
+		if rdata, err = appendName(nil, rr.Target); err != nil {
+			return nil, err
+		}
+	default:
+		rdata = rr.Data
+	}
+	if len(rdata) > 0xffff {
+		return nil, fmt.Errorf("dns: rdata of %q too long", rr.Name)
+	}
+	out = binary.BigEndian.AppendUint16(out, uint16(len(rdata)))
+	return append(out, rdata...), nil
+}
+
+// appendName writes a domain name in uncompressed label format.
+func appendName(out []byte, name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name != "" {
+		for _, label := range strings.Split(name, ".") {
+			if len(label) == 0 || len(label) > 63 {
+				return nil, fmt.Errorf("dns: bad label in %q", name)
+			}
+			out = append(out, byte(len(label)))
+			out = append(out, label...)
+		}
+	}
+	return append(out, 0), nil
+}
+
+// DecodeDNS parses a DNS message.
+func DecodeDNS(data []byte) (*DNS, error) {
+	if len(data) < 12 {
+		return nil, ErrTruncated
+	}
+	m := &DNS{ID: binary.BigEndian.Uint16(data[0:2])}
+	flags := binary.BigEndian.Uint16(data[2:4])
+	m.QR = flags&(1<<15) != 0
+	m.Opcode = uint8(flags >> 11 & 0xf)
+	m.AA = flags&(1<<10) != 0
+	m.TC = flags&(1<<9) != 0
+	m.RD = flags&(1<<8) != 0
+	m.RA = flags&(1<<7) != 0
+	m.RCode = uint8(flags & 0xf)
+	qd := int(binary.BigEndian.Uint16(data[4:6]))
+	an := int(binary.BigEndian.Uint16(data[6:8]))
+	ns := int(binary.BigEndian.Uint16(data[8:10]))
+	ar := int(binary.BigEndian.Uint16(data[10:12]))
+	off := 12
+	var err error
+	for i := 0; i < qd; i++ {
+		var q DNSQuestion
+		q.Name, off, err = readName(data, off)
+		if err != nil {
+			return nil, err
+		}
+		if off+4 > len(data) {
+			return nil, ErrTruncated
+		}
+		q.Type = binary.BigEndian.Uint16(data[off : off+2])
+		q.Class = binary.BigEndian.Uint16(data[off+2 : off+4])
+		off += 4
+		m.Questions = append(m.Questions, q)
+	}
+	for _, sec := range []struct {
+		n   int
+		dst *[]DNSRR
+	}{{an, &m.Answers}, {ns, &m.Authorities}, {ar, &m.Additionals}} {
+		for i := 0; i < sec.n; i++ {
+			var rr DNSRR
+			rr, off, err = readRR(data, off)
+			if err != nil {
+				return nil, err
+			}
+			*sec.dst = append(*sec.dst, rr)
+		}
+	}
+	return m, nil
+}
+
+func readRR(data []byte, off int) (DNSRR, int, error) {
+	var rr DNSRR
+	var err error
+	rr.Name, off, err = readName(data, off)
+	if err != nil {
+		return rr, off, err
+	}
+	if off+10 > len(data) {
+		return rr, off, ErrTruncated
+	}
+	rr.Type = binary.BigEndian.Uint16(data[off : off+2])
+	rr.Class = binary.BigEndian.Uint16(data[off+2 : off+4])
+	rr.TTL = binary.BigEndian.Uint32(data[off+4 : off+8])
+	rdlen := int(binary.BigEndian.Uint16(data[off+8 : off+10]))
+	off += 10
+	if off+rdlen > len(data) {
+		return rr, off, ErrTruncated
+	}
+	rdata := data[off : off+rdlen]
+	switch rr.Type {
+	case DNSTypeA:
+		if rdlen != 4 {
+			return rr, off, fmt.Errorf("dns: A rdata length %d", rdlen)
+		}
+		rr.Addr = netip.AddrFrom4([4]byte(rdata))
+	case DNSTypeAAAA:
+		if rdlen != 16 {
+			return rr, off, fmt.Errorf("dns: AAAA rdata length %d", rdlen)
+		}
+		rr.Addr = netip.AddrFrom16([16]byte(rdata))
+	case DNSTypeCNAME:
+		// CNAME targets may use compression pointers into the message.
+		rr.Target, _, err = readName(data, off)
+		if err != nil {
+			return rr, off, err
+		}
+	default:
+		rr.Data = append([]byte(nil), rdata...)
+	}
+	return rr, off + rdlen, nil
+}
+
+// readName reads a possibly-compressed domain name starting at off and
+// returns the name and the offset just past it in the original stream.
+func readName(data []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	jumped := false
+	end := off
+	hops := 0
+	for {
+		if off >= len(data) {
+			return "", 0, ErrTruncated
+		}
+		l := int(data[off])
+		switch {
+		case l == 0:
+			if !jumped {
+				end = off + 1
+			}
+			return sb.String(), end, nil
+		case l&0xc0 == 0xc0:
+			if off+1 >= len(data) {
+				return "", 0, ErrTruncated
+			}
+			ptr := int(binary.BigEndian.Uint16(data[off:off+2]) & 0x3fff)
+			if !jumped {
+				end = off + 2
+				jumped = true
+			}
+			if hops++; hops > 32 {
+				return "", 0, fmt.Errorf("dns: compression pointer loop")
+			}
+			if ptr >= off {
+				return "", 0, fmt.Errorf("dns: forward compression pointer")
+			}
+			off = ptr
+		case l&0xc0 != 0:
+			return "", 0, fmt.Errorf("dns: reserved label type %#x", l&0xc0)
+		default:
+			if off+1+l > len(data) {
+				return "", 0, ErrTruncated
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.Write(data[off+1 : off+1+l])
+			if sb.Len() > 255 {
+				return "", 0, fmt.Errorf("dns: name too long")
+			}
+			off += 1 + l
+		}
+	}
+}

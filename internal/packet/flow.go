@@ -1,0 +1,114 @@
+package packet
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Endpoint is one side of a transport conversation.
+type Endpoint struct {
+	Addr netip.Addr
+	Port uint16
+}
+
+func (e Endpoint) String() string { return fmt.Sprintf("%s:%d", e.Addr, e.Port) }
+
+// Less orders endpoints by address then port, for canonicalization.
+func (e Endpoint) Less(o Endpoint) bool {
+	switch e.Addr.Compare(o.Addr) {
+	case -1:
+		return true
+	case 1:
+		return false
+	}
+	return e.Port < o.Port
+}
+
+// FiveTuple identifies a transport flow: protocol plus both endpoints, in
+// the direction of the packet it was extracted from.
+type FiveTuple struct {
+	Proto uint8
+	Src   Endpoint
+	Dst   Endpoint
+}
+
+func (f FiveTuple) String() string {
+	proto := "?"
+	switch f.Proto {
+	case ProtoTCP:
+		proto = "tcp"
+	case ProtoUDP:
+		proto = "udp"
+	}
+	return fmt.Sprintf("%s %s > %s", proto, f.Src, f.Dst)
+}
+
+// Reverse returns the tuple of the opposite direction.
+func (f FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{Proto: f.Proto, Src: f.Dst, Dst: f.Src}
+}
+
+// Canonical returns a direction-independent tuple (the lesser endpoint
+// first) plus whether this tuple was swapped to get there. Both directions
+// of a conversation map to the same canonical key.
+func (f FiveTuple) Canonical() (FiveTuple, bool) {
+	if f.Dst.Less(f.Src) {
+		return f.Reverse(), true
+	}
+	return f, false
+}
+
+// FastHash is a direction-symmetric 64-bit hash (FNV-1a over the canonical
+// byte order), suitable for sharding flows across workers — following
+// gopacket's symmetric Flow.FastHash contract.
+func (f FiveTuple) FastHash() uint64 {
+	c, _ := f.Canonical()
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	mix(c.Proto)
+	for _, e := range []Endpoint{c.Src, c.Dst} {
+		b := e.Addr.As16()
+		for _, x := range b {
+			mix(x)
+		}
+		mix(byte(e.Port >> 8))
+		mix(byte(e.Port))
+	}
+	return h
+}
+
+// TupleOf extracts the five-tuple from a decoded packet, or ok=false when
+// the packet has no TCP/UDP transport layer.
+func TupleOf(p *Packet) (FiveTuple, bool) {
+	ip := p.IPv4Layer()
+	if ip == nil {
+		return FiveTuple{}, false
+	}
+	t := FiveTuple{Src: Endpoint{Addr: ip.Src}, Dst: Endpoint{Addr: ip.Dst}}
+	switch ip.Protocol {
+	case ProtoTCP:
+		tcp := p.TCPLayer()
+		if tcp == nil {
+			return FiveTuple{}, false
+		}
+		t.Proto = ProtoTCP
+		t.Src.Port, t.Dst.Port = tcp.SrcPort, tcp.DstPort
+	case ProtoUDP:
+		udp := p.UDPLayer()
+		if udp == nil {
+			return FiveTuple{}, false
+		}
+		t.Proto = ProtoUDP
+		t.Src.Port, t.Dst.Port = udp.SrcPort, udp.DstPort
+	default:
+		return FiveTuple{}, false
+	}
+	return t, true
+}

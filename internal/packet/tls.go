@@ -1,0 +1,291 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TLS record content types.
+const (
+	TLSRecordChangeCipherSpec uint8 = 20
+	TLSRecordAlert            uint8 = 21
+	TLSRecordHandshake        uint8 = 22
+	TLSRecordApplicationData  uint8 = 23
+)
+
+// TLS handshake message types.
+const (
+	TLSHandshakeClientHello       uint8 = 1
+	TLSHandshakeServerHello       uint8 = 2
+	TLSHandshakeCertificate       uint8 = 11
+	TLSHandshakeServerHelloDone   uint8 = 14
+	TLSHandshakeClientKeyExchange uint8 = 16
+	TLSHandshakeFinished          uint8 = 20
+)
+
+// TLSVersion12 is the record/handshake version the synthesizer stamps.
+const TLSVersion12 uint16 = 0x0303
+
+// sniExtension is the server_name extension type.
+const sniExtension uint16 = 0
+
+// TLSRecord is one TLS record: a content type plus an opaque fragment.
+type TLSRecord struct {
+	Type    uint8
+	Version uint16
+	Payload []byte
+}
+
+// LayerType implements Layer.
+func (*TLSRecord) LayerType() LayerType { return LayerTypeTLS }
+
+// Encode serializes the record.
+func (r *TLSRecord) Encode() ([]byte, error) {
+	if len(r.Payload) > 1<<14+256 {
+		return nil, fmt.Errorf("tls: record payload %d exceeds maximum", len(r.Payload))
+	}
+	out := make([]byte, 5+len(r.Payload))
+	out[0] = r.Type
+	binary.BigEndian.PutUint16(out[1:3], r.Version)
+	binary.BigEndian.PutUint16(out[3:5], uint16(len(r.Payload)))
+	copy(out[5:], r.Payload)
+	return out, nil
+}
+
+// DecodeTLSRecords parses a byte stream into consecutive TLS records.
+// A trailing partial record is returned as rest without error, so callers
+// can feed reassembled stream chunks incrementally.
+func DecodeTLSRecords(data []byte) (recs []TLSRecord, rest []byte, err error) {
+	for len(data) >= 5 {
+		typ := data[0]
+		if typ < TLSRecordChangeCipherSpec || typ > TLSRecordApplicationData {
+			return recs, data, fmt.Errorf("tls: unknown content type %d", typ)
+		}
+		n := int(binary.BigEndian.Uint16(data[3:5]))
+		if 5+n > len(data) {
+			break
+		}
+		recs = append(recs, TLSRecord{Type: typ, Version: binary.BigEndian.Uint16(data[1:3]), Payload: data[5 : 5+n]})
+		data = data[5+n:]
+	}
+	return recs, data, nil
+}
+
+// TLSHandshake is one handshake message inside a handshake record.
+type TLSHandshake struct {
+	Type uint8
+	Body []byte
+}
+
+// DecodeTLSHandshakes splits a handshake-record payload into messages.
+func DecodeTLSHandshakes(payload []byte) ([]TLSHandshake, error) {
+	var out []TLSHandshake
+	for len(payload) > 0 {
+		if len(payload) < 4 {
+			return nil, ErrTruncated
+		}
+		n := int(payload[1])<<16 | int(payload[2])<<8 | int(payload[3])
+		if 4+n > len(payload) {
+			return nil, ErrTruncated
+		}
+		out = append(out, TLSHandshake{Type: payload[0], Body: payload[4 : 4+n]})
+		payload = payload[4+n:]
+	}
+	return out, nil
+}
+
+// encodeHandshake frames a handshake message.
+func encodeHandshake(typ uint8, body []byte) []byte {
+	out := make([]byte, 4+len(body))
+	out[0] = typ
+	out[1] = byte(len(body) >> 16)
+	out[2] = byte(len(body) >> 8)
+	out[3] = byte(len(body))
+	copy(out[4:], body)
+	return out
+}
+
+// ClientHello is the subset of a TLS ClientHello the probe cares about.
+type ClientHello struct {
+	Version      uint16
+	Random       [32]byte
+	SessionID    []byte
+	CipherSuites []uint16
+	ServerName   string // SNI, empty when absent
+}
+
+// Encode builds the full handshake message (type + length + body).
+func (ch *ClientHello) Encode() ([]byte, error) {
+	if len(ch.SessionID) > 32 {
+		return nil, fmt.Errorf("tls: session id too long")
+	}
+	body := make([]byte, 0, 128)
+	body = binary.BigEndian.AppendUint16(body, ch.Version)
+	body = append(body, ch.Random[:]...)
+	body = append(body, byte(len(ch.SessionID)))
+	body = append(body, ch.SessionID...)
+	suites := ch.CipherSuites
+	if len(suites) == 0 {
+		suites = []uint16{0x1301, 0x1302, 0xc02f}
+	}
+	body = binary.BigEndian.AppendUint16(body, uint16(2*len(suites)))
+	for _, s := range suites {
+		body = binary.BigEndian.AppendUint16(body, s)
+	}
+	body = append(body, 1, 0) // compression methods: null
+	var exts []byte
+	if ch.ServerName != "" {
+		if len(ch.ServerName) > 255 {
+			return nil, fmt.Errorf("tls: server name too long")
+		}
+		// server_name extension: list of (type=0 host_name, name).
+		name := []byte(ch.ServerName)
+		sni := make([]byte, 0, 5+len(name))
+		sni = binary.BigEndian.AppendUint16(sni, uint16(3+len(name))) // server_name_list length
+		sni = append(sni, 0)                                          // name_type host_name
+		sni = binary.BigEndian.AppendUint16(sni, uint16(len(name)))
+		sni = append(sni, name...)
+		exts = binary.BigEndian.AppendUint16(exts, sniExtension)
+		exts = binary.BigEndian.AppendUint16(exts, uint16(len(sni)))
+		exts = append(exts, sni...)
+	}
+	body = binary.BigEndian.AppendUint16(body, uint16(len(exts)))
+	body = append(body, exts...)
+	return encodeHandshake(TLSHandshakeClientHello, body), nil
+}
+
+// ParseClientHello parses a ClientHello handshake body (without the 4-byte
+// handshake header).
+func ParseClientHello(body []byte) (*ClientHello, error) {
+	ch := &ClientHello{}
+	if len(body) < 35 {
+		return nil, ErrTruncated
+	}
+	ch.Version = binary.BigEndian.Uint16(body[0:2])
+	copy(ch.Random[:], body[2:34])
+	off := 34
+	sidLen := int(body[off])
+	off++
+	if off+sidLen > len(body) {
+		return nil, ErrTruncated
+	}
+	ch.SessionID = append([]byte(nil), body[off:off+sidLen]...)
+	off += sidLen
+	if off+2 > len(body) {
+		return nil, ErrTruncated
+	}
+	csLen := int(binary.BigEndian.Uint16(body[off : off+2]))
+	off += 2
+	if csLen%2 != 0 || off+csLen > len(body) {
+		return nil, fmt.Errorf("tls: bad cipher suite list")
+	}
+	for i := 0; i < csLen; i += 2 {
+		ch.CipherSuites = append(ch.CipherSuites, binary.BigEndian.Uint16(body[off+i:off+i+2]))
+	}
+	off += csLen
+	if off >= len(body) {
+		return ch, nil // no compression/extensions (legal pre-extensions hello)
+	}
+	compLen := int(body[off])
+	off++
+	off += compLen
+	if off+2 > len(body) {
+		return ch, nil // no extensions block
+	}
+	extLen := int(binary.BigEndian.Uint16(body[off : off+2]))
+	off += 2
+	if off+extLen > len(body) {
+		return nil, ErrTruncated
+	}
+	exts := body[off : off+extLen]
+	for len(exts) >= 4 {
+		typ := binary.BigEndian.Uint16(exts[0:2])
+		n := int(binary.BigEndian.Uint16(exts[2:4]))
+		if 4+n > len(exts) {
+			return nil, ErrTruncated
+		}
+		if typ == sniExtension {
+			name, err := parseSNI(exts[4 : 4+n])
+			if err != nil {
+				return nil, err
+			}
+			ch.ServerName = name
+		}
+		exts = exts[4+n:]
+	}
+	return ch, nil
+}
+
+func parseSNI(ext []byte) (string, error) {
+	if len(ext) < 2 {
+		return "", ErrTruncated
+	}
+	listLen := int(binary.BigEndian.Uint16(ext[0:2]))
+	if 2+listLen > len(ext) {
+		return "", ErrTruncated
+	}
+	list := ext[2 : 2+listLen]
+	for len(list) >= 3 {
+		nameType := list[0]
+		n := int(binary.BigEndian.Uint16(list[1:3]))
+		if 3+n > len(list) {
+			return "", ErrTruncated
+		}
+		if nameType == 0 {
+			return string(list[3 : 3+n]), nil
+		}
+		list = list[3+n:]
+	}
+	return "", nil
+}
+
+// ServerHello is the subset of a TLS ServerHello the probe cares about.
+type ServerHello struct {
+	Version     uint16
+	Random      [32]byte
+	SessionID   []byte
+	CipherSuite uint16
+}
+
+// Encode builds the full handshake message.
+func (sh *ServerHello) Encode() ([]byte, error) {
+	if len(sh.SessionID) > 32 {
+		return nil, fmt.Errorf("tls: session id too long")
+	}
+	body := make([]byte, 0, 64)
+	body = binary.BigEndian.AppendUint16(body, sh.Version)
+	body = append(body, sh.Random[:]...)
+	body = append(body, byte(len(sh.SessionID)))
+	body = append(body, sh.SessionID...)
+	body = binary.BigEndian.AppendUint16(body, sh.CipherSuite)
+	body = append(body, 0) // compression: null
+	body = binary.BigEndian.AppendUint16(body, 0)
+	return encodeHandshake(TLSHandshakeServerHello, body), nil
+}
+
+// ParseServerHello parses a ServerHello handshake body.
+func ParseServerHello(body []byte) (*ServerHello, error) {
+	sh := &ServerHello{}
+	if len(body) < 35 {
+		return nil, ErrTruncated
+	}
+	sh.Version = binary.BigEndian.Uint16(body[0:2])
+	copy(sh.Random[:], body[2:34])
+	off := 34
+	sidLen := int(body[off])
+	off++
+	if off+sidLen+2 > len(body) {
+		return nil, ErrTruncated
+	}
+	sh.SessionID = append([]byte(nil), body[off:off+sidLen]...)
+	off += sidLen
+	sh.CipherSuite = binary.BigEndian.Uint16(body[off : off+2])
+	return sh, nil
+}
+
+// OpaqueHandshake frames an opaque handshake message of the given type and
+// body length (used by the synthesizer for Certificate, ClientKeyExchange,
+// etc., whose contents the probe never inspects).
+func OpaqueHandshake(typ uint8, bodyLen int) []byte {
+	return encodeHandshake(typ, make([]byte, bodyLen))
+}

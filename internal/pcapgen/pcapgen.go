@@ -1,0 +1,261 @@
+// Package pcapgen synthesizes small packet-level captures: every packet is
+// fully encoded on the wire (IPv4/TCP/UDP with real TLS, HTTP, QUIC and
+// DNS payloads), so a capture written here exercises the probe's complete
+// decode path when replayed. The satgen binary uses it for demo captures;
+// the tests use it to close the loop pcap → packet → tstat.
+package pcapgen
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"satwatch/internal/cdn"
+	"satwatch/internal/dist"
+	"satwatch/internal/dnssim"
+	"satwatch/internal/packet"
+	"satwatch/internal/pcapio"
+)
+
+// Options tune the generated capture.
+type Options struct {
+	// Flows is the number of application flows (HTTPS/HTTP/QUIC + one
+	// DNS transaction each).
+	Flows int
+	Seed  uint64
+	// Epoch is the capture start time.
+	Epoch time.Time
+}
+
+// Stats summarizes what was written.
+type Stats struct {
+	Packets int
+	Flows   int
+	DNS     int
+}
+
+// Write produces the capture on w (LINKTYPE_RAW).
+func Write(w io.Writer, opt Options) (Stats, error) {
+	if opt.Flows <= 0 {
+		opt.Flows = 10
+	}
+	if opt.Epoch.IsZero() {
+		opt.Epoch = time.Date(2022, 2, 7, 9, 0, 0, 0, time.UTC)
+	}
+	r := dist.NewRand(opt.Seed)
+	pw := pcapio.NewWriter(w, pcapio.LinkTypeRaw)
+	var st Stats
+
+	catalog := cdn.Catalog()
+	now := opt.Epoch
+	emit := func(ts time.Time, raw []byte) error {
+		st.Packets++
+		return pw.WritePacket(ts, raw)
+	}
+
+	for i := 0; i < opt.Flows; i++ {
+		entry := catalog[r.IntN(len(catalog))]
+		client := netip.AddrFrom4([4]byte{10, 16, byte(i / 250), byte(2 + i%250)})
+		server := cdn.ServerAddr(entry.Domain, entry.Home, 0)
+		domain := entry.FQDN(r)
+		now = now.Add(time.Duration(50+r.IntN(400)) * time.Millisecond)
+
+		// DNS lookup first.
+		resolver, _ := dnssim.ByID(dnssim.ResolverGoogle)
+		if err := writeDNS(emit, now, client, resolver.Addr, domain, server, uint16(i)); err != nil {
+			return st, err
+		}
+		st.DNS++
+		now = now.Add(25 * time.Millisecond)
+
+		var err error
+		switch entry.Proto {
+		case cdn.AppHTTP:
+			err = writeHTTP(emit, now, client, server, domain, r)
+		case cdn.AppQUIC:
+			err = writeQUIC(emit, now, client, server, domain, r)
+		default:
+			err = writeHTTPS(emit, now, client, server, domain, r)
+		}
+		if err != nil {
+			return st, err
+		}
+		st.Flows++
+	}
+	return st, pw.Flush()
+}
+
+type emitFn func(time.Time, []byte) error
+
+func writeDNS(emit emitFn, ts time.Time, client, resolver netip.Addr, domain string, answer netip.Addr, id uint16) error {
+	q := &packet.DNS{ID: id, RD: true,
+		Questions: []packet.DNSQuestion{{Name: domain, Type: packet.DNSTypeA, Class: packet.DNSClassIN}}}
+	qb, err := q.Encode()
+	if err != nil {
+		return err
+	}
+	resp := &packet.DNS{ID: id, QR: true, RA: true, Questions: q.Questions,
+		Answers: []packet.DNSRR{{Name: domain, Type: packet.DNSTypeA, Class: packet.DNSClassIN, TTL: 300, Addr: answer}}}
+	rb, err := resp.Encode()
+	if err != nil {
+		return err
+	}
+	sport := uint16(32000 + id)
+	raw, err := packet.Serialize(qb,
+		&packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: client, Dst: resolver},
+		&packet.UDP{SrcPort: sport, DstPort: 53})
+	if err != nil {
+		return err
+	}
+	if err := emit(ts, raw); err != nil {
+		return err
+	}
+	raw, err = packet.Serialize(rb,
+		&packet.IPv4{TTL: 60, Protocol: packet.ProtoUDP, Src: resolver, Dst: client},
+		&packet.UDP{SrcPort: 53, DstPort: sport})
+	if err != nil {
+		return err
+	}
+	return emit(ts.Add(22*time.Millisecond), raw)
+}
+
+// tcpSeg emits one TCP segment.
+func tcpSeg(emit emitFn, ts time.Time, src, dst netip.Addr, sport, dport uint16, seq, ack uint32, flags packet.TCPFlags, payload []byte) error {
+	raw, err := packet.Serialize(payload,
+		&packet.IPv4{TTL: 64, Protocol: packet.ProtoTCP, Src: src, Dst: dst},
+		&packet.TCP{SrcPort: sport, DstPort: dport, Seq: seq, Ack: ack, Flags: flags, Window: 65535})
+	if err != nil {
+		return err
+	}
+	return emit(ts, raw)
+}
+
+func writeHTTPS(emit emitFn, ts time.Time, client, server netip.Addr, domain string, r *dist.Rand) error {
+	sport := uint16(40000 + r.IntN(20000))
+	g := 18 * time.Millisecond
+	sat := 600 * time.Millisecond
+
+	ch, err := (&packet.ClientHello{Version: packet.TLSVersion12, ServerName: domain}).Encode()
+	if err != nil {
+		return err
+	}
+	chRec, err := (&packet.TLSRecord{Type: packet.TLSRecordHandshake, Version: packet.TLSVersion12, Payload: ch}).Encode()
+	if err != nil {
+		return err
+	}
+	sh, err := (&packet.ServerHello{Version: packet.TLSVersion12, CipherSuite: 0xc02f}).Encode()
+	if err != nil {
+		return err
+	}
+	sh = append(sh, packet.OpaqueHandshake(packet.TLSHandshakeCertificate, 1200)...)
+	shRec, err := (&packet.TLSRecord{Type: packet.TLSRecordHandshake, Version: packet.TLSVersion12, Payload: sh}).Encode()
+	if err != nil {
+		return err
+	}
+	cke := packet.OpaqueHandshake(packet.TLSHandshakeClientKeyExchange, 66)
+	ckeRec, err := (&packet.TLSRecord{Type: packet.TLSRecordHandshake, Version: packet.TLSVersion12, Payload: cke}).Encode()
+	if err != nil {
+		return err
+	}
+	appRec, err := (&packet.TLSRecord{Type: packet.TLSRecordApplicationData, Version: packet.TLSVersion12, Payload: make([]byte, 1000)}).Encode()
+	if err != nil {
+		return err
+	}
+
+	steps := []struct {
+		dt      time.Duration
+		fromCli bool
+		flags   packet.TCPFlags
+		payload []byte
+	}{
+		{0, true, packet.FlagSYN, nil},
+		{g, false, packet.FlagSYN | packet.FlagACK, nil},
+		{g + time.Millisecond, true, packet.FlagACK, nil},
+		{g + 2*time.Millisecond, true, packet.FlagACK | packet.FlagPSH, chRec},
+		{2*g + 3*time.Millisecond, false, packet.FlagACK | packet.FlagPSH, shRec},
+		{2*g + 3*time.Millisecond + sat, true, packet.FlagACK | packet.FlagPSH, ckeRec},
+		{3*g + 4*time.Millisecond + sat, false, packet.FlagACK | packet.FlagPSH, appRec},
+		{3*g + 40*time.Millisecond + sat, true, packet.FlagFIN | packet.FlagACK, nil},
+		{4*g + 41*time.Millisecond + sat, false, packet.FlagFIN | packet.FlagACK, nil},
+	}
+	cliSeq, srvSeq := uint32(1), uint32(1)
+	for _, s := range steps {
+		var err error
+		if s.fromCli {
+			err = tcpSeg(emit, ts.Add(s.dt), client, server, sport, 443, cliSeq, srvSeq, s.flags, s.payload)
+			cliSeq += uint32(len(s.payload))
+		} else {
+			err = tcpSeg(emit, ts.Add(s.dt), server, client, 443, sport, srvSeq, cliSeq, s.flags, s.payload)
+			srvSeq += uint32(len(s.payload))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHTTP(emit emitFn, ts time.Time, client, server netip.Addr, domain string, r *dist.Rand) error {
+	sport := uint16(40000 + r.IntN(20000))
+	g := 16 * time.Millisecond
+	req := (&packet.HTTPRequest{Method: "GET", Target: "/chunk.ts",
+		Headers: []packet.HTTPHeader{{Name: "Host", Value: domain}}}).Encode()
+	resp := []byte("HTTP/1.1 200 OK\r\nContent-Length: 900\r\n\r\n")
+	resp = append(resp, make([]byte, 900)...)
+
+	if err := tcpSeg(emit, ts, client, server, sport, 80, 0, 0, packet.FlagSYN, nil); err != nil {
+		return err
+	}
+	if err := tcpSeg(emit, ts.Add(g), server, client, 80, sport, 0, 1, packet.FlagSYN|packet.FlagACK, nil); err != nil {
+		return err
+	}
+	if err := tcpSeg(emit, ts.Add(g+2*time.Millisecond), client, server, sport, 80, 1, 1, packet.FlagACK|packet.FlagPSH, req); err != nil {
+		return err
+	}
+	if err := tcpSeg(emit, ts.Add(2*g+3*time.Millisecond), server, client, 80, sport, 1, 1+uint32(len(req)), packet.FlagACK|packet.FlagPSH, resp); err != nil {
+		return err
+	}
+	if err := tcpSeg(emit, ts.Add(2*g+30*time.Millisecond), client, server, sport, 80, 1+uint32(len(req)), 1+uint32(len(resp)), packet.FlagFIN|packet.FlagACK, nil); err != nil {
+		return err
+	}
+	return tcpSeg(emit, ts.Add(3*g+31*time.Millisecond), server, client, 80, sport, 1+uint32(len(resp)), 2+uint32(len(req)), packet.FlagFIN|packet.FlagACK, nil)
+}
+
+func writeQUIC(emit emitFn, ts time.Time, client, server netip.Addr, domain string, r *dist.Rand) error {
+	sport := uint16(50000 + r.IntN(10000))
+	hs, err := (&packet.ClientHello{Version: packet.TLSVersion12, ServerName: domain}).Encode()
+	if err != nil {
+		return err
+	}
+	dcid := make([]byte, 8)
+	for i := range dcid {
+		dcid[i] = byte(r.Uint64())
+	}
+	ini, err := (&packet.QUICInitial{Version: packet.QUICVersion1, DCID: dcid, CryptoPayload: hs}).Encode()
+	if err != nil {
+		return err
+	}
+	raw, err := packet.Serialize(ini,
+		&packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: client, Dst: server},
+		&packet.UDP{SrcPort: sport, DstPort: 443})
+	if err != nil {
+		return err
+	}
+	if err := emit(ts, raw); err != nil {
+		return err
+	}
+	// Server response datagram (opaque).
+	raw, err = packet.Serialize(make([]byte, 1200),
+		&packet.IPv4{TTL: 60, Protocol: packet.ProtoUDP, Src: server, Dst: client},
+		&packet.UDP{SrcPort: 443, DstPort: sport})
+	if err != nil {
+		return err
+	}
+	return emit(ts.Add(20*time.Millisecond), raw)
+}
+
+// Describe returns a one-line summary of generated stats.
+func (s Stats) Describe() string {
+	return fmt.Sprintf("%d packets, %d flows, %d DNS transactions", s.Packets, s.Flows, s.DNS)
+}

@@ -1,0 +1,130 @@
+package pcapgen
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"satwatch/internal/pcapio"
+	"satwatch/internal/tstat"
+)
+
+// TestCaptureRoundTripThroughProbe closes the full packet loop: synthesize
+// a capture, read it back as pcap, decode every packet, and track it with
+// the probe — the complete pipeline a real deployment would run.
+func TestCaptureRoundTripThroughProbe(t *testing.T) {
+	var buf bytes.Buffer
+	st, err := Write(&buf, Options{Flows: 25, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Flows != 25 || st.DNS != 25 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Packets < 25*5 {
+		t.Fatalf("only %d packets", st.Packets)
+	}
+
+	rd, err := pcapio.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.LinkType() != pcapio.LinkTypeRaw {
+		t.Fatalf("link type %d", rd.LinkType())
+	}
+	tr := tstat.NewTracker(tstat.Config{})
+	var epoch time.Time
+	n := 0
+	for {
+		ts, data, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epoch.IsZero() {
+			epoch = ts
+		}
+		if err := tr.FeedPacket(ts.Sub(epoch), data); err != nil {
+			t.Fatalf("packet %d: %v", n, err)
+		}
+		n++
+	}
+	if n != st.Packets {
+		t.Fatalf("replayed %d packets, wrote %d", n, st.Packets)
+	}
+	flows, dns := tr.Flush()
+	if len(dns) != st.DNS {
+		t.Fatalf("probe saw %d DNS transactions, want %d", len(dns), st.DNS)
+	}
+	// Application flows plus DNS flows.
+	appFlows := 0
+	withDomain := 0
+	satRTT := 0
+	for _, f := range flows {
+		if f.Proto == tstat.ProtoDNS {
+			continue
+		}
+		appFlows++
+		if f.Domain != "" {
+			withDomain++
+		}
+		if f.SatRTT > 500*time.Millisecond && f.SatRTT < 800*time.Millisecond {
+			satRTT++
+		}
+	}
+	if appFlows != st.Flows {
+		t.Fatalf("probe saw %d app flows, want %d", appFlows, st.Flows)
+	}
+	if withDomain != appFlows {
+		t.Fatalf("DPI named %d of %d app flows", withDomain, appFlows)
+	}
+	if satRTT == 0 {
+		t.Fatal("no satellite RTT estimates from the TLS handshakes")
+	}
+	// DNS answers must match the servers the flows then contact.
+	for _, d := range dns {
+		if !d.Answer.IsValid() {
+			t.Fatalf("DNS record for %q without answer", d.Query)
+		}
+		if d.ResponseTime != 22*time.Millisecond {
+			t.Fatalf("response time %v", d.ResponseTime)
+		}
+	}
+}
+
+func TestCaptureDeterminism(t *testing.T) {
+	var a, b bytes.Buffer
+	if _, err := Write(&a, Options{Flows: 8, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Write(&b, Options{Flows: 8, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same seed produced different captures")
+	}
+	var c bytes.Buffer
+	if _, err := Write(&c, Options{Flows: 8, Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("different seeds produced identical captures")
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	var buf bytes.Buffer
+	st, err := Write(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Flows != 10 {
+		t.Fatalf("default flows %d", st.Flows)
+	}
+	if st.Describe() == "" {
+		t.Fatal("empty description")
+	}
+}

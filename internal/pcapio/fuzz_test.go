@@ -1,0 +1,31 @@
+package pcapio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+// FuzzReader: the reader must never panic or allocate absurdly on corrupt
+// capture files.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LinkTypeRaw)
+	w.WritePacket(time.Unix(1, 0), []byte{1, 2, 3, 4})
+	w.WritePacket(time.Unix(2, 0), []byte{5})
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			_, _, err := r.Next()
+			if err == io.EOF || err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,248 @@
+package pep
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"satwatch/internal/linkemu"
+	"satwatch/internal/tunnel"
+)
+
+// testLink returns a scaled-down satellite link (30 ms one way) so tests
+// stay fast while still exercising delay, jitter, and loss.
+func testLink(loss float64) linkemu.Link {
+	return linkemu.Link{Delay: 30 * time.Millisecond, Jitter: 5 * time.Millisecond, Loss: loss, RateBps: 10e6 / 8}
+}
+
+func testTunnelConfig() tunnel.Config {
+	return tunnel.Config{RTO: 150 * time.Millisecond, Window: 128, MaxPayload: 1200}
+}
+
+// startPEP wires CPE↔gateway over an emulated link and returns the CPE's
+// customer-facing listener address proxying to dst.
+func startPEP(t *testing.T, loss float64, dst string) (addr string, cpe *CPE, gw *Gateway) {
+	t.Helper()
+	cpeSide, gwSide := linkemu.NewPair(testLink(loss), testLink(loss), 42)
+	cpe = NewCPE(cpeSide, testTunnelConfig(), nil)
+	gw = NewGateway(gwSide, testTunnelConfig(), nil, nil)
+	go gw.Serve()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go cpe.ServeListener(ln, dst)
+	t.Cleanup(func() {
+		ln.Close()
+		cpe.Close()
+		gw.Close()
+	})
+	return ln.Addr().String(), cpe, gw
+}
+
+// startOrigin runs a TCP origin server; handler runs per connection.
+func startOrigin(t *testing.T, handler func(net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go handler(c)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln.Addr().String()
+}
+
+func TestEndToEndRequestResponse(t *testing.T) {
+	origin := startOrigin(t, func(c net.Conn) {
+		defer c.Close()
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			return
+		}
+		c.Write(append([]byte("re:"), buf...))
+	})
+	addr, cpe, gw := startPEP(t, 0.01, origin)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	resp := make([]byte, 7)
+	if _, err := io.ReadFull(conn, resp); err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "re:ping" {
+		t.Fatalf("resp %q", resp)
+	}
+	if cpe.Stats.Connections.Load() != 1 || gw.Stats.Connections.Load() != 1 {
+		t.Fatal("connection counters wrong")
+	}
+}
+
+func TestHandshakeAcceleration(t *testing.T) {
+	// RFC 3135: the customer's TCP handshake terminates at the CPE, so
+	// connecting must NOT cost a satellite round trip (60 ms emulated)
+	// even though reaching the origin does.
+	origin := startOrigin(t, func(c net.Conn) {
+		io.Copy(io.Discard, c)
+		c.Close()
+	})
+	addr, _, _ := startPEP(t, 0, origin)
+
+	start := time.Now()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handshake := time.Since(start)
+	defer conn.Close()
+	if handshake > 20*time.Millisecond {
+		t.Fatalf("local handshake took %v — PEP acceleration broken", handshake)
+	}
+	// Early data is accepted immediately too.
+	start = time.Now()
+	if _, err := conn.Write(bytes.Repeat([]byte("x"), 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if w := time.Since(start); w > 20*time.Millisecond {
+		t.Fatalf("early write blocked %v", w)
+	}
+}
+
+func TestBulkDownloadIntegrity(t *testing.T) {
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 16<<10) // 256 KiB
+	origin := startOrigin(t, func(c net.Conn) {
+		defer c.Close()
+		c.Write(payload)
+	})
+	addr, _, gw := startPEP(t, 0.02, origin)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	got, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("downloaded %d bytes, want %d (corrupt or truncated)", len(got), len(payload))
+	}
+	// Stats land once both relay directions finish; closing our side ends
+	// the customer→internet direction.
+	conn.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for gw.Stats.BytesDown.Load() != int64(len(payload)) {
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway counted %d bytes down, want %d", gw.Stats.BytesDown.Load(), len(payload))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestUploadPath(t *testing.T) {
+	recv := make(chan []byte, 1)
+	origin := startOrigin(t, func(c net.Conn) {
+		defer c.Close()
+		data, _ := io.ReadAll(c)
+		recv <- data
+	})
+	addr, _, _ := startPEP(t, 0.02, origin)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := bytes.Repeat([]byte("u"), 64<<10)
+	if _, err := conn.Write(up); err != nil {
+		t.Fatal(err)
+	}
+	conn.(*net.TCPConn).CloseWrite()
+	select {
+	case got := <-recv:
+		if !bytes.Equal(got, up) {
+			t.Fatalf("origin received %d bytes, want %d", len(got), len(up))
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("upload never arrived")
+	}
+	conn.Close()
+}
+
+func TestConcurrentClients(t *testing.T) {
+	origin := startOrigin(t, func(c net.Conn) {
+		defer c.Close()
+		io.Copy(c, c)
+	})
+	addr, _, _ := startPEP(t, 0.01, origin)
+
+	const clients = 8
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			msg := bytes.Repeat([]byte{byte('A' + i)}, 2048)
+			if _, err := conn.Write(msg); err != nil {
+				errs <- err
+				return
+			}
+			conn.(*net.TCPConn).CloseWrite()
+			got, err := io.ReadAll(conn)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(got, msg) {
+				errs <- fmt.Errorf("client %d echo mismatch (%d bytes)", i, len(got))
+				return
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDialFailureClosesClient(t *testing.T) {
+	// Gateway dials a dead port: the customer connection must terminate
+	// rather than hang (after the satellite RTT, as in the real system).
+	addr, _, gw := startPEP(t, 0, "127.0.0.1:1")
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("read succeeded against a dead origin")
+	}
+	if gw.Stats.Errors.Load() == 0 {
+		t.Fatal("gateway did not record the dial failure")
+	}
+}

@@ -1,0 +1,207 @@
+package pep
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sync"
+	"time"
+
+	"satwatch/internal/tunnel"
+)
+
+// The UDP path of the PEP architecture (§2.1): datagrams are forwarded
+// as-is through the satellite tunnel — no local termination, no ARQ, no
+// acceleration — which is exactly why DNS and QUIC pay the full 550 ms.
+//
+// Encapsulation: [1B dstLen][dst][payload]. Customer→internet datagrams
+// carry the destination; internet→customer replies carry dstLen=0.
+
+func encapUDP(dst string, payload []byte) ([]byte, error) {
+	if len(dst) > 255 {
+		return nil, fmt.Errorf("pep: udp destination %q too long", dst)
+	}
+	out := make([]byte, 1+len(dst)+len(payload))
+	out[0] = byte(len(dst))
+	copy(out[1:], dst)
+	copy(out[1+len(dst):], payload)
+	return out, nil
+}
+
+func decapUDP(b []byte) (dst string, payload []byte, err error) {
+	if len(b) < 1 {
+		return "", nil, fmt.Errorf("pep: empty udp encapsulation")
+	}
+	n := int(b[0])
+	if 1+n > len(b) {
+		return "", nil, fmt.Errorf("pep: truncated udp encapsulation")
+	}
+	return string(b[1 : 1+n]), b[1+n:], nil
+}
+
+// udpFlowID labels a customer source address stably.
+func udpFlowID(addr net.Addr) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(addr.String()))
+	id := h.Sum32()
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// ServeUDP relays customer datagrams arriving on conn to dst across the
+// satellite tunnel, unreliably, and routes replies back to the original
+// source addresses. It returns when conn fails or the tunnel closes.
+// The paper's CPE runs this path for DNS, QUIC and RTP.
+func (c *CPE) ServeUDP(conn net.PacketConn, dst string) error {
+	var mu sync.Mutex
+	clients := map[uint32]net.Addr{}
+
+	// Return path: raw datagrams from the gateway back to the senders.
+	done := make(chan error, 1)
+	go func() {
+		for {
+			d, err := c.tn.RecvRaw()
+			if err != nil {
+				done <- err
+				return
+			}
+			_, payload, err := decapUDP(d.Payload)
+			if err != nil {
+				continue
+			}
+			mu.Lock()
+			addr := clients[d.FlowID]
+			mu.Unlock()
+			if addr != nil {
+				conn.WriteTo(payload, addr)
+			}
+		}
+	}()
+
+	buf := make([]byte, 64<<10)
+	for {
+		select {
+		case err := <-done:
+			return err
+		default:
+		}
+		n, addr, err := conn.ReadFrom(buf)
+		if err != nil {
+			return err
+		}
+		id := udpFlowID(addr)
+		mu.Lock()
+		if len(clients) < 4096 {
+			clients[id] = addr
+		}
+		mu.Unlock()
+		enc, err := encapUDP(dst, buf[:n])
+		if err != nil {
+			continue
+		}
+		if err := c.tn.SendRaw(id, enc); err != nil {
+			return err
+		}
+		c.Stats.BytesUp.Add(int64(n))
+	}
+}
+
+// gatewayUDPFlow is one internet-side socket of the gateway's UDP relay.
+type gatewayUDPFlow struct {
+	conn net.Conn
+	last time.Time
+}
+
+// ServeUDPRelay runs the gateway side of the UDP path: it opens one
+// internet-side socket per customer flow, forwards datagrams out, and
+// tunnels replies back. It returns when the tunnel closes.
+func (g *Gateway) ServeUDPRelay() error {
+	var mu sync.Mutex
+	flows := map[uint32]*gatewayUDPFlow{}
+	defer func() {
+		mu.Lock()
+		for _, f := range flows {
+			f.conn.Close()
+		}
+		mu.Unlock()
+	}()
+
+	// Janitor: expire idle flows.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		tick := time.NewTicker(10 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				mu.Lock()
+				for id, f := range flows {
+					if time.Since(f.last) > time.Minute {
+						f.conn.Close()
+						delete(flows, id)
+					}
+				}
+				mu.Unlock()
+			}
+		}
+	}()
+
+	for {
+		d, err := g.tn.RecvRaw()
+		if err != nil {
+			if err == tunnel.ErrClosed {
+				return nil
+			}
+			return err
+		}
+		dst, payload, err := decapUDP(d.Payload)
+		if err != nil || dst == "" {
+			continue
+		}
+		mu.Lock()
+		f := flows[d.FlowID]
+		mu.Unlock()
+		if f == nil {
+			conn, err := net.Dial("udp", dst)
+			if err != nil {
+				g.Stats.Errors.Add(1)
+				continue
+			}
+			f = &gatewayUDPFlow{conn: conn, last: time.Now()}
+			mu.Lock()
+			flows[d.FlowID] = f
+			mu.Unlock()
+			// Reply pump for this flow.
+			go func(id uint32, f *gatewayUDPFlow) {
+				buf := make([]byte, 64<<10)
+				for {
+					n, err := f.conn.Read(buf)
+					if err != nil {
+						return
+					}
+					mu.Lock()
+					f.last = time.Now()
+					mu.Unlock()
+					enc, err := encapUDP("", buf[:n])
+					if err != nil {
+						continue
+					}
+					if g.tn.SendRaw(id, enc) != nil {
+						return
+					}
+					g.Stats.BytesDown.Add(int64(n))
+				}
+			}(d.FlowID, f)
+		}
+		mu.Lock()
+		f.last = time.Now()
+		mu.Unlock()
+		f.conn.Write(payload)
+		g.Stats.BytesUp.Add(int64(len(payload)))
+	}
+}

@@ -1,0 +1,173 @@
+package pep
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestEncapDecap(t *testing.T) {
+	enc, err := encapUDP("dns.example:53", []byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, payload, err := decapUDP(enc)
+	if err != nil || dst != "dns.example:53" || !bytes.Equal(payload, []byte{1, 2, 3}) {
+		t.Fatalf("round trip: %q %v %v", dst, payload, err)
+	}
+	// Reply form.
+	enc, _ = encapUDP("", []byte{9})
+	dst, payload, err = decapUDP(enc)
+	if err != nil || dst != "" || payload[0] != 9 {
+		t.Fatal("reply form broken")
+	}
+	if _, _, err := decapUDP(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, _, err := decapUDP([]byte{200, 'a'}); err == nil {
+		t.Fatal("truncated accepted")
+	}
+	if _, err := encapUDP(string(make([]byte, 300)), nil); err == nil {
+		t.Fatal("oversize destination accepted")
+	}
+}
+
+// TestUDPRelayEndToEnd: DNS-style request/response across the emulated
+// satellite: the datagrams must arrive unmodified and pay the full link
+// delay both ways (no PEP acceleration on UDP, §2.1).
+func TestUDPRelayEndToEnd(t *testing.T) {
+	// A UDP "resolver" that uppercases.
+	origin, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer origin.Close()
+	go func() {
+		buf := make([]byte, 2048)
+		for {
+			n, addr, err := origin.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			out := bytes.ToUpper(buf[:n])
+			origin.WriteTo(out, addr)
+		}
+	}()
+
+	addr, cpe, gw := startPEP(t, 0, "unused-tcp-dst")
+	_ = addr
+	go gw.ServeUDPRelay()
+
+	cpeUDP, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cpeUDP.Close()
+	go cpe.ServeUDP(cpeUDP, origin.LocalAddr().String())
+
+	client, err := net.Dial("udp", cpeUDP.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	start := time.Now()
+	if _, err := client.Write([]byte("query www.google.com")); err != nil {
+		t.Fatal(err)
+	}
+	client.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 2048)
+	n, err := client.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtt := time.Since(start)
+	if string(buf[:n]) != "QUERY WWW.GOOGLE.COM" {
+		t.Fatalf("reply %q", buf[:n])
+	}
+	// The emulated link is 30 ms one way: the reply cannot beat ~60 ms.
+	if rtt < 50*time.Millisecond {
+		t.Fatalf("UDP reply in %v — it must cross the satellite twice", rtt)
+	}
+
+	// A second transaction reuses the flow.
+	client.Write([]byte("again"))
+	n, err = client.Read(buf)
+	if err != nil || string(buf[:n]) != "AGAIN" {
+		t.Fatalf("second transaction: %q %v", buf[:n], err)
+	}
+}
+
+func TestUDPRelayMultipleClients(t *testing.T) {
+	origin, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer origin.Close()
+	go func() {
+		buf := make([]byte, 2048)
+		for {
+			n, addr, err := origin.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			origin.WriteTo(buf[:n], addr) // echo
+		}
+	}()
+
+	_, cpe, gw := startPEP(t, 0, "unused")
+	go gw.ServeUDPRelay()
+	cpeUDP, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cpeUDP.Close()
+	go cpe.ServeUDP(cpeUDP, origin.LocalAddr().String())
+
+	const clients = 4
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			c, err := net.Dial("udp", cpeUDP.LocalAddr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			msg := []byte{byte('a' + i), byte('0' + i)}
+			c.Write(msg)
+			c.SetReadDeadline(time.Now().Add(10 * time.Second))
+			buf := make([]byte, 64)
+			n, err := c.Read(buf)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(buf[:n], msg) {
+				errs <- bytes.ErrTooLarge // any sentinel
+				return
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+}
+
+func TestUDPFlowIDStable(t *testing.T) {
+	a1 := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 5000}
+	a2 := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 5001}
+	if udpFlowID(a1) != udpFlowID(a1) {
+		t.Fatal("not stable")
+	}
+	if udpFlowID(a1) == udpFlowID(a2) {
+		t.Fatal("distinct addresses collide")
+	}
+	if udpFlowID(a1) == 0 {
+		t.Fatal("zero flow id")
+	}
+}

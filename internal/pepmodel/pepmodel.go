@@ -1,0 +1,87 @@
+// Package pepmodel models the resource limits of the operator's Performance
+// Enhancing Proxy. The paper's key finding on congestion (§6.1) is that the
+// multi-second satellite RTTs in Congo are caused not by beam capacity but
+// by "the saturation of the PEP processing ability", which "slows down the
+// forwarding of packets, especially during the initial phase of the
+// connection setup"; the PEP resources assigned to each beam depend on the
+// SLA. This package turns that observation into an explicit queueing model.
+package pepmodel
+
+import (
+	"time"
+
+	"satwatch/internal/dist"
+)
+
+// Model describes the PEP processing resources of one beam.
+type Model struct {
+	// SetupTime is the unloaded service time of one connection setup
+	// (tunnel Connect handling, proxy state allocation).
+	SetupTime time.Duration
+	// ForwardTime is the unloaded per-burst forwarding service time.
+	ForwardTime time.Duration
+	// MaxRho caps the effective utilization; beyond it the M/M/1 sojourn
+	// would diverge while a real box sheds load instead.
+	MaxRho float64
+	// PerUserBuffer is the PEP buffer available to a single subscriber.
+	// It back-pressures the ground-station-side download (§2.1, §6.5).
+	PerUserBuffer int64
+}
+
+// Default returns the PEP dimensioning used by the simulator.
+func Default() Model {
+	return Model{
+		SetupTime:     30 * time.Millisecond,
+		ForwardTime:   2 * time.Millisecond,
+		MaxRho:        0.985,
+		PerUserBuffer: 3 << 20, // 3 MiB per user
+	}
+}
+
+func (m Model) clampRho(rho float64) float64 {
+	if rho < 0 {
+		return 0
+	}
+	if rho > m.MaxRho {
+		return m.MaxRho
+	}
+	return rho
+}
+
+// SetupDelay samples the sojourn time of a connection setup through the
+// PEP at utilization rho, as an M/M/1 queue: exponential with mean
+// SetupTime/(1-rho). At rho near MaxRho this reaches multiple seconds —
+// the congested-beam behaviour of Figure 8.
+func (m Model) SetupDelay(rho float64, r *dist.Rand) time.Duration {
+	rho = m.clampRho(rho)
+	mean := float64(m.SetupTime) / (1 - rho)
+	return time.Duration(r.Exponential(mean))
+}
+
+// MeanSetupDelay returns the expected setup sojourn at utilization rho.
+func (m Model) MeanSetupDelay(rho float64) time.Duration {
+	rho = m.clampRho(rho)
+	return time.Duration(float64(m.SetupTime) / (1 - rho))
+}
+
+// ForwardDelay samples the per-burst forwarding sojourn at utilization rho.
+// It uses the same M/M/1 shape with the (much smaller) forwarding service
+// time, so saturated PEPs also slow mid-connection traffic, just less.
+func (m Model) ForwardDelay(rho float64, r *dist.Rand) time.Duration {
+	rho = m.clampRho(rho)
+	mean := float64(m.ForwardTime) / (1 - rho)
+	return time.Duration(r.Exponential(mean))
+}
+
+// Rho computes the PEP utilization of a beam given the current connection
+// setup rate and the capacity the operator assigned: pepFactor times the
+// dimensioning rate (the setup rate expected at the beam's busiest hour).
+// pepFactor at or below 1 means the box saturates exactly at peak — the
+// low-SLA beams of §6.1.
+func Rho(setupRate, peakSetupRate, pepFactor float64) float64 {
+	if peakSetupRate <= 0 || pepFactor <= 0 {
+		return 0
+	}
+	capacity := peakSetupRate * pepFactor
+	return setupRate / capacity
+}

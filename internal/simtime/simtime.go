@@ -1,0 +1,107 @@
+// Package simtime provides a deterministic discrete-event scheduler used by
+// the satellite MAC and PEP micro-simulators.
+//
+// Simulated time is a time.Duration measured from the start of the run
+// (the "epoch"). Events scheduled for the same instant fire in the order
+// they were scheduled, which keeps runs reproducible.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Stamp is a point in simulated time, expressed as the offset from the
+// simulation epoch.
+type Stamp = time.Duration
+
+// Event is a callback scheduled to run at a given simulated instant.
+type Event func(now Stamp)
+
+type item struct {
+	at  Stamp
+	seq uint64
+	fn  Event
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*item)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Scheduler is a discrete-event simulator clock plus pending-event queue.
+// The zero value is ready to use.
+type Scheduler struct {
+	now   Stamp
+	seq   uint64
+	queue eventHeap
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Stamp { return s.now }
+
+// Len returns the number of pending events.
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+// At schedules fn to run at the absolute simulated time at. Scheduling in
+// the past (before Now) panics: it would silently reorder causality.
+func (s *Scheduler) At(at Stamp, fn Event) {
+	if at < s.now {
+		panic(fmt.Sprintf("simtime: scheduling at %v before now %v", at, s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, &item{at: at, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current simulated time.
+func (s *Scheduler) After(d time.Duration, fn Event) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+// Step runs the single earliest pending event, advancing the clock to its
+// timestamp. It reports false when no events are pending.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	it := heap.Pop(&s.queue).(*item)
+	s.now = it.at
+	it.fn(s.now)
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline. Events scheduled beyond the deadline stay queued.
+func (s *Scheduler) RunUntil(deadline Stamp) {
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}

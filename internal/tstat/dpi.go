@@ -1,0 +1,145 @@
+package tstat
+
+import (
+	"satwatch/internal/packet"
+)
+
+// dpiBudget caps how many reassembled client bytes the DPI inspects per
+// flow before giving up on naming it.
+const dpiBudget = 8 << 10
+
+// dpiState incrementally classifies a flow and extracts the server name
+// from the first client payload bytes (§2.2's DPI module: HTTP Host, TLS
+// SNI, QUIC SNI).
+type dpiState struct {
+	buf     []byte
+	done    bool
+	domain  string
+	isTLS   bool
+	isHTTP  bool
+	isQUIC  bool
+	isRTP   bool
+	sawData bool
+}
+
+// feedClientTCP accumulates client-side TCP payload and tries to classify.
+func (d *dpiState) feedClientTCP(data []byte) {
+	if d.done || len(data) == 0 {
+		return
+	}
+	d.sawData = true
+	d.buf = append(d.buf, data...)
+
+	// TLS: reassemble records until a ClientHello parses.
+	if len(d.buf) >= 3 && d.buf[0] == packet.TLSRecordHandshake {
+		recs, _, err := packet.DecodeTLSRecords(d.buf)
+		if err == nil {
+			var hs []byte
+			for _, rec := range recs {
+				if rec.Type == packet.TLSRecordHandshake {
+					hs = append(hs, rec.Payload...)
+				}
+			}
+			if msgs, err := packet.DecodeTLSHandshakes(hs); err == nil {
+				for _, m := range msgs {
+					if m.Type == packet.TLSHandshakeClientHello {
+						if ch, err := packet.ParseClientHello(m.Body); err == nil {
+							d.isTLS = true
+							d.domain = ch.ServerName
+							d.finish()
+							return
+						}
+					}
+				}
+			}
+		}
+		// Looks like TLS but the hello hasn't fully arrived yet.
+		if len(d.buf) < dpiBudget {
+			return
+		}
+	}
+
+	// Plain HTTP: request line plus Host header.
+	if packet.LooksLikeHTTPRequest(d.buf) {
+		if req, err := packet.ParseHTTPRequest(d.buf); err == nil {
+			if host := req.Host(); host != "" {
+				d.isHTTP = true
+				d.domain = host
+				d.finish()
+				return
+			}
+		}
+		// Head incomplete; wait for more unless over budget.
+		if len(d.buf) < dpiBudget {
+			return
+		}
+	}
+
+	if len(d.buf) >= dpiBudget {
+		d.finish()
+	}
+}
+
+// feedClientUDP classifies a client UDP datagram (QUIC or RTP; DNS is
+// handled by the dedicated transaction path).
+func (d *dpiState) feedClientUDP(data []byte) {
+	if d.done || len(data) == 0 {
+		return
+	}
+	d.sawData = true
+	if packet.IsQUICLongHeader(data) {
+		if q, err := packet.DecodeQUICInitial(data); err == nil {
+			d.isQUIC = true
+			if sni, err := q.SNI(); err == nil && sni != "" {
+				d.domain = sni
+			}
+			d.finish()
+			return
+		}
+	}
+	if packet.LooksLikeRTP(data) {
+		d.isRTP = true
+		d.finish()
+		return
+	}
+	// One datagram is enough to decide for UDP.
+	d.finish()
+}
+
+func (d *dpiState) finish() {
+	d.done = true
+	d.buf = nil
+}
+
+// classifyTCP returns the Table 1 class of a TCP flow given the DPI
+// verdict and the server port.
+func (d *dpiState) classifyTCP(serverPort uint16) Protocol {
+	switch {
+	case d.isTLS:
+		return ProtoHTTPS
+	case d.isHTTP:
+		return ProtoHTTP
+	case serverPort == 443 && !d.sawData:
+		// Handshake-only flow toward 443: count as HTTPS like Tstat does
+		// (port heuristics back the DPI up).
+		return ProtoHTTPS
+	case serverPort == 80 && !d.sawData:
+		return ProtoHTTP
+	default:
+		return ProtoTCPOther
+	}
+}
+
+// classifyUDP returns the Table 1 class of a non-DNS UDP flow.
+func (d *dpiState) classifyUDP(serverPort uint16) Protocol {
+	switch {
+	case d.isQUIC:
+		return ProtoQUIC
+	case d.isRTP:
+		return ProtoRTP
+	case serverPort == 443 && !d.sawData:
+		return ProtoQUIC
+	default:
+		return ProtoUDPOther
+	}
+}

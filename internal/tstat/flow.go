@@ -1,0 +1,275 @@
+package tstat
+
+import (
+	"time"
+
+	"satwatch/internal/packet"
+)
+
+// tlsStage tracks the handshake progress used for the satellite-RTT
+// estimate (§2.2: ServerHello → next ClientKeyExchange/ChangeCipherSpec,
+// home RTT considered negligible).
+type tlsStage uint8
+
+const (
+	tlsIdle tlsStage = iota
+	tlsSawClientHello
+	tlsSawServerHello
+	tlsDone
+)
+
+// outstandingSeg is one unacknowledged client→server data segment awaiting
+// its ACK for a ground-RTT sample.
+type outstandingSeg struct {
+	seqEnd uint32
+	t      time.Duration
+}
+
+// flowState is the per-flow tracking state.
+type flowState struct {
+	client packet.Endpoint // initiator (customer side)
+	server packet.Endpoint
+	isTCP  bool
+
+	start, last time.Duration
+	bytesUp     int64
+	bytesDown   int64
+	pktsUp      int64
+	pktsDown    int64
+	first10     []time.Duration
+
+	dpi dpiState
+
+	// Ground RTT: client→server data awaiting server ACKs.
+	outstanding []outstandingSeg
+	maxSeqSent  uint32
+	seqValid    bool
+	ground      rttAccum
+
+	// Satellite RTT via the TLS handshake.
+	tls       tlsStage
+	tSrvHello time.Duration
+	satRTT    time.Duration
+
+	// DNS transaction bookkeeping (UDP/53 flows).
+	dnsPending map[uint16]dnsPending
+
+	finSeen [2]bool
+	rstSeen bool
+}
+
+type dnsPending struct {
+	t    time.Duration
+	name string
+}
+
+func newFlowState(client, server packet.Endpoint, isTCP bool, t time.Duration) *flowState {
+	return &flowState{client: client, server: server, isTCP: isTCP, start: t, last: t}
+}
+
+// seqLE compares sequence numbers with wraparound.
+func seqLE(a, b uint32) bool { return int32(b-a) >= 0 }
+
+// observe folds one segment event into the flow.
+func (f *flowState) observe(ev SegmentEvent, sink *Tracker) {
+	if ev.Packets <= 0 {
+		ev.Packets = 1
+	}
+	f.last = ev.T
+	if len(f.first10) < 10 {
+		f.first10 = append(f.first10, ev.T)
+	}
+	if ev.Dir == ClientToServer {
+		f.bytesUp += int64(ev.Payload)
+		f.pktsUp += int64(ev.Packets)
+	} else {
+		f.bytesDown += int64(ev.Payload)
+		f.pktsDown += int64(ev.Packets)
+	}
+
+	if f.isTCP {
+		f.observeTCP(ev)
+	} else {
+		f.observeUDP(ev, sink)
+	}
+}
+
+func (f *flowState) observeTCP(ev SegmentEvent) {
+	if ev.Flags.Has(packet.FlagRST) {
+		f.rstSeen = true
+	}
+	if ev.Flags.Has(packet.FlagFIN) {
+		f.finSeen[ev.Dir] = true
+	}
+
+	switch ev.Dir {
+	case ClientToServer:
+		if len(ev.AppData) > 0 {
+			f.dpi.feedClientTCP(ev.AppData)
+			f.feedTLSClient(ev)
+		}
+		if ev.Payload > 0 {
+			end := ev.Seq + uint32(ev.Payload)
+			if f.seqValid && !seqLE(f.maxSeqSent, ev.Seq) {
+				// Retransmission (Karn's rule): outstanding samples are
+				// ambiguous, drop them.
+				f.outstanding = f.outstanding[:0]
+			} else {
+				f.maxSeqSent = end
+				f.seqValid = true
+				if len(f.outstanding) < 64 {
+					f.outstanding = append(f.outstanding, outstandingSeg{seqEnd: end, t: ev.T})
+				}
+			}
+		}
+	case ServerToClient:
+		if ev.Flags.Has(packet.FlagACK) {
+			kept := f.outstanding[:0]
+			for _, o := range f.outstanding {
+				if seqLE(o.seqEnd, ev.Ack) {
+					f.ground.add(ev.T - o.t)
+				} else {
+					kept = append(kept, o)
+				}
+			}
+			f.outstanding = kept
+		}
+		if len(ev.AppData) > 0 {
+			f.feedTLSServer(ev)
+		}
+	}
+}
+
+// feedTLSServer watches for the ServerHello.
+func (f *flowState) feedTLSServer(ev SegmentEvent) {
+	if f.tls == tlsDone || f.tls == tlsSawServerHello {
+		return
+	}
+	recs, _, err := packet.DecodeTLSRecords(ev.AppData)
+	if err != nil {
+		return
+	}
+	for _, rec := range recs {
+		if rec.Type != packet.TLSRecordHandshake {
+			continue
+		}
+		msgs, err := packet.DecodeTLSHandshakes(rec.Payload)
+		if err != nil {
+			continue
+		}
+		for _, m := range msgs {
+			if m.Type == packet.TLSHandshakeServerHello {
+				f.tls = tlsSawServerHello
+				f.tSrvHello = ev.T
+				return
+			}
+		}
+	}
+}
+
+// feedTLSClient advances the handshake machine on client records; the
+// first client handshake bytes after the ServerHello (the
+// ClientKeyExchange/ChangeCipherSpec flight) close the satellite-RTT
+// sample.
+func (f *flowState) feedTLSClient(ev SegmentEvent) {
+	switch f.tls {
+	case tlsIdle:
+		if len(ev.AppData) > 0 && ev.AppData[0] == packet.TLSRecordHandshake {
+			f.tls = tlsSawClientHello
+		}
+	case tlsSawServerHello:
+		if len(ev.AppData) == 0 {
+			return
+		}
+		t0 := ev.AppData[0]
+		if t0 == packet.TLSRecordHandshake || t0 == packet.TLSRecordChangeCipherSpec {
+			f.satRTT = ev.T - f.tSrvHello
+			f.tls = tlsDone
+		}
+	}
+}
+
+func (f *flowState) observeUDP(ev SegmentEvent, sink *Tracker) {
+	if f.server.Port == 53 {
+		f.observeDNS(ev, sink)
+		return
+	}
+	if ev.Dir == ClientToServer && len(ev.AppData) > 0 && !f.dpi.done {
+		f.dpi.feedClientUDP(ev.AppData)
+	}
+}
+
+// observeDNS parses queries and responses and emits transaction records.
+func (f *flowState) observeDNS(ev SegmentEvent, sink *Tracker) {
+	if len(ev.AppData) == 0 {
+		return
+	}
+	msg, err := packet.DecodeDNS(ev.AppData)
+	if err != nil {
+		return
+	}
+	if f.dnsPending == nil {
+		f.dnsPending = make(map[uint16]dnsPending)
+	}
+	if !msg.QR {
+		name := ""
+		if len(msg.Questions) > 0 {
+			name = msg.Questions[0].Name
+		}
+		f.dnsPending[msg.ID] = dnsPending{t: ev.T, name: name}
+		return
+	}
+	req, ok := f.dnsPending[msg.ID]
+	if !ok {
+		return // unsolicited response
+	}
+	delete(f.dnsPending, msg.ID)
+	rec := DNSRecord{
+		Client:       f.client.Addr,
+		Resolver:     f.server.Addr,
+		Query:        req.name,
+		RCode:        msg.RCode,
+		T:            req.t,
+		ResponseTime: ev.T - req.t,
+	}
+	for _, a := range msg.Answers {
+		if a.Type == packet.DNSTypeA {
+			rec.Answer = a.Addr
+			break
+		}
+	}
+	sink.emitDNS(rec)
+}
+
+// closed reports whether TCP teardown completed.
+func (f *flowState) closed() bool {
+	return f.rstSeen || (f.finSeen[0] && f.finSeen[1])
+}
+
+// record materializes the final FlowRecord.
+func (f *flowState) record() FlowRecord {
+	rec := FlowRecord{
+		Client:    f.client.Addr,
+		Server:    f.server.Addr,
+		CPort:     f.client.Port,
+		SPort:     f.server.Port,
+		Domain:    f.dpi.domain,
+		Start:     f.start,
+		End:       f.last,
+		BytesUp:   f.bytesUp,
+		BytesDown: f.bytesDown,
+		PktsUp:    f.pktsUp,
+		PktsDown:  f.pktsDown,
+		First10:   f.first10,
+		GroundRTT: f.ground.stats(),
+		SatRTT:    f.satRTT,
+	}
+	if f.isTCP {
+		rec.Proto = f.dpi.classifyTCP(f.server.Port)
+	} else if f.server.Port == 53 {
+		rec.Proto = ProtoDNS
+	} else {
+		rec.Proto = f.dpi.classifyUDP(f.server.Port)
+	}
+	return rec
+}

@@ -1,0 +1,337 @@
+package tstat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Protocol is the Table 1 protocol class of a flow.
+type Protocol uint8
+
+// Protocol classes, matching the paper's Table 1 rows.
+const (
+	ProtoUnknown Protocol = iota
+	ProtoHTTPS
+	ProtoHTTP
+	ProtoTCPOther
+	ProtoQUIC
+	ProtoRTP
+	ProtoDNS
+	ProtoUDPOther
+)
+
+var protocolNames = map[Protocol]string{
+	ProtoUnknown:  "Unknown",
+	ProtoHTTPS:    "TCP/HTTPS",
+	ProtoHTTP:     "TCP/HTTP",
+	ProtoTCPOther: "Other TCP",
+	ProtoQUIC:     "UDP/QUIC",
+	ProtoRTP:      "UDP/RTP",
+	ProtoDNS:      "UDP/DNS",
+	ProtoUDPOther: "Other UDP",
+}
+
+func (p Protocol) String() string {
+	if s, ok := protocolNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("Protocol(%d)", uint8(p))
+}
+
+// parseProtocol is the inverse of Protocol.String.
+func parseProtocol(s string) Protocol {
+	for p, name := range protocolNames {
+		if name == s {
+			return p
+		}
+	}
+	return ProtoUnknown
+}
+
+// IsTCP reports whether the class rides on TCP.
+func (p Protocol) IsTCP() bool {
+	return p == ProtoHTTPS || p == ProtoHTTP || p == ProtoTCPOther
+}
+
+// RTTStats summarizes the RTT samples of one flow (min/avg/max/std), the
+// §2.2 statistics.
+type RTTStats struct {
+	Samples int
+	Min     time.Duration
+	Avg     time.Duration
+	Max     time.Duration
+	Std     time.Duration
+}
+
+// add folds one sample into the summary using streaming moments.
+type rttAccum struct {
+	n          int
+	sum, sumSq float64
+	min, max   time.Duration
+}
+
+func (a *rttAccum) add(d time.Duration) {
+	if a.n == 0 || d < a.min {
+		a.min = d
+	}
+	if d > a.max {
+		a.max = d
+	}
+	a.n++
+	f := float64(d)
+	a.sum += f
+	a.sumSq += f * f
+}
+
+func (a *rttAccum) stats() RTTStats {
+	if a.n == 0 {
+		return RTTStats{}
+	}
+	mean := a.sum / float64(a.n)
+	varr := a.sumSq/float64(a.n) - mean*mean
+	if varr < 0 {
+		varr = 0
+	}
+	return RTTStats{
+		Samples: a.n,
+		Min:     a.min,
+		Avg:     time.Duration(mean),
+		Max:     a.max,
+		Std:     time.Duration(math.Sqrt(varr)),
+	}
+}
+
+// FlowRecord is the per-flow log line, the equivalent of a Tstat
+// log_tcp_complete row restricted to the fields the paper uses.
+type FlowRecord struct {
+	// Client is the (anonymized) customer endpoint; Server the internet
+	// endpoint.
+	Client netip.Addr
+	Server netip.Addr
+	CPort  uint16
+	SPort  uint16
+
+	Proto  Protocol
+	Domain string // from DPI: SNI, Host, or QUIC SNI; "" when opaque
+
+	Start time.Duration // first segment, offset from trace epoch
+	End   time.Duration // last segment
+
+	BytesUp   int64 // client → server payload bytes
+	BytesDown int64 // server → client payload bytes
+	PktsUp    int64
+	PktsDown  int64
+
+	// First10 are the capture times of the first up-to-10 segments.
+	First10 []time.Duration
+
+	// GroundRTT summarizes data→ACK samples toward the server (§2.2
+	// measurement iii).
+	GroundRTT RTTStats
+
+	// SatRTT is the satellite-segment RTT estimated from the TLS
+	// handshake (ServerHello → ClientKeyExchange/CCS), zero when the
+	// flow completed no TLS negotiation (§2.2 measurement ii).
+	SatRTT time.Duration
+}
+
+// Duration returns the flow's first-to-last segment time.
+func (f *FlowRecord) Duration() time.Duration { return f.End - f.Start }
+
+// DNSRecord is one logged DNS transaction (§2.2: "logs each requested
+// domain and obtained responses, including the DNS server IP address").
+type DNSRecord struct {
+	Client       netip.Addr // anonymized customer
+	Resolver     netip.Addr
+	Query        string
+	RCode        uint8
+	Answer       netip.Addr // first A answer, if any
+	T            time.Duration
+	ResponseTime time.Duration // request→response at the vantage point
+}
+
+// --- TSV serialization -------------------------------------------------
+
+const flowHeader = "client\tcport\tserver\tsport\tproto\tdomain\tstart_us\tend_us\tbytes_up\tbytes_down\tpkts_up\tpkts_down\trtt_n\trtt_min_us\trtt_avg_us\trtt_max_us\trtt_std_us\tsat_rtt_us\tfirst10_us"
+
+// WriteFlows writes records as a TSV log with a header line.
+func WriteFlows(w io.Writer, recs []FlowRecord) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, flowHeader); err != nil {
+		return err
+	}
+	for i := range recs {
+		r := &recs[i]
+		f10 := make([]string, len(r.First10))
+		for j, t := range r.First10 {
+			f10[j] = strconv.FormatInt(t.Microseconds(), 10)
+		}
+		_, err := fmt.Fprintf(bw, "%s\t%d\t%s\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			r.Client, r.CPort, r.Server, r.SPort, r.Proto, r.Domain,
+			r.Start.Microseconds(), r.End.Microseconds(),
+			r.BytesUp, r.BytesDown, r.PktsUp, r.PktsDown,
+			r.GroundRTT.Samples, r.GroundRTT.Min.Microseconds(), r.GroundRTT.Avg.Microseconds(),
+			r.GroundRTT.Max.Microseconds(), r.GroundRTT.Std.Microseconds(),
+			r.SatRTT.Microseconds(), strings.Join(f10, ","))
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFlows parses a TSV flow log written by WriteFlows.
+func ReadFlows(r io.Reader) ([]FlowRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []FlowRecord
+	first := true
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if first {
+			first = false
+			if text != flowHeader {
+				return nil, fmt.Errorf("tstat: line 1: unexpected header")
+			}
+			continue
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) != 19 {
+			return nil, fmt.Errorf("tstat: line %d: %d fields, want 19", line, len(fields))
+		}
+		var rec FlowRecord
+		var err error
+		if rec.Client, err = netip.ParseAddr(fields[0]); err != nil {
+			return nil, fmt.Errorf("tstat: line %d: client: %w", line, err)
+		}
+		if rec.Server, err = netip.ParseAddr(fields[2]); err != nil {
+			return nil, fmt.Errorf("tstat: line %d: server: %w", line, err)
+		}
+		ints := make([]int64, 0, 14)
+		for _, idx := range []int{1, 3, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17} {
+			v, err := strconv.ParseInt(fields[idx], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("tstat: line %d field %d: %w", line, idx, err)
+			}
+			ints = append(ints, v)
+		}
+		rec.CPort = uint16(ints[0])
+		rec.SPort = uint16(ints[1])
+		rec.Proto = parseProtocol(fields[4])
+		rec.Domain = fields[5]
+		rec.Start = time.Duration(ints[2]) * time.Microsecond
+		rec.End = time.Duration(ints[3]) * time.Microsecond
+		rec.BytesUp, rec.BytesDown = ints[4], ints[5]
+		rec.PktsUp, rec.PktsDown = ints[6], ints[7]
+		rec.GroundRTT = RTTStats{
+			Samples: int(ints[8]),
+			Min:     time.Duration(ints[9]) * time.Microsecond,
+			Avg:     time.Duration(ints[10]) * time.Microsecond,
+			Max:     time.Duration(ints[11]) * time.Microsecond,
+			Std:     time.Duration(ints[12]) * time.Microsecond,
+		}
+		rec.SatRTT = time.Duration(ints[13]) * time.Microsecond
+		if fields[18] != "" {
+			for _, part := range strings.Split(fields[18], ",") {
+				us, err := strconv.ParseInt(part, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("tstat: line %d first10: %w", line, err)
+				}
+				rec.First10 = append(rec.First10, time.Duration(us)*time.Microsecond)
+			}
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}
+
+const dnsHeader = "client\tresolver\tquery\trcode\tanswer\tt_us\tresp_us"
+
+// WriteDNS writes DNS transaction records as TSV.
+func WriteDNS(w io.Writer, recs []DNSRecord) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, dnsHeader); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		ans := ""
+		if r.Answer.IsValid() {
+			ans = r.Answer.String()
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\t%d\t%s\t%d\t%d\n",
+			r.Client, r.Resolver, r.Query, r.RCode, ans,
+			r.T.Microseconds(), r.ResponseTime.Microseconds()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDNS parses a TSV DNS log written by WriteDNS.
+func ReadDNS(r io.Reader) ([]DNSRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []DNSRecord
+	first := true
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if first {
+			first = false
+			if text != dnsHeader {
+				return nil, fmt.Errorf("tstat: dns line 1: unexpected header")
+			}
+			continue
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) != 7 {
+			return nil, fmt.Errorf("tstat: dns line %d: %d fields, want 7", line, len(fields))
+		}
+		var rec DNSRecord
+		var err error
+		if rec.Client, err = netip.ParseAddr(fields[0]); err != nil {
+			return nil, fmt.Errorf("tstat: dns line %d: %w", line, err)
+		}
+		if rec.Resolver, err = netip.ParseAddr(fields[1]); err != nil {
+			return nil, fmt.Errorf("tstat: dns line %d: %w", line, err)
+		}
+		rec.Query = fields[2]
+		rc, err := strconv.ParseUint(fields[3], 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("tstat: dns line %d: %w", line, err)
+		}
+		rec.RCode = uint8(rc)
+		if fields[4] != "" {
+			if rec.Answer, err = netip.ParseAddr(fields[4]); err != nil {
+				return nil, fmt.Errorf("tstat: dns line %d: %w", line, err)
+			}
+		}
+		tus, err := strconv.ParseInt(fields[5], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tstat: dns line %d: %w", line, err)
+		}
+		rus, err := strconv.ParseInt(fields[6], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tstat: dns line %d: %w", line, err)
+		}
+		rec.T = time.Duration(tus) * time.Microsecond
+		rec.ResponseTime = time.Duration(rus) * time.Microsecond
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,139 @@
+package tstat
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"satwatch/internal/packet"
+)
+
+// Sharded fans segment events out to N independent trackers keyed by the
+// direction-symmetric FastHash of the 5-tuple — the same load-balancing
+// scheme the paper's DPDK pipeline uses to keep up with line rate (§2.2):
+// both directions of a flow always land on the same worker, so no state is
+// shared between workers.
+type Sharded struct {
+	workers []*shardWorker
+}
+
+type shardWorker struct {
+	ch   chan shardItem
+	done chan struct{}
+	tr   *Tracker
+}
+
+type shardItem struct {
+	tuple packet.FiveTuple
+	ev    SegmentEvent
+}
+
+// NewSharded builds a sharded tracker with n workers (n<=0 picks the CPU
+// count). Each worker owns a Tracker built from cfg; per-worker callbacks
+// (OnFlow/OnDNS) would run concurrently, so cfg must not set them —
+// records are collected at Flush.
+func NewSharded(n int, cfg Config) *Sharded {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	if cfg.OnFlow != nil || cfg.OnDNS != nil {
+		panic("tstat: Sharded does not support streaming callbacks")
+	}
+	s := &Sharded{}
+	for i := 0; i < n; i++ {
+		w := &shardWorker{
+			ch:   make(chan shardItem, 1024),
+			done: make(chan struct{}),
+			tr:   NewTracker(cfg),
+		}
+		go func(w *shardWorker) {
+			defer close(w.done)
+			for it := range w.ch {
+				w.tr.Observe(it.tuple, it.ev)
+			}
+		}(w)
+		s.workers = append(s.workers, w)
+	}
+	return s
+}
+
+// Observe routes one event to its flow's worker. Safe for concurrent use
+// by multiple producers.
+func (s *Sharded) Observe(tuple packet.FiveTuple, ev SegmentEvent) {
+	idx := int(tuple.FastHash() % uint64(len(s.workers)))
+	s.workers[idx].ch <- shardItem{tuple: tuple, ev: ev}
+}
+
+// Flush drains all workers and returns the merged records in the same
+// deterministic order a single tracker would produce (sorted by start
+// time, then endpoints).
+func (s *Sharded) Flush() ([]FlowRecord, []DNSRecord) {
+	var flows []FlowRecord
+	var dns []DNSRecord
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, w := range s.workers {
+		wg.Add(1)
+		go func(w *shardWorker) {
+			defer wg.Done()
+			close(w.ch)
+			<-w.done
+			f, d := w.tr.Flush()
+			mu.Lock()
+			flows = append(flows, f...)
+			dns = append(dns, d...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	SortFlows(flows)
+	SortDNS(dns)
+	return flows, dns
+}
+
+// SortFlows orders flow records canonically (start time, then endpoints),
+// so logs merged from multiple trackers compare stably.
+func SortFlows(flows []FlowRecord) {
+	sort.Slice(flows, func(i, j int) bool {
+		a, b := &flows[i], &flows[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if c := a.Client.Compare(b.Client); c != 0 {
+			return c < 0
+		}
+		if a.CPort != b.CPort {
+			return a.CPort < b.CPort
+		}
+		if c := a.Server.Compare(b.Server); c != 0 {
+			return c < 0
+		}
+		return a.SPort < b.SPort
+	})
+}
+
+// SortDNS orders DNS records canonically.
+func SortDNS(dns []DNSRecord) {
+	sort.Slice(dns, func(i, j int) bool {
+		a, b := &dns[i], &dns[j]
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if c := a.Client.Compare(b.Client); c != 0 {
+			return c < 0
+		}
+		if a.Query != b.Query {
+			return a.Query < b.Query
+		}
+		return a.Resolver.Compare(b.Resolver) < 0
+	})
+}
+
+// Observed sums the per-worker event counters.
+func (s *Sharded) Observed() int64 {
+	var total int64
+	for _, w := range s.workers {
+		total += w.tr.Observed
+	}
+	return total
+}

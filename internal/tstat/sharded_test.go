@@ -1,0 +1,109 @@
+package tstat
+
+import (
+	"net/netip"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"satwatch/internal/packet"
+)
+
+// syntheticEvents builds a mixed batch of flows' events.
+func syntheticEvents(flows int) []struct {
+	tuple packet.FiveTuple
+	ev    SegmentEvent
+} {
+	var out []struct {
+		tuple packet.FiveTuple
+		ev    SegmentEvent
+	}
+	for i := 0; i < flows; i++ {
+		cli := packet.Endpoint{Addr: netip.AddrFrom4([4]byte{10, 1, byte(i >> 8), byte(i)}), Port: uint16(1024 + i)}
+		srv := packet.Endpoint{Addr: netip.AddrFrom4([4]byte{151, 101, 0, byte(i%250 + 1)}), Port: 443}
+		c2s := packet.FiveTuple{Proto: packet.ProtoTCP, Src: cli, Dst: srv}
+		base := time.Duration(i) * time.Second
+		add := func(tuple packet.FiveTuple, ev SegmentEvent) {
+			out = append(out, struct {
+				tuple packet.FiveTuple
+				ev    SegmentEvent
+			}{tuple, ev})
+		}
+		add(c2s, SegmentEvent{T: base, Flags: packet.FlagSYN, Packets: 1})
+		add(c2s.Reverse(), SegmentEvent{T: base + 20*time.Millisecond, Flags: packet.FlagSYN | packet.FlagACK, Ack: 1, Packets: 1})
+		add(c2s, SegmentEvent{T: base + 21*time.Millisecond, Seq: 1, Payload: 500, Flags: packet.FlagACK, Packets: 1})
+		add(c2s.Reverse(), SegmentEvent{T: base + 41*time.Millisecond, Flags: packet.FlagACK, Ack: 501, Packets: 1})
+		add(c2s.Reverse(), SegmentEvent{T: base + 50*time.Millisecond, Seq: 1, Payload: 90000, Flags: packet.FlagACK, Packets: 62})
+		add(c2s, SegmentEvent{T: base + 60*time.Millisecond, Flags: packet.FlagFIN | packet.FlagACK, Seq: 501, Packets: 1})
+		add(c2s.Reverse(), SegmentEvent{T: base + 80*time.Millisecond, Flags: packet.FlagFIN | packet.FlagACK, Ack: 502, Packets: 1})
+	}
+	return out
+}
+
+func TestShardedMatchesSingleTracker(t *testing.T) {
+	events := syntheticEvents(200)
+
+	single := NewTracker(Config{})
+	for _, e := range events {
+		single.Observe(e.tuple, e.ev)
+	}
+	sf, sd := single.Flush()
+
+	sharded := NewSharded(4, Config{})
+	for _, e := range events {
+		sharded.Observe(e.tuple, e.ev)
+	}
+	pf, pd := sharded.Flush()
+
+	if !reflect.DeepEqual(sf, pf) {
+		t.Fatalf("sharded flows differ from single tracker: %d vs %d records", len(pf), len(sf))
+	}
+	if !reflect.DeepEqual(sd, pd) {
+		t.Fatal("sharded DNS records differ")
+	}
+	if sharded.Observed() != int64(len(events)) {
+		t.Fatalf("observed %d events, want %d", sharded.Observed(), len(events))
+	}
+}
+
+func TestShardedConcurrentProducers(t *testing.T) {
+	events := syntheticEvents(120)
+	sharded := NewSharded(3, Config{})
+	var wg sync.WaitGroup
+	// Feed each flow's events from its own goroutine: per-flow order is
+	// preserved (same producer), cross-flow order races — which is fine.
+	perFlow := 7
+	for f := 0; f < len(events)/perFlow; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			for _, e := range events[f*perFlow : (f+1)*perFlow] {
+				sharded.Observe(e.tuple, e.ev)
+			}
+		}(f)
+	}
+	wg.Wait()
+	flows, _ := sharded.Flush()
+	if len(flows) != 120 {
+		t.Fatalf("%d flows, want 120", len(flows))
+	}
+	for i := range flows {
+		f := &flows[i]
+		if f.BytesDown != 90000 || f.PktsDown != 65 {
+			t.Fatalf("flow %d corrupted: %+v", i, f)
+		}
+		if f.GroundRTT.Samples == 0 {
+			t.Fatalf("flow %d lost RTT samples", i)
+		}
+	}
+}
+
+func TestShardedRejectsCallbacks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("callbacks accepted")
+		}
+	}()
+	NewSharded(2, Config{OnFlow: func(FlowRecord) {}})
+}

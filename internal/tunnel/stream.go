@@ -1,0 +1,272 @@
+package tunnel
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ErrReset is returned when the peer aborted the stream.
+var ErrReset = errors.New("tunnel: stream reset by peer")
+
+type pending struct {
+	typ     uint8
+	payload []byte
+	firstTx time.Time
+	lastTx  time.Time
+	txCount int
+}
+
+type oooSegment struct {
+	fin  bool
+	data []byte
+}
+
+// Stream is one ordered reliable byte stream inside a tunnel. Read and
+// Write follow io semantics; Close performs a graceful half-close (the
+// peer's Read drains buffered data, then sees io.EOF).
+type Stream struct {
+	t   *Tunnel
+	id  uint32
+	dst string
+
+	mu       sync.Mutex
+	sendCond *sync.Cond
+	recvCond *sync.Cond
+
+	// Sender state.
+	sendNext uint32
+	sendBase uint32
+	unacked  map[uint32]*pending
+	sentFin  bool
+
+	// Receiver state.
+	recvNext uint32
+	recvBuf  bytes.Buffer
+	ooo      map[uint32]oooSegment
+	peerFin  bool // FIN delivered in order
+
+	err    error
+	closed bool
+}
+
+func newStream(t *Tunnel, id uint32, dst string) *Stream {
+	s := &Stream{t: t, id: id, dst: dst, unacked: make(map[uint32]*pending), ooo: make(map[uint32]oooSegment)}
+	s.sendCond = sync.NewCond(&s.mu)
+	s.recvCond = sync.NewCond(&s.mu)
+	return s
+}
+
+// ID returns the stream's tunnel-local identifier.
+func (s *Stream) ID() uint32 { return s.id }
+
+// Err returns the stream's terminal error (nil while healthy; ErrReset
+// after a peer abort, the transport error after a tunnel failure).
+func (s *Stream) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Dst returns the destination label carried by the OPEN frame.
+func (s *Stream) Dst() string { return s.dst }
+
+// sendSegment assigns the next sequence number to a frame, registers it
+// for retransmission, and transmits it once.
+func (s *Stream) sendSegment(typ uint8, payload []byte) {
+	s.mu.Lock()
+	seq := s.sendNext
+	s.sendNext++
+	now := time.Now()
+	p := &pending{typ: typ, payload: payload, firstTx: now, lastTx: now, txCount: 1}
+	s.unacked[seq] = p
+	s.mu.Unlock()
+	_ = s.t.send(typ, s.id, seq, payload)
+}
+
+// Write implements io.Writer, blocking while the send window is full.
+func (s *Stream) Write(b []byte) (int, error) {
+	total := 0
+	for len(b) > 0 {
+		n := len(b)
+		if n > s.t.cfg.MaxPayload {
+			n = s.t.cfg.MaxPayload
+		}
+		chunk := make([]byte, n)
+		copy(chunk, b[:n])
+
+		s.mu.Lock()
+		for s.err == nil && !s.closed && s.sendNext-s.sendBase >= uint32(s.t.cfg.Window) {
+			s.sendCond.Wait()
+		}
+		if s.err != nil {
+			err := s.err
+			s.mu.Unlock()
+			return total, err
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return total, ErrClosed
+		}
+		s.mu.Unlock()
+
+		s.sendSegment(frameData, chunk)
+		b = b[n:]
+		total += n
+	}
+	return total, nil
+}
+
+// Read implements io.Reader: it blocks until data, EOF (peer FIN), or a
+// stream error.
+func (s *Stream) Read(b []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.recvBuf.Len() == 0 && !s.peerFin && s.err == nil {
+		s.recvCond.Wait()
+	}
+	if s.recvBuf.Len() > 0 {
+		return s.recvBuf.Read(b)
+	}
+	if s.peerFin {
+		return 0, io.EOF
+	}
+	return 0, s.err
+}
+
+// Close performs a graceful close: a FIN is queued after all written data
+// and retransmitted until acknowledged. Safe to call multiple times.
+func (s *Stream) Close() error {
+	s.mu.Lock()
+	if s.closed || s.err != nil {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	alreadyFin := s.sentFin
+	s.sentFin = true
+	s.mu.Unlock()
+	if !alreadyFin {
+		s.sendSegment(frameFin, nil)
+	}
+	return nil
+}
+
+// teardown aborts the stream with an error, waking all waiters.
+func (s *Stream) teardown(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.recvCond.Broadcast()
+	s.sendCond.Broadcast()
+	s.t.removeStream(s.id)
+}
+
+func (s *Stream) sendAckLocked(next uint32) {
+	_ = s.t.send(frameAck, s.id, next, nil)
+}
+
+// handleFrame processes one incoming frame for this stream.
+func (s *Stream) handleFrame(typ uint8, seq uint32, payload []byte) {
+	switch typ {
+	case frameAck:
+		now := time.Now()
+		var sample time.Duration
+		s.mu.Lock()
+		if seq > s.sendBase {
+			for q := s.sendBase; q < seq; q++ {
+				if p, ok := s.unacked[q]; ok {
+					// Karn's rule: only never-retransmitted frames
+					// produce RTT samples.
+					if p.txCount == 1 {
+						sample = now.Sub(p.firstTx)
+					}
+					delete(s.unacked, q)
+				}
+			}
+			s.sendBase = seq
+			s.sendCond.Broadcast()
+		}
+		done := s.closed && len(s.unacked) == 0 && s.peerFin
+		s.mu.Unlock()
+		if sample > 0 {
+			s.t.sampleRTT(sample)
+		}
+		if done {
+			s.t.removeStream(s.id)
+		}
+	case frameData, frameFin:
+		s.mu.Lock()
+		switch {
+		case seq < s.recvNext:
+			// Duplicate of something already delivered: re-ack.
+		case seq >= s.recvNext+uint32(4*s.t.cfg.Window):
+			// Absurdly far ahead: drop without ack.
+			s.mu.Unlock()
+			return
+		default:
+			if _, dup := s.ooo[seq]; !dup {
+				data := append([]byte(nil), payload...)
+				s.ooo[seq] = oooSegment{fin: typ == frameFin, data: data}
+			}
+			// Deliver everything now in order.
+			for {
+				seg, ok := s.ooo[s.recvNext]
+				if !ok {
+					break
+				}
+				delete(s.ooo, s.recvNext)
+				s.recvNext++
+				if seg.fin {
+					s.peerFin = true
+				} else {
+					s.recvBuf.Write(seg.data)
+				}
+			}
+		}
+		next := s.recvNext
+		s.recvCond.Broadcast()
+		s.mu.Unlock()
+		s.sendAckLocked(next)
+	case frameReset:
+		s.teardown(ErrReset)
+	case frameOpen:
+		// Duplicate OPEN (our ACK was lost): re-ack seq 1.
+		s.mu.Lock()
+		next := s.recvNext
+		s.mu.Unlock()
+		if next >= 1 {
+			s.sendAckLocked(next)
+		}
+	}
+}
+
+// retransmitDue resends the oldest unacknowledged frame when its RTO has
+// expired (go-back-one: one probe per RTO avoids retransmission storms on
+// a long-delay link).
+func (s *Stream) retransmitDue(now time.Time) {
+	rto := s.t.currentRTO()
+	s.mu.Lock()
+	p, ok := s.unacked[s.sendBase]
+	if !ok || s.err != nil || now.Sub(p.lastTx) < rto {
+		s.mu.Unlock()
+		return
+	}
+	p.lastTx = now
+	p.txCount++
+	seq := s.sendBase
+	typ := p.typ
+	payload := p.payload
+	s.mu.Unlock()
+	_ = s.t.send(typ, s.id, seq, payload)
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (s *Stream) String() string {
+	return fmt.Sprintf("stream(%d→%s)", s.id, s.dst)
+}

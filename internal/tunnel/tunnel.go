@@ -1,0 +1,461 @@
+// Package tunnel implements the bidirectional reliable tunnel the PEP runs
+// between the customer CPE and the ground station (§2.1: "forwards TCP
+// payload to the ground station via a bidirectional reliable tunnel over
+// UDP"). It multiplexes many proxied TCP connections as ordered, reliable
+// byte streams over a single unreliable datagram transport, using
+// per-stream sequence numbers, cumulative acknowledgements, a fixed send
+// window, and timer-driven retransmission — a deliberately simple ARQ that
+// tolerates the loss and reordering a satellite link produces.
+package tunnel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Transport is the unreliable datagram layer under the tunnel: a UDP
+// socket in deployment, an emulated satellite link in tests and demos.
+type Transport interface {
+	// WriteDatagram sends one datagram (best effort).
+	WriteDatagram(b []byte) error
+	// ReadDatagram blocks for the next datagram. It returns an error
+	// when the transport is closed.
+	ReadDatagram() ([]byte, error)
+	Close() error
+}
+
+// Frame types.
+const (
+	frameOpen uint8 = iota + 1
+	frameOpenAck
+	frameData
+	frameAck
+	frameFin
+	frameReset
+	// frameRaw carries one unreliable datagram (§2.1: UDP traffic "cannot
+	// benefit from PEP acceleration and therefore UDP packets are
+	// forwarded as is"): no sequence numbers, no ACKs, no retransmission.
+	// The stream-ID field carries an opaque flow label; the seq field
+	// carries nothing.
+	frameRaw
+)
+
+const headerLen = 1 + 4 + 4 + 2
+
+// Config tunes the ARQ.
+type Config struct {
+	// RTO is the retransmission timeout; set it above the link RTT
+	// (≥1.5x the ~550 ms satellite round trip in deployment).
+	RTO time.Duration
+	// Window is the per-stream send window in frames.
+	Window int
+	// MaxPayload is the maximum DATA payload per frame.
+	MaxPayload int
+	// AcceptBacklog bounds pending un-Accept()ed streams.
+	AcceptBacklog int
+}
+
+// DefaultConfig returns deployment-shaped defaults.
+func DefaultConfig() Config {
+	return Config{RTO: 900 * time.Millisecond, Window: 128, MaxPayload: 1200, AcceptBacklog: 64}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.RTO <= 0 {
+		c.RTO = d.RTO
+	}
+	if c.Window <= 0 {
+		c.Window = d.Window
+	}
+	if c.MaxPayload <= 0 || c.MaxPayload > 60000 {
+		c.MaxPayload = d.MaxPayload
+	}
+	if c.AcceptBacklog <= 0 {
+		c.AcceptBacklog = d.AcceptBacklog
+	}
+	return c
+}
+
+// ErrClosed is returned on operations over a closed tunnel or stream.
+var ErrClosed = errors.New("tunnel: closed")
+
+// Tunnel is one endpoint of the reliable tunnel.
+type Tunnel struct {
+	tr  Transport
+	cfg Config
+
+	mu      sync.Mutex
+	streams map[uint32]*Stream
+	// dead holds TIME_WAIT tombstones for recently closed streams so that
+	// peer retransmissions (whose ACKs we lost) are re-acknowledged
+	// instead of answered with a reset that could race ahead of data.
+	dead map[uint32]tombstone
+	// early buffers DATA/FIN frames that arrived before their stream's
+	// OPEN (jitter reorders the first flight on a satellite link); they
+	// replay as soon as the OPEN lands instead of waiting out an RTO.
+	early  map[uint32][]earlyFrame
+	nextID uint32
+	closed bool
+
+	acceptCh chan *Stream
+	rawCh    chan RawDatagram
+	done     chan struct{}
+	loopErr  error
+
+	// Adaptive retransmission timeout (Jacobson/Karels smoothing over
+	// RTT samples that pass Karn's rule). Config.RTO is the initial and
+	// upper-anchor value.
+	rttMu  sync.Mutex
+	srtt   time.Duration
+	rttvar time.Duration
+	rto    time.Duration
+}
+
+// RawDatagram is one unreliable datagram received through the tunnel.
+type RawDatagram struct {
+	// FlowID is the opaque label the sender attached (e.g. a NAT flow).
+	FlowID  uint32
+	Payload []byte
+}
+
+// New creates a tunnel endpoint over a transport and starts its receive
+// and retransmission loops. isClient selects the stream-ID parity so the
+// two endpoints never collide when opening streams.
+func New(tr Transport, cfg Config, isClient bool) *Tunnel {
+	t := &Tunnel{
+		tr:       tr,
+		cfg:      cfg.withDefaults(),
+		streams:  make(map[uint32]*Stream),
+		dead:     make(map[uint32]tombstone),
+		early:    make(map[uint32][]earlyFrame),
+		acceptCh: make(chan *Stream, cfg.withDefaults().AcceptBacklog),
+		rawCh:    make(chan RawDatagram, 256),
+		done:     make(chan struct{}),
+	}
+	t.rto = t.cfg.RTO
+	if isClient {
+		t.nextID = 1
+	} else {
+		t.nextID = 2
+	}
+	go t.readLoop()
+	go t.retransmitLoop()
+	return t
+}
+
+// OpenStream opens a new stream whose peer should connect to dst (an
+// opaque destination label, typically "host:port").
+func (t *Tunnel) OpenStream(dst string) (*Stream, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	id := t.nextID
+	t.nextID += 2
+	s := newStream(t, id, dst)
+	t.streams[id] = s
+	t.mu.Unlock()
+
+	// The OPEN frame is retransmitted like data (seq 0 carries the dst).
+	s.sendSegment(frameOpen, []byte(dst))
+	return s, nil
+}
+
+// sampleRTT folds one clean RTT measurement into the smoothed estimator
+// (RFC 6298 constants) and updates the retransmission timeout.
+func (t *Tunnel) sampleRTT(rtt time.Duration) {
+	t.rttMu.Lock()
+	defer t.rttMu.Unlock()
+	if t.srtt == 0 {
+		t.srtt = rtt
+		t.rttvar = rtt / 2
+	} else {
+		d := t.srtt - rtt
+		if d < 0 {
+			d = -d
+		}
+		t.rttvar = (3*t.rttvar + d) / 4
+		t.srtt = (7*t.srtt + rtt) / 8
+	}
+	rto := t.srtt + 4*t.rttvar
+	// Keep the adaptive value inside sane bounds around the configured
+	// anchor: never quicker than an eighth (spurious-retransmit guard on
+	// jittery satellite links), never slower than 4x.
+	if min := t.cfg.RTO / 8; rto < min {
+		rto = min
+	}
+	if max := 4 * t.cfg.RTO; rto > max {
+		rto = max
+	}
+	t.rto = rto
+}
+
+// currentRTO returns the retransmission timeout in force.
+func (t *Tunnel) currentRTO() time.Duration {
+	t.rttMu.Lock()
+	defer t.rttMu.Unlock()
+	return t.rto
+}
+
+// RTTEstimate exposes the smoothed RTT (zero before any sample), for
+// monitoring.
+func (t *Tunnel) RTTEstimate() time.Duration {
+	t.rttMu.Lock()
+	defer t.rttMu.Unlock()
+	return t.srtt
+}
+
+// SendRaw forwards one datagram unreliably (no ACK, no retransmission):
+// the non-accelerated UDP path of the PEP architecture. flowID is an
+// opaque label the receiver uses to demultiplex.
+func (t *Tunnel) SendRaw(flowID uint32, payload []byte) error {
+	if t.isClosed() {
+		return ErrClosed
+	}
+	return t.send(frameRaw, flowID, 0, payload)
+}
+
+// RecvRaw blocks for the next raw datagram. Datagrams arriving while no
+// reader is waiting beyond the channel buffer are dropped, matching UDP
+// semantics.
+func (t *Tunnel) RecvRaw() (RawDatagram, error) {
+	select {
+	case d := <-t.rawCh:
+		return d, nil
+	case <-t.done:
+		return RawDatagram{}, t.closeReason()
+	}
+}
+
+// Accept blocks for the next incoming stream and its destination label.
+func (t *Tunnel) Accept() (*Stream, string, error) {
+	select {
+	case s := <-t.acceptCh:
+		return s, s.dst, nil
+	case <-t.done:
+		return nil, "", t.closeReason()
+	}
+}
+
+func (t *Tunnel) closeReason() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.loopErr != nil {
+		return t.loopErr
+	}
+	return ErrClosed
+}
+
+// Close tears the tunnel and every stream down.
+func (t *Tunnel) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	streams := make([]*Stream, 0, len(t.streams))
+	for _, s := range t.streams {
+		streams = append(streams, s)
+	}
+	t.mu.Unlock()
+	close(t.done)
+	for _, s := range streams {
+		s.teardown(ErrClosed)
+	}
+	return t.tr.Close()
+}
+
+func (t *Tunnel) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+func (t *Tunnel) send(typ uint8, id, seq uint32, payload []byte) error {
+	if len(payload) > 0xffff {
+		return fmt.Errorf("tunnel: payload %d too large", len(payload))
+	}
+	buf := make([]byte, headerLen+len(payload))
+	buf[0] = typ
+	binary.BigEndian.PutUint32(buf[1:5], id)
+	binary.BigEndian.PutUint32(buf[5:9], seq)
+	binary.BigEndian.PutUint16(buf[9:11], uint16(len(payload)))
+	copy(buf[headerLen:], payload)
+	return t.tr.WriteDatagram(buf)
+}
+
+func (t *Tunnel) readLoop() {
+	for {
+		dgram, err := t.tr.ReadDatagram()
+		if err != nil {
+			t.mu.Lock()
+			if !t.closed {
+				t.loopErr = err
+				t.closed = true
+				close(t.done)
+			}
+			streams := make([]*Stream, 0, len(t.streams))
+			for _, s := range t.streams {
+				streams = append(streams, s)
+			}
+			t.mu.Unlock()
+			for _, s := range streams {
+				s.teardown(err)
+			}
+			return
+		}
+		t.dispatch(dgram)
+	}
+}
+
+func (t *Tunnel) dispatch(dgram []byte) {
+	if len(dgram) < headerLen {
+		return // runt datagram: drop
+	}
+	typ := dgram[0]
+	id := binary.BigEndian.Uint32(dgram[1:5])
+	seq := binary.BigEndian.Uint32(dgram[5:9])
+	n := int(binary.BigEndian.Uint16(dgram[9:11]))
+	if headerLen+n > len(dgram) {
+		return // truncated: drop
+	}
+	payload := dgram[headerLen : headerLen+n]
+
+	if typ == frameRaw {
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		select {
+		case t.rawCh <- RawDatagram{FlowID: id, Payload: cp}:
+		default:
+			// Receiver not draining: drop, as UDP would.
+		}
+		return
+	}
+
+	t.mu.Lock()
+	s, ok := t.streams[id]
+	if !ok {
+		if d, wasDead := t.dead[id]; wasDead {
+			t.mu.Unlock()
+			// TIME_WAIT: the peer retransmitted because our final ACK
+			// was lost — repeat it rather than resetting.
+			if typ == frameData || typ == frameFin || typ == frameOpen {
+				_ = t.send(frameAck, id, d.recvNext, nil)
+			}
+			return
+		}
+		if typ == frameOpen && !t.closed {
+			// New incoming stream.
+			s = newStream(t, id, string(payload))
+			s.recvNext = 1 // the OPEN consumed seq 0
+			t.streams[id] = s
+			replay := t.early[id]
+			delete(t.early, id)
+			t.mu.Unlock()
+			s.sendAckLocked(1)
+			select {
+			case t.acceptCh <- s:
+			default:
+				// Backlog full: reset the stream.
+				_ = t.send(frameReset, id, 0, nil)
+				t.removeStream(id)
+				return
+			}
+			// Replay the first flight that outran its OPEN.
+			for _, f := range replay {
+				s.handleFrame(f.typ, f.seq, f.payload)
+			}
+			return
+		}
+		if (typ == frameData || typ == frameFin) && !t.closed {
+			// The first flight outran its OPEN (jitter reordering) or
+			// the OPEN was lost and is being retransmitted: buffer a
+			// bounded amount and replay once the OPEN lands, instead of
+			// making the peer wait out a full RTO.
+			if len(t.early) < 64 && len(t.early[id]) < 32 {
+				cp := make([]byte, len(payload))
+				copy(cp, payload)
+				t.early[id] = append(t.early[id], earlyFrame{typ: typ, seq: seq, payload: cp, at: time.Now()})
+			}
+		}
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+	s.handleFrame(typ, seq, payload)
+}
+
+type tombstone struct {
+	recvNext uint32
+	at       time.Time
+}
+
+type earlyFrame struct {
+	typ     uint8
+	seq     uint32
+	payload []byte
+	at      time.Time
+}
+
+func (t *Tunnel) removeStream(id uint32) {
+	t.mu.Lock()
+	if s, ok := t.streams[id]; ok {
+		delete(t.streams, id)
+		s.mu.Lock()
+		next := s.recvNext
+		s.mu.Unlock()
+		t.dead[id] = tombstone{recvNext: next, at: time.Now()}
+	}
+	t.mu.Unlock()
+}
+
+// pruneDead expires TIME_WAIT tombstones and stale early-frame buffers
+// older than several RTOs.
+func (t *Tunnel) pruneDead(now time.Time) {
+	linger := 8 * t.cfg.RTO
+	t.mu.Lock()
+	for id, d := range t.dead {
+		if now.Sub(d.at) > linger {
+			delete(t.dead, id)
+		}
+	}
+	for id, frames := range t.early {
+		if len(frames) > 0 && now.Sub(frames[0].at) > linger {
+			delete(t.early, id)
+		}
+	}
+	t.mu.Unlock()
+}
+
+func (t *Tunnel) retransmitLoop() {
+	interval := t.cfg.RTO / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.done:
+			return
+		case <-tick.C:
+		}
+		t.mu.Lock()
+		streams := make([]*Stream, 0, len(t.streams))
+		for _, s := range t.streams {
+			streams = append(streams, s)
+		}
+		t.mu.Unlock()
+		now := time.Now()
+		for _, s := range streams {
+			s.retransmitDue(now)
+		}
+		t.pruneDead(now)
+	}
+}

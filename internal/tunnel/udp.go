@@ -1,0 +1,90 @@
+package tunnel
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// maxDatagram bounds receive buffers; tunnel frames are much smaller.
+const maxDatagram = 64 << 10
+
+// UDPTransport is a point-to-point Transport over a UDP socket, matching
+// the deployment's single CPE↔gateway tunnel. The listening side learns
+// its peer from the first datagram received.
+type UDPTransport struct {
+	conn *net.UDPConn
+
+	mu   sync.RWMutex
+	peer *net.UDPAddr
+}
+
+// DialUDP creates the client (CPE) side, bound to an ephemeral port and
+// aimed at the gateway address.
+func DialUDP(gateway string) (*UDPTransport, error) {
+	raddr, err := net.ResolveUDPAddr("udp", gateway)
+	if err != nil {
+		return nil, fmt.Errorf("tunnel: resolving %q: %w", gateway, err)
+	}
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4zero})
+	if err != nil {
+		return nil, err
+	}
+	return &UDPTransport{conn: conn, peer: raddr}, nil
+}
+
+// ListenUDP creates the gateway side on a local address like ":4500".
+// Use LocalAddr to discover the bound port when given port 0.
+func ListenUDP(local string) (*UDPTransport, error) {
+	laddr, err := net.ResolveUDPAddr("udp", local)
+	if err != nil {
+		return nil, fmt.Errorf("tunnel: resolving %q: %w", local, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, err
+	}
+	return &UDPTransport{conn: conn}, nil
+}
+
+// LocalAddr returns the bound address.
+func (u *UDPTransport) LocalAddr() net.Addr { return u.conn.LocalAddr() }
+
+// WriteDatagram implements Transport. Before the listening side has
+// learned its peer, writes are dropped (the CPE always speaks first).
+func (u *UDPTransport) WriteDatagram(b []byte) error {
+	u.mu.RLock()
+	peer := u.peer
+	u.mu.RUnlock()
+	if peer == nil {
+		return nil
+	}
+	_, err := u.conn.WriteToUDP(b, peer)
+	return err
+}
+
+// ReadDatagram implements Transport.
+func (u *UDPTransport) ReadDatagram() ([]byte, error) {
+	buf := make([]byte, maxDatagram)
+	for {
+		n, from, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			return nil, err
+		}
+		u.mu.Lock()
+		if u.peer == nil {
+			u.peer = from
+		}
+		known := u.peer
+		u.mu.Unlock()
+		// A point-to-point tunnel ignores datagrams from other sources.
+		if from.IP.Equal(known.IP) && from.Port == known.Port {
+			out := make([]byte, n)
+			copy(out, buf[:n])
+			return out, nil
+		}
+	}
+}
+
+// Close implements Transport.
+func (u *UDPTransport) Close() error { return u.conn.Close() }

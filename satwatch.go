@@ -1,0 +1,166 @@
+// Package satwatch reproduces "When Satellite is All You Have: Watching
+// the Internet from 550 ms" (IMC 2022): a passive-measurement pipeline for
+// GEO satellite internet access, built over a full synthetic deployment —
+// satellite geometry, spot beams with a TDMA/slotted-Aloha MAC, a PEP with
+// finite resources, QoS shaping, a CDN/DNS ecosystem with the paper's
+// server-selection pathologies, and a Tstat-style probe at the single
+// ground station.
+//
+// The typical use is three calls:
+//
+//	p := satwatch.New(satwatch.WithCustomers(400), satwatch.WithDays(2))
+//	res, err := p.Run()
+//	fmt.Println(res.RenderAll())
+//
+// Run generates the deployment's traffic, measures it with the probe, and
+// materializes every table and figure of the paper's evaluation. The
+// Results fields expose the typed experiment outputs for programmatic use.
+package satwatch
+
+import (
+	"strings"
+
+	"satwatch/internal/analytics"
+	"satwatch/internal/geo"
+	"satwatch/internal/netsim"
+	"satwatch/internal/report"
+)
+
+// Pipeline is a configured end-to-end run: generate → probe → analyze.
+type Pipeline struct {
+	cfg netsim.Config
+	// ThroughputMinBytes is the Figure 11 bulk-flow threshold. The paper
+	// uses 10 MB on three months of traffic; scaled runs default to 5 MB.
+	ThroughputMinBytes int64
+}
+
+// Option configures a Pipeline.
+type Option func(*Pipeline)
+
+// WithCustomers sets the population size.
+func WithCustomers(n int) Option { return func(p *Pipeline) { p.cfg.Customers = n } }
+
+// WithDays sets the observation window in days.
+func WithDays(n int) Option { return func(p *Pipeline) { p.cfg.Days = n } }
+
+// WithSeed sets the run's deterministic seed.
+func WithSeed(seed uint64) Option { return func(p *Pipeline) { p.cfg.Seed = seed } }
+
+// WithThroughputThreshold sets the Figure 11 minimum flow size in bytes.
+func WithThroughputThreshold(b int64) Option {
+	return func(p *Pipeline) { p.ThroughputMinBytes = b }
+}
+
+// Ablations (DESIGN.md A1-A4).
+
+// WithoutPEP removes the PEP processing delays (ablation A1).
+func WithoutPEP() Option { return func(p *Pipeline) { p.cfg.DisablePEP = true } }
+
+// WithoutMAC replaces MAC access delays with ideal zero-delay access (A4).
+func WithoutMAC() Option { return func(p *Pipeline) { p.cfg.DisableMAC = true } }
+
+// WithAfricanGroundStation adds a second gateway in Africa (A2).
+func WithAfricanGroundStation() Option {
+	return func(p *Pipeline) { p.cfg.AfricanGroundStation = true }
+}
+
+// WithForcedOperatorDNS makes all customers use the operator resolver (A3).
+func WithForcedOperatorDNS() Option {
+	return func(p *Pipeline) { p.cfg.ForceOperatorDNS = true }
+}
+
+// New builds a pipeline with laptop-scale defaults (400 customers, 2 days).
+func New(opts ...Option) *Pipeline {
+	p := &Pipeline{cfg: netsim.DefaultConfig(), ThroughputMinBytes: 5 << 20}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Results holds the enriched dataset plus every materialized experiment.
+type Results struct {
+	// Output is the raw simulation product: anonymized flow and DNS logs
+	// plus operator metadata.
+	Output *netsim.Output
+	// Dataset is the enriched analysis view.
+	Dataset *analytics.Dataset
+
+	Table1 report.Table1
+	Fig2   report.Fig2
+	Fig3   report.Fig3
+	Fig4   report.Fig4
+	Fig5   report.Fig5
+	Fig6   report.Fig6
+	Fig7   report.Fig7
+	Fig8a  report.Fig8a
+	Fig8b  report.Fig8b
+	Fig9   report.Fig9
+	Fig10  report.Fig10
+	Table2 report.ResolverImpact
+	Fig11  report.Fig11
+	// Table3 is the Appendix A service-classification rule table.
+	Table3 report.Table3
+	// Tables45 is the appendix version of Table 2, covering four
+	// countries.
+	Tables45 report.ResolverImpact
+}
+
+// Run executes the pipeline.
+func (p *Pipeline) Run() (*Results, error) {
+	out, err := netsim.Run(p.cfg)
+	if err != nil {
+		return nil, err
+	}
+	ds := analytics.NewDataset(out, p.cfg.Days)
+	return p.Analyze(out, ds), nil
+}
+
+// Analyze materializes all experiments from an existing output (useful
+// when replaying saved logs).
+func (p *Pipeline) Analyze(out *netsim.Output, ds *analytics.Dataset) *Results {
+	days := p.cfg.Days
+	if days <= 0 {
+		days = 1
+	}
+	return &Results{
+		Output:   out,
+		Dataset:  ds,
+		Table1:   report.BuildTable1(ds),
+		Fig2:     report.BuildFig2(ds),
+		Fig3:     report.BuildFig3(ds),
+		Fig4:     report.BuildFig4(ds),
+		Fig5:     report.BuildFig5(ds),
+		Fig6:     report.BuildFig6(ds),
+		Fig7:     report.BuildFig7(ds),
+		Fig8a:    report.BuildFig8a(ds),
+		Fig8b:    report.BuildFig8b(ds, out.Beams),
+		Fig9:     report.BuildFig9(ds),
+		Fig10:    report.BuildFig10(ds),
+		Table2:   report.BuildResolverImpact(ds, "GB", "NG"),
+		Fig11:    report.BuildFig11(ds, p.ThroughputMinBytes),
+		Table3:   report.BuildTable3(),
+		Tables45: report.BuildResolverImpact(ds, "CD", "ZA", "NG", "GB"),
+	}
+}
+
+// Config returns the underlying simulation configuration.
+func (p *Pipeline) Config() netsim.Config { return p.cfg }
+
+// RenderAll prints every experiment in the paper's order.
+func (r *Results) RenderAll() string {
+	var sb strings.Builder
+	for _, s := range []string{
+		r.Table1.Render(), r.Fig2.Render(), r.Fig3.Render(), r.Fig4.Render(),
+		r.Fig5.Render(), r.Fig6.Render(), r.Fig7.Render(), r.Fig8a.Render(),
+		r.Fig8b.Render(), r.Fig9.Render(), r.Fig10.Render(), r.Table2.Render(),
+		r.Fig11.Render(), r.Table3.Render(),
+	} {
+		sb.WriteString(s)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Top6 re-exports the paper's six focus countries for callers of the API.
+func Top6() []geo.CountryCode { return geo.Top6() }

@@ -1,0 +1,75 @@
+package satwatch
+
+import (
+	"strings"
+	"testing"
+
+	"satwatch/internal/analytics"
+)
+
+func TestOptionsWiring(t *testing.T) {
+	p := New(
+		WithCustomers(77), WithDays(3), WithSeed(9),
+		WithoutPEP(), WithoutMAC(), WithAfricanGroundStation(), WithForcedOperatorDNS(),
+		WithThroughputThreshold(1<<20),
+	)
+	cfg := p.Config()
+	if cfg.Customers != 77 || cfg.Days != 3 || cfg.Seed != 9 {
+		t.Fatalf("core options: %+v", cfg)
+	}
+	if !cfg.DisablePEP || !cfg.DisableMAC || !cfg.AfricanGroundStation || !cfg.ForceOperatorDNS {
+		t.Fatal("ablation options not applied")
+	}
+	if p.ThroughputMinBytes != 1<<20 {
+		t.Fatal("throughput threshold not applied")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := New()
+	cfg := p.Config()
+	if cfg.Customers != 400 || cfg.Days != 2 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if p.ThroughputMinBytes != 5<<20 {
+		t.Fatal("default throughput threshold")
+	}
+}
+
+func TestRenderAllContainsEveryExperiment(t *testing.T) {
+	r := experimentResults(t)
+	out := r.RenderAll()
+	for _, want := range []string{
+		"Table 1:", "Figure 2:", "Figure 3:", "Figure 4:", "Figure 5:",
+		"Figure 6:", "Figure 7:", "Figure 8a:", "Figure 8b:", "Figure 9:",
+		"Figure 10:", "Tables 2/4/5", "Figure 11:", "Table 3:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderAll missing %q", want)
+		}
+	}
+}
+
+func TestAnalyzeReusesOutput(t *testing.T) {
+	r := experimentResults(t)
+	p := New(WithCustomers(300), WithDays(2), WithSeed(2022))
+	ds := analytics.NewDataset(r.Output, 2)
+	again := p.Analyze(r.Output, ds)
+	// Re-analysis of the same logs reproduces the same headline numbers.
+	if again.Table1.SharePct != nil && r.Table1.SharePct != nil {
+		for proto, v := range r.Table1.SharePct {
+			if got := again.Table1.SharePct[proto]; got != v {
+				t.Fatalf("re-analysis diverged for %v: %v vs %v", proto, got, v)
+			}
+		}
+	}
+	if len(again.Fig2.Rows) != len(r.Fig2.Rows) {
+		t.Fatal("Fig2 rows differ on re-analysis")
+	}
+}
+
+func TestTop6(t *testing.T) {
+	if len(Top6()) != 6 {
+		t.Fatal("Top6 broken")
+	}
+}
