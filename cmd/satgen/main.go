@@ -3,9 +3,15 @@
 // small packet-level pcap capture whose every byte is decodable (for
 // satprobe demos and interoperability tests with standard tooling).
 //
+// Every run writes a manifest.json next to its outputs (config, seed,
+// version, per-stage timings, output digests) so runs are comparable and
+// reproducible; -metrics dumps the full metrics registry and -progress
+// streams a live status line to stderr (see OBSERVABILITY.md).
+//
 // Usage:
 //
-//	satgen -out DIR [-customers 200] [-days 1] [-seed 1] [-pcap-flows 50]
+//	satgen -out DIR [-customers 200] [-days 1] [-seed 1] [-parallelism 0]
+//	       [-pcap-flows 50] [-metrics FILE] [-progress]
 package main
 
 import (
@@ -14,8 +20,10 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"time"
 
 	"satwatch/internal/netsim"
+	"satwatch/internal/obs"
 	"satwatch/internal/pcapgen"
 	"satwatch/internal/tstat"
 )
@@ -25,18 +33,29 @@ func main() {
 	customers := flag.Int("customers", 200, "population size")
 	days := flag.Int("days", 1, "observation window in days")
 	seed := flag.Uint64("seed", 1, "deterministic run seed")
+	parallelism := flag.Int("parallelism", 0, "pass-B synthesis workers (0 = GOMAXPROCS)")
 	pcapFlows := flag.Int("pcap-flows", 50, "flows in the demo pcap (0 disables)")
+	metricsOut := flag.String("metrics", "", "write a JSON metrics dump to this file after the run")
+	progress := flag.Bool("progress", false, "print a live progress line to stderr every 2s")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatalf("satgen: %v", err)
 	}
 
-	sim, err := netsim.Run(netsim.Config{Customers: *customers, Days: *days, Seed: *seed})
+	if *progress {
+		stop := obs.StartProgress(os.Stderr, 2*time.Second, netsim.ProgressLine)
+		defer stop()
+	}
+
+	cfg := netsim.Config{Customers: *customers, Days: *days, Seed: *seed, Parallelism: *parallelism}
+	sim, err := netsim.Run(cfg)
 	if err != nil {
 		log.Fatalf("satgen: %v", err)
 	}
+	manifest := netsim.ManifestFor("satgen", cfg, sim)
 
+	writeStart := time.Now()
 	flowsPath := filepath.Join(*out, "flows.tsv")
 	ff, err := os.Create(flowsPath)
 	if err != nil {
@@ -79,6 +98,7 @@ func main() {
 
 	fmt.Printf("wrote %s (%d flows), %s (%d DNS transactions), %s, %s\n",
 		flowsPath, len(sim.Flows), dnsPath, len(sim.DNS), metaPath, prefixPath)
+	outputs := []string{flowsPath, dnsPath, metaPath, prefixPath}
 
 	if *pcapFlows > 0 {
 		pcapPath := filepath.Join(*out, "sample.pcap")
@@ -92,5 +112,29 @@ func main() {
 		}
 		pf.Close()
 		fmt.Printf("wrote %s (%s)\n", pcapPath, st.Describe())
+		outputs = append(outputs, pcapPath)
 	}
+	manifest.AddTiming("write", time.Since(writeStart))
+
+	if *metricsOut != "" {
+		mff, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatalf("satgen: %v", err)
+		}
+		if err := obs.Default.WriteJSON(mff); err != nil {
+			log.Fatalf("satgen: metrics dump: %v", err)
+		}
+		mff.Close()
+		outputs = append(outputs, *metricsOut)
+	}
+
+	for _, p := range outputs {
+		if err := manifest.AddOutput(p); err != nil {
+			log.Fatalf("satgen: %v", err)
+		}
+	}
+	if err := manifest.Write(*out); err != nil {
+		log.Fatalf("satgen: %v", err)
+	}
+	fmt.Printf("wrote %s\n", filepath.Join(*out, obs.ManifestName))
 }

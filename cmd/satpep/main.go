@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	satpep [-size 2097152] [-listen 127.0.0.1:0]
+//	satpep [-size 2097152] [-listen 127.0.0.1:0] [-metrics FILE]
 package main
 
 import (
@@ -16,16 +16,27 @@ import (
 	"io"
 	"log"
 	"net"
+	"os"
 	"time"
 
 	"satwatch/internal/linkemu"
+	"satwatch/internal/obs"
 	"satwatch/internal/pep"
 	"satwatch/internal/tunnel"
+)
+
+// Exported metrics (see OBSERVABILITY.md).
+var (
+	mHandshake = obs.NewGauge("satpep_handshake_seconds",
+		"TCP handshake time of the PEP-proxied fetch.", "seconds")
+	mDownload = obs.NewGauge("satpep_download_seconds",
+		"Full download time of the PEP-proxied fetch.", "seconds")
 )
 
 func main() {
 	size := flag.Int("size", 2<<20, "payload bytes to download")
 	listen := flag.String("listen", "127.0.0.1:0", "CPE proxy listen address")
+	metricsOut := flag.String("metrics", "", "write a JSON metrics dump here on exit")
 	flag.Parse()
 
 	payload := make([]byte, *size)
@@ -68,6 +79,8 @@ func main() {
 		origin.Addr(), ln.Addr(), 2*linkemu.GEO().Delay)
 
 	hs, total := fetch(ln.Addr().String(), *size)
+	mHandshake.SetDuration(hs)
+	mDownload.SetDuration(total)
 	fmt.Println("through the PEP (RFC 3135 split TCP):")
 	fmt.Printf("  TCP handshake: %v   (terminated locally at the CPE)\n", hs.Round(time.Millisecond))
 	fmt.Printf("  full download: %v\n\n", total.Round(time.Millisecond))
@@ -87,6 +100,18 @@ func main() {
 		gw.Stats.Connections.Load(), gw.Stats.BytesDown.Load())
 	cpe.Close()
 	gw.Close()
+
+	if *metricsOut != "" {
+		out, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer out.Close()
+		if err := obs.Default.WriteJSON(out); err != nil {
+			log.Fatalf("satpep: metrics dump: %v", err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
+	}
 }
 
 func fetch(addr string, want int) (handshake, total time.Duration) {

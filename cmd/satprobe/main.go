@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	satprobe -in capture.pcap [-flows flows.tsv] [-dns dns.tsv]
+//	satprobe -in capture.pcap [-flows flows.tsv] [-dns dns.tsv] [-metrics FILE]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"satwatch/internal/obs"
 	"satwatch/internal/pcapio"
 	"satwatch/internal/tstat"
 )
@@ -24,6 +25,7 @@ func main() {
 	in := flag.String("in", "", "pcap capture to replay (required)")
 	flowsOut := flag.String("flows", "", "write flow log TSV here (default: stdout summary only)")
 	dnsOut := flag.String("dns", "", "write DNS log TSV here")
+	metricsOut := flag.String("metrics", "", "write a JSON metrics dump here after the replay")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
@@ -101,5 +103,16 @@ func main() {
 			log.Fatalf("satprobe: %v", err)
 		}
 		fmt.Printf("DNS log written to %s\n", *dnsOut)
+	}
+	if *metricsOut != "" {
+		out, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatalf("satprobe: %v", err)
+		}
+		defer out.Close()
+		if err := obs.Default.WriteJSON(out); err != nil {
+			log.Fatalf("satprobe: metrics dump: %v", err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
 	}
 }

@@ -2,9 +2,15 @@
 // table and figure of the paper's evaluation, optionally exporting the
 // anonymized flow/DNS logs and the ERRANT emulation profiles.
 //
+// Simulated runs write a manifest.json next to their outputs (config,
+// seed, version, per-stage timings, output digests); -metrics dumps the
+// full metrics registry and -progress streams a live status line to
+// stderr (see OBSERVABILITY.md).
+//
 // Usage:
 //
-//	satreport [-customers 400] [-days 2] [-seed 1] [-logs DIR] [-errant]
+//	satreport [-customers 400] [-days 2] [-seed 1] [-parallelism 0]
+//	          [-logs DIR] [-errant] [-metrics FILE] [-progress]
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"satwatch/internal/analytics"
 	"satwatch/internal/errant"
 	"satwatch/internal/netsim"
+	"satwatch/internal/obs"
 	"satwatch/internal/tstat"
 )
 
@@ -26,16 +33,24 @@ func main() {
 	customers := flag.Int("customers", 400, "population size")
 	days := flag.Int("days", 2, "observation window in days")
 	seed := flag.Uint64("seed", 1, "deterministic run seed")
+	parallelism := flag.Int("parallelism", 0, "pass-B synthesis workers (0 = GOMAXPROCS)")
 	logsDir := flag.String("logs", "", "directory to write flows.tsv and dns.tsv into")
 	fromDir := flag.String("from", "", "re-analyze saved logs (flows.tsv/dns.tsv/meta.tsv/prefixes.tsv) instead of simulating")
 	errantOut := flag.Bool("errant", false, "also print ERRANT-style emulation profiles")
+	metricsOut := flag.String("metrics", "", "write a JSON metrics dump to this file after the run")
+	progress := flag.Bool("progress", false, "print a live progress line to stderr every 2s")
 	flag.Parse()
 
 	start := time.Now()
+	if *progress {
+		stop := obs.StartProgress(os.Stderr, 2*time.Second, netsim.ProgressLine)
+		defer stop()
+	}
 	p := satwatch.New(
 		satwatch.WithCustomers(*customers),
 		satwatch.WithDays(*days),
 		satwatch.WithSeed(*seed),
+		satwatch.WithParallelism(*parallelism),
 	)
 	var res *satwatch.Results
 	var err error
@@ -56,6 +71,7 @@ func main() {
 		fmt.Print(errant.Render(errant.BuildProfiles(res.Dataset), "eth0"))
 	}
 
+	var outputs []string
 	if *logsDir != "" {
 		if err := os.MkdirAll(*logsDir, 0o755); err != nil {
 			log.Fatalf("satreport: %v", err)
@@ -64,6 +80,42 @@ func main() {
 			log.Fatalf("satreport: %v", err)
 		}
 		fmt.Printf("logs written to %s\n", *logsDir)
+		for _, name := range []string{"flows.tsv", "dns.tsv", "meta.tsv", "prefixes.tsv"} {
+			outputs = append(outputs, filepath.Join(*logsDir, name))
+		}
+	}
+
+	if *metricsOut != "" {
+		mf, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatalf("satreport: %v", err)
+		}
+		if err := obs.Default.WriteJSON(mf); err != nil {
+			log.Fatalf("satreport: metrics dump: %v", err)
+		}
+		mf.Close()
+		outputs = append(outputs, *metricsOut)
+	}
+
+	// Replayed logs carry their producer's manifest; only simulated runs
+	// write a fresh one, next to the logs when exported, else in the
+	// working directory.
+	if *fromDir == "" {
+		manifest := netsim.ManifestFor("satreport", p.Config(), res.Output)
+		manifest.AddTiming("total", time.Since(start))
+		for _, path := range outputs {
+			if err := manifest.AddOutput(path); err != nil {
+				log.Fatalf("satreport: %v", err)
+			}
+		}
+		dir := *logsDir
+		if dir == "" {
+			dir = "."
+		}
+		if err := manifest.Write(dir); err != nil {
+			log.Fatalf("satreport: %v", err)
+		}
+		fmt.Printf("wrote %s\n", filepath.Join(dir, obs.ManifestName))
 	}
 }
 

@@ -17,6 +17,15 @@ import (
 	"satwatch/internal/cdn"
 	"satwatch/internal/dist"
 	"satwatch/internal/geo"
+	"satwatch/internal/obs"
+)
+
+// Exported metrics (see OBSERVABILITY.md).
+var (
+	mQueries = obs.NewCounter("dnssim_queries_total",
+		"Resolutions sampled through the resolver model.", "")
+	mCacheMisses = obs.NewCounter("dnssim_cache_misses_total",
+		"Resolutions where the resolver missed its cache and recursed to authoritatives.", "")
 )
 
 // ResolverID names one of the tracked resolvers (the Figure 10 rows).
@@ -180,9 +189,11 @@ func AdoptionShare(country geo.CountryCode, id ResolverID) float64 {
 // station: the round trip to the resolver plus an occasional recursion
 // penalty when the resolver misses its cache.
 func (res Resolver) SampleResponseTime(r *dist.Rand) time.Duration {
+	mQueries.Inc()
 	base := dist.LogNormalFromMedian(float64(res.MedianResponse), res.Sigma).Sample(r)
 	if r.Bool(0.12) {
 		// Cache miss: the resolver recurses to authoritatives.
+		mCacheMisses.Inc()
 		base += r.Exponential(float64(80 * time.Millisecond))
 	}
 	return time.Duration(base)

@@ -25,7 +25,22 @@ import (
 	"time"
 
 	"satwatch/internal/dist"
+	"satwatch/internal/obs"
 	"satwatch/internal/simtime"
+)
+
+// Exported metrics (see OBSERVABILITY.md).
+var (
+	mUplinkDelay = obs.NewHistogram("mac_uplink_access_delay_seconds",
+		"Sampled uplink MAC access delay (contention + reservation + ARQ).", "seconds", obs.LatencyBuckets())
+	mDownlinkDelay = obs.NewHistogram("mac_downlink_queue_delay_seconds",
+		"Sampled downlink frame-alignment plus queueing delay.", "seconds", obs.LatencyBuckets())
+	mBeamUtil = obs.NewHistogram("mac_beam_utilization_ratio",
+		"Beam utilization observed at each uplink sample (flow-weighted).", "ratio", obs.RatioBuckets())
+	mCellBuilds = obs.NewCounter("mac_cells_built_total",
+		"Access-delay grid cells built by the slot-level micro-simulation.", "")
+	mCellBuildTime = obs.NewTimer("mac_cell_build_seconds",
+		"Wall time spent building access-delay grid cells (micro-simulation runs).")
 )
 
 // Params are the data-link dimensioning knobs.
@@ -293,7 +308,10 @@ func (m *Model) cell(ui, fi int) *dist.Empirical {
 		return c
 	}
 	seed := m.p.Seed ^ uint64(ui*31+fi+1)*0x9e3779b97f4a7c15
+	stop := mCellBuildTime.Start()
 	c := SimulateAccessDelay(m.p, m.utils[ui], m.fers[fi], seed)
+	stop()
+	mCellBuilds.Inc()
 	m.cells[key] = c
 	return c
 }
@@ -303,7 +321,10 @@ func (m *Model) cell(ui, fi int) *dist.Empirical {
 func (m *Model) SampleUplink(util, fer float64, r *dist.Rand) time.Duration {
 	ui := nearestIdx(m.utils, util)
 	fi := nearestIdx(m.fers, fer)
-	return time.Duration(m.cell(ui, fi).Sample(r))
+	d := time.Duration(m.cell(ui, fi).Sample(r))
+	mUplinkDelay.ObserveDuration(d)
+	mBeamUtil.Observe(util)
+	return d
 }
 
 // SampleDownlink draws one downlink delay. The downlink is a broadcast
@@ -324,6 +345,7 @@ func (m *Model) SampleDownlink(util, fer float64, r *dist.Rand) time.Duration {
 	for retries := 0; retries < m.p.MaxARQRetries && r.Bool(fer); retries++ {
 		d += float64(m.p.HopRTT) + frame
 	}
+	mDownlinkDelay.ObserveDuration(time.Duration(d))
 	return time.Duration(d)
 }
 

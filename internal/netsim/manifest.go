@@ -1,0 +1,52 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"satwatch/internal/obs"
+)
+
+// ManifestFor seeds a run manifest from a finished simulation: seed and
+// full config, the effective parallelism, and the pass-A/pass-B wall
+// timings. Callers add output digests and extra timings, then Write it
+// next to the run's outputs.
+func ManifestFor(tool string, cfg Config, out *Output) *obs.Manifest {
+	m := obs.NewManifest(tool, cfg.Seed)
+	m.Config = cfg.withDefaults()
+	m.Parallelism = out.Stats.Workers
+	m.AddTiming("pass_a", out.Stats.PassA)
+	m.AddTiming("pass_b", out.Stats.PassB)
+	return m
+}
+
+// ProgressLine renders the live one-line run summary the CLIs print under
+// -progress: phase, customer progress with ETA, flow throughput, and the
+// load gauges (beam utilization so far, peak PEP rho). It reads the
+// Default obs registry, so it reflects whatever run is in flight.
+func ProgressLine(elapsed time.Duration) string {
+	get := func(name string) obs.Snapshot {
+		s, _ := obs.Default.Get(name)
+		return s
+	}
+	total := int64(get("netsim_customers_total").Value)
+	done := int64(get("netsim_customers_done_total").Value)
+	flows := int64(get("netsim_flows_total").Value)
+	phase := "pass A"
+	if get("netsim_pass_a_seconds").Value > 0 {
+		phase = "pass B"
+	}
+	if get("netsim_pass_b_seconds").Value > 0 {
+		phase = "finalize"
+	}
+	line := fmt.Sprintf("[%s %s] customers %d/%d · flows %d (%s) · %s",
+		elapsed.Round(time.Second), phase, done, total,
+		flows, obs.FormatRate(flows, elapsed), obs.ETA(done, total, elapsed))
+	if bu := get("mac_beam_utilization_ratio"); bu.Count > 0 {
+		line += fmt.Sprintf(" · beam-util≈%.2f", bu.Mean())
+	}
+	if rho := get("pep_peak_rho"); rho.Value > 0 {
+		line += fmt.Sprintf(" · pep-rho-peak %.2f", rho.Value)
+	}
+	return line
+}

@@ -30,10 +30,30 @@ import (
 	"satwatch/internal/dnssim"
 	"satwatch/internal/geo"
 	"satwatch/internal/mac"
+	"satwatch/internal/obs"
 	"satwatch/internal/pepmodel"
 	"satwatch/internal/phy"
 	"satwatch/internal/tstat"
 	"satwatch/internal/workload"
+)
+
+// Exported metrics (see OBSERVABILITY.md).
+var (
+	mPassA = obs.NewGauge("netsim_pass_a_seconds",
+		"Wall time of pass A (offered-load aggregation and beam dimensioning) of the last run.", "seconds")
+	mPassB = obs.NewGauge("netsim_pass_b_seconds",
+		"Wall time of pass B (parallel flow synthesis and tracking) of the last run.", "seconds")
+	mWorkers = obs.NewGauge("netsim_workers",
+		"Effective pass-B worker count of the last run.", "")
+	mCustomersTotal = obs.NewGauge("netsim_customers_total",
+		"Population size of the last run.", "")
+	mCustomersDone = obs.NewCounter("netsim_customers_done_total",
+		"Customers fully synthesized by pass-B workers.", "")
+	mFlows = obs.NewCounter("netsim_flows_total",
+		"Flow intents synthesized into tracker events.", "")
+	mWorkerRate = obs.NewHistogram("netsim_worker_flows_per_second",
+		"Per-worker pass-B flow synthesis throughput (one sample per worker per run).", "flows/s",
+		obs.ExpBuckets(100, 2, 14))
 )
 
 // Config parameterizes a simulation run.
@@ -114,6 +134,28 @@ type BeamStat struct {
 	OfferedPeakBps float64
 }
 
+// RunStats are the per-stage wall timings and worker statistics of one
+// Run, feeding the run manifest (see ManifestFor) and the progress line.
+type RunStats struct {
+	// PassA / PassB are the wall times of the two simulator passes.
+	PassA time.Duration
+	PassB time.Duration
+	// Workers is the effective pass-B parallelism (Config.Parallelism
+	// resolved against GOMAXPROCS and the population size).
+	Workers int
+	// WorkerFlows is the number of flow intents each worker synthesized.
+	WorkerFlows []int
+}
+
+// Flows returns the total flow intents synthesized across workers.
+func (s RunStats) Flows() int {
+	total := 0
+	for _, n := range s.WorkerFlows {
+		total += n
+	}
+	return total
+}
+
 // Output is everything a run produces.
 type Output struct {
 	Flows []tstat.FlowRecord
@@ -127,6 +169,8 @@ type Output struct {
 	// Epoch is the wall-clock instant of simulated time zero (UTC
 	// midnight), for pcap export.
 	Epoch time.Time
+	// Stats carries the run's wall timings and worker statistics.
+	Stats RunStats
 }
 
 // hourOf returns the absolute hour index of a simulation timestamp.
@@ -159,6 +203,8 @@ func (b *beamLoad) pepRho(hour int, factor float64) float64 {
 func Run(cfg Config) (*Output, error) {
 	cfg = cfg.withDefaults()
 	root := dist.NewRand(cfg.Seed)
+	startA := time.Now()
+	mCustomersTotal.Set(float64(cfg.Customers))
 
 	customers, err := workload.BuildPopulation(cfg.Customers, root.Fork("population"))
 	if err != nil {
@@ -207,7 +253,11 @@ func Run(cfg Config) (*Output, error) {
 		}
 	}
 
+	passA := time.Since(startA)
+	mPassA.SetDuration(passA)
+
 	// --- Pass B: synthesize the vantage-point stream ------------------
+	startB := time.Now()
 	anonKey := make([]byte, cryptopan.KeySize)
 	kr := root.Fork("anon-key")
 	for i := range anonKey {
@@ -243,10 +293,12 @@ func Run(cfg Config) (*Output, error) {
 	// merged and sorted afterwards, making the output independent of
 	// scheduling.
 	type workerOut struct {
-		flows []tstat.FlowRecord
-		dns   []tstat.DNSRecord
+		flows   []tstat.FlowRecord
+		dns     []tstat.DNSRecord
+		intents int
 	}
 	outs := make([]workerOut, workers)
+	mWorkers.Set(float64(workers))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -269,12 +321,24 @@ func Run(cfg Config) (*Output, error) {
 					for i := range intents {
 						syn.flow(&intents[i], sr)
 					}
+					outs[w].intents += len(intents)
+					mFlows.Add(int64(len(intents)))
 				}
+				mCustomersDone.Inc()
 			}
 			outs[w].flows, outs[w].dns = tracker.Flush()
 		}(w)
 	}
 	wg.Wait()
+	passB := time.Since(startB)
+	mPassB.SetDuration(passB)
+	stats := RunStats{PassA: passA, PassB: passB, Workers: workers, WorkerFlows: make([]int, workers)}
+	for w := range outs {
+		stats.WorkerFlows[w] = outs[w].intents
+		if secs := passB.Seconds(); secs > 0 {
+			mWorkerRate.Observe(float64(outs[w].intents) / secs)
+		}
+	}
 
 	var flows []tstat.FlowRecord
 	var dns []tstat.DNSRecord
@@ -291,6 +355,7 @@ func Run(cfg Config) (*Output, error) {
 		Meta:            make(map[netip.Addr]CustomerMeta, len(customers)),
 		CountryPrefixes: map[netip.Prefix]geo.CountryCode{},
 		Epoch:           time.Date(2022, time.February, 7, 0, 0, 0, 0, time.UTC),
+		Stats:           stats,
 	}
 	for _, c := range customers {
 		out.Meta[anon.MustAnonymize(c.Addr)] = CustomerMeta{

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"time"
+)
+
+// ManifestName is the file name every run writes next to its outputs.
+const ManifestName = "manifest.json"
+
+// Manifest records everything needed to compare and reproduce a run:
+// the tool and code version, the full configuration and seed, the
+// effective parallelism, per-stage wall timings, and content digests of
+// every output file. OBSERVABILITY.md documents the schema.
+type Manifest struct {
+	// Tool is the producing command ("satgen", "satreport", ...).
+	Tool string `json:"tool"`
+	// Version identifies the build (module version plus VCS revision
+	// when the binary was built with VCS stamping; see Version).
+	Version string `json:"version"`
+	// Created is the wall-clock completion time, RFC 3339.
+	Created time.Time `json:"created"`
+	// Seed is the run's deterministic seed.
+	Seed uint64 `json:"seed"`
+	// Parallelism is the effective pass-B worker count of the run (the
+	// resolved value, never 0).
+	Parallelism int `json:"parallelism,omitempty"`
+	// Config is the full simulation configuration, marshaled as-is.
+	Config any `json:"config,omitempty"`
+	// TimingsSeconds maps stage name to wall seconds (e.g. "pass_a",
+	// "pass_b", "analyze").
+	TimingsSeconds map[string]float64 `json:"timings_seconds"`
+	// Outputs maps output file base name to "sha256:<hex>" digests.
+	Outputs map[string]string `json:"outputs"`
+}
+
+// NewManifest starts a manifest for a tool invocation.
+func NewManifest(tool string, seed uint64) *Manifest {
+	return &Manifest{
+		Tool:           tool,
+		Version:        Version(),
+		Created:        time.Now().UTC(),
+		Seed:           seed,
+		TimingsSeconds: map[string]float64{},
+		Outputs:        map[string]string{},
+	}
+}
+
+// AddTiming records a stage wall time.
+func (m *Manifest) AddTiming(stage string, d time.Duration) {
+	m.TimingsSeconds[stage] = d.Seconds()
+}
+
+// AddOutput digests the file at path (sha256) and records it under its
+// base name.
+func (m *Manifest) AddOutput(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("obs: manifest output: %w", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return fmt.Errorf("obs: manifest digest %s: %w", path, err)
+	}
+	m.Outputs[filepath.Base(path)] = "sha256:" + hex.EncodeToString(h.Sum(nil))
+	return nil
+}
+
+// Write serializes the manifest as dir/manifest.json.
+func (m *Manifest) Write(dir string) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: manifest marshal: %w", err)
+	}
+	return os.WriteFile(filepath.Join(dir, ManifestName), append(b, '\n'), 0o644)
+}
+
+// ReadManifest parses dir/manifest.json.
+func ReadManifest(dir string) (*Manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("obs: manifest parse: %w", err)
+	}
+	return &m, nil
+}
+
+// Version reports the build's identity from the embedded build info: the
+// main module version, plus the VCS revision (short) and a "-dirty"
+// marker when built from a modified tree. Binaries built without VCS
+// stamping (e.g. plain `go test`) report "devel".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	ver := bi.Main.Version
+	if ver == "" || ver == "(devel)" {
+		ver = "devel"
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		ver += "+" + rev
+		if dirty {
+			ver += "-dirty"
+		}
+	}
+	return ver
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// StartProgress runs a background reporter that writes one line produced
+// by the line callback to w every interval (the `-progress` flag of the
+// CLIs). The callback receives the elapsed time since the reporter
+// started. The returned stop function emits a final line and terminates
+// the reporter; it is safe to call once.
+func StartProgress(w io.Writer, interval time.Duration, line func(elapsed time.Duration) string) (stop func()) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	start := time.Now()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprintln(w, line(time.Since(start)))
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+			fmt.Fprintln(w, line(time.Since(start)))
+		})
+	}
+}
+
+// FormatRate renders an events-per-second rate compactly ("4.1k/s").
+func FormatRate(events int64, elapsed time.Duration) string {
+	if elapsed <= 0 {
+		return "0/s"
+	}
+	r := float64(events) / elapsed.Seconds()
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fM/s", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fk/s", r/1e3)
+	default:
+		return fmt.Sprintf("%.0f/s", r)
+	}
+}
+
+// ETA estimates remaining time from progress so far; it returns a
+// placeholder until at least 1% of the work is done.
+func ETA(done, total int64, elapsed time.Duration) string {
+	if total <= 0 || done <= 0 || done*100 < total {
+		return "ETA --"
+	}
+	if done >= total {
+		return "ETA 0s"
+	}
+	rem := time.Duration(float64(elapsed) * float64(total-done) / float64(done))
+	return "ETA " + rem.Round(time.Second).String()
+}

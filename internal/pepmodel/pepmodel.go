@@ -11,6 +11,19 @@ import (
 	"time"
 
 	"satwatch/internal/dist"
+	"satwatch/internal/obs"
+)
+
+// Exported metrics (see OBSERVABILITY.md).
+var (
+	mSetups = obs.NewCounter("pep_setups_total",
+		"Connection setups processed by the PEP model.", "")
+	mSetupSojourn = obs.NewHistogram("pep_setup_sojourn_seconds",
+		"Sampled PEP connection-setup sojourn times (M/M/1).", "seconds", obs.LatencyBuckets())
+	mPeakRho = obs.NewGauge("pep_peak_rho",
+		"Highest PEP utilization (rho) seen by any setup so far.", "ratio")
+	mSaturatedSetups = obs.NewCounter("pep_saturated_setups_total",
+		"Setups served at rho > 0.9, where sojourns reach the multi-second regime.", "")
 )
 
 // Model describes the PEP processing resources of one beam.
@@ -55,7 +68,14 @@ func (m Model) clampRho(rho float64) float64 {
 func (m Model) SetupDelay(rho float64, r *dist.Rand) time.Duration {
 	rho = m.clampRho(rho)
 	mean := float64(m.SetupTime) / (1 - rho)
-	return time.Duration(r.Exponential(mean))
+	d := time.Duration(r.Exponential(mean))
+	mSetups.Inc()
+	mSetupSojourn.ObserveDuration(d)
+	mPeakRho.SetMax(rho)
+	if rho > 0.9 {
+		mSaturatedSetups.Inc()
+	}
+	return d
 }
 
 // MeanSetupDelay returns the expected setup sojourn at utilization rho.

@@ -4,6 +4,17 @@
 // classification is by first match in declaration order, so e.g. Skype
 // domains resolve to the Skype chat service before Office365's broader
 // "skype" pattern can claim them.
+//
+// The classification feeds two consumers. The analytics side maps each
+// tstat flow record's DPI-named domain to a service, producing the
+// per-service popularity heatmap (Figure 6) and the per-category volume
+// boxplots (Figure 7). The workload side uses the same table in reverse,
+// sampling the domains each archetype visits so that synthesized traffic
+// classifies back to the paper's penetration matrix. Each Service carries
+// an Intentional flag separating deliberately visited services (the
+// Figure 6 rows) from ones that mostly appear as embedded third parties
+// (YouTube players, Facebook buttons), which the paper excludes from the
+// popularity analysis; Classify matches any of them.
 package services
 
 import (

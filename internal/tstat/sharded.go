@@ -5,7 +5,16 @@ import (
 	"sort"
 	"sync"
 
+	"satwatch/internal/obs"
 	"satwatch/internal/packet"
+)
+
+// Exported metrics (see OBSERVABILITY.md).
+var (
+	mShards = obs.NewGauge("tstat_shards",
+		"Worker count of the most recently built sharded tracker.", "")
+	mMergeTime = obs.NewTimer("tstat_shard_merge_seconds",
+		"Wall time of sharded-tracker flushes (drain + merge + canonical sort).")
 )
 
 // Sharded fans segment events out to N independent trackers keyed by the
@@ -54,6 +63,7 @@ func NewSharded(n int, cfg Config) *Sharded {
 		}(w)
 		s.workers = append(s.workers, w)
 	}
+	mShards.Set(float64(n))
 	return s
 }
 
@@ -68,6 +78,7 @@ func (s *Sharded) Observe(tuple packet.FiveTuple, ev SegmentEvent) {
 // deterministic order a single tracker would produce (sorted by start
 // time, then endpoints).
 func (s *Sharded) Flush() ([]FlowRecord, []DNSRecord) {
+	defer mMergeTime.Start()()
 	var flows []FlowRecord
 	var dns []DNSRecord
 	var mu sync.Mutex

@@ -6,7 +6,18 @@ import (
 	"time"
 
 	"satwatch/internal/cryptopan"
+	"satwatch/internal/obs"
 	"satwatch/internal/packet"
+)
+
+// Exported metrics (see OBSERVABILITY.md).
+var (
+	mEvents = obs.NewCounter("tstat_events_observed_total",
+		"Segment events delivered to trackers (counted at Flush).", "")
+	mFlowRecords = obs.NewCounter("tstat_flow_records_total",
+		"Flow records emitted by tracker flushes.", "")
+	mDNSRecords = obs.NewCounter("tstat_dns_records_total",
+		"DNS records emitted by tracker flushes.", "")
 )
 
 // Config tunes the tracker.
@@ -181,6 +192,9 @@ func (t *Tracker) Flush() ([]FlowRecord, []DNSRecord) {
 	t.emitOrdered(batch)
 	flows, dns := t.flowsOut, t.dnsOut
 	t.flowsOut, t.dnsOut = nil, nil
+	mEvents.Add(t.Observed)
+	mFlowRecords.Add(int64(len(flows)))
+	mDNSRecords.Add(int64(len(dns)))
 	return flows, dns
 }
 

@@ -1,0 +1,57 @@
+package satwatch
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"satwatch/internal/obs"
+)
+
+// TestObservabilityDocCoversRegistry asserts that OBSERVABILITY.md
+// documents every metric the pipeline registers: importing this package
+// pulls in every instrumented internal package, so the Default registry
+// at test time is exactly the metric set a `-metrics` dump can contain.
+func TestObservabilityDocCoversRegistry(t *testing.T) {
+	doc, err := os.ReadFile("OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("OBSERVABILITY.md must exist at the repo root: %v", err)
+	}
+	text := string(doc)
+	snaps := obs.Default.Snapshot()
+	if len(snaps) == 0 {
+		t.Fatal("no metrics registered — instrumentation missing?")
+	}
+	for _, s := range snaps {
+		if !strings.Contains(text, "`"+s.Name+"`") {
+			t.Errorf("metric %q (%s) is not documented in OBSERVABILITY.md", s.Name, s.Kind)
+		}
+	}
+}
+
+// TestObservabilityDocHasNoStaleMetrics walks the doc's metric table rows
+// and flags documented names that no longer exist in the registry (the
+// satpep command registers its two gauges only in its own binary, so they
+// are allowed here).
+func TestObservabilityDocHasNoStaleMetrics(t *testing.T) {
+	doc, err := os.ReadFile("OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	registered := map[string]bool{}
+	for _, s := range obs.Default.Snapshot() {
+		registered[s.Name] = true
+	}
+	allowed := map[string]bool{
+		"satpep_handshake_seconds": true,
+		"satpep_download_seconds":  true,
+	}
+	re := regexp.MustCompile("`((?:netsim|mac|pep|shaper|tstat|dnssim|satpep)_[a-z0-9_]+)`")
+	for _, m := range re.FindAllStringSubmatch(string(doc), -1) {
+		name := m[1]
+		if !registered[name] && !allowed[name] {
+			t.Errorf("OBSERVABILITY.md documents %q, which is not registered", name)
+		}
+	}
+}

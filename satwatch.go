@@ -46,6 +46,10 @@ func WithDays(n int) Option { return func(p *Pipeline) { p.cfg.Days = n } }
 // WithSeed sets the run's deterministic seed.
 func WithSeed(seed uint64) Option { return func(p *Pipeline) { p.cfg.Seed = seed } }
 
+// WithParallelism sets the number of pass-B synthesis workers (0 uses
+// GOMAXPROCS). Results depend only on the seed, not on the worker count.
+func WithParallelism(n int) Option { return func(p *Pipeline) { p.cfg.Parallelism = n } }
+
 // WithThroughputThreshold sets the Figure 11 minimum flow size in bytes.
 func WithThroughputThreshold(b int64) Option {
 	return func(p *Pipeline) { p.ThroughputMinBytes = b }
