@@ -9,6 +9,7 @@ package satwatch
 // Run with: go test -bench=. -benchmem
 
 import (
+	"io"
 	"sync"
 	"testing"
 
@@ -17,6 +18,7 @@ import (
 	"satwatch/internal/netsim"
 	"satwatch/internal/report"
 	"satwatch/internal/services"
+	"satwatch/internal/trace"
 	"satwatch/internal/tstat"
 )
 
@@ -41,11 +43,33 @@ func benchResults(b *testing.B) *Results {
 }
 
 func BenchmarkPipelineEndToEnd(b *testing.B) {
-	// The full generate→probe→analyze pipeline at small scale.
+	// The full generate→probe→analyze pipeline at small scale. No tracer
+	// is attached, so this IS the tracing-disabled baseline: the only cost
+	// flight recording adds here is one nil-check per flow in the worker
+	// loop (see internal/trace BenchmarkStartDisabled for that path in
+	// isolation). Compare against BenchmarkPipelineEndToEndTraced to see
+	// the overhead of recording every flow.
 	for i := 0; i < b.N; i++ {
 		p := New(WithCustomers(30), WithDays(1), WithSeed(uint64(i)))
 		res, err := p.Run()
 		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Dataset.Flows)), "flows")
+	}
+}
+
+// BenchmarkPipelineEndToEndTraced is the same pipeline with the flight
+// recorder sampling every flow — the worst-case tracing overhead.
+func BenchmarkPipelineEndToEndTraced(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := trace.New(io.Discard, 1)
+		p := New(WithCustomers(30), WithDays(1), WithSeed(uint64(i)), WithTracer(tr))
+		res, err := p.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.Close(); err != nil {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(len(res.Dataset.Flows)), "flows")

@@ -5,13 +5,17 @@
 //
 // Every run writes a manifest.json next to its outputs (config, seed,
 // version, per-stage timings, output digests) so runs are comparable and
-// reproducible; -metrics dumps the full metrics registry and -progress
-// streams a live status line to stderr (see OBSERVABILITY.md).
+// reproducible; -metrics dumps the full metrics registry, -progress
+// streams a live status line to stderr, -trace records per-flow latency
+// span trees for sampled flows, and -debug-addr serves /metrics,
+// /progress and /debug/pprof live (see OBSERVABILITY.md).
 //
 // Usage:
 //
 //	satgen -out DIR [-customers 200] [-days 1] [-seed 1] [-parallelism 0]
 //	       [-pcap-flows 50] [-metrics FILE] [-progress]
+//	       [-trace FILE] [-trace-sample 100]
+//	       [-debug-addr :6060] [-debug-linger 0s]
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"satwatch/internal/netsim"
 	"satwatch/internal/obs"
 	"satwatch/internal/pcapgen"
+	"satwatch/internal/trace"
 	"satwatch/internal/tstat"
 )
 
@@ -37,10 +42,38 @@ func main() {
 	pcapFlows := flag.Int("pcap-flows", 50, "flows in the demo pcap (0 disables)")
 	metricsOut := flag.String("metrics", "", "write a JSON metrics dump to this file after the run")
 	progress := flag.Bool("progress", false, "print a live progress line to stderr every 2s")
+	traceOut := flag.String("trace", "", "write per-flow latency span trees (JSONL) to this file")
+	traceSample := flag.Int("trace-sample", 100, "trace 1 in N flows (1 = every flow)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /progress and /debug/pprof on this address")
+	debugLinger := flag.Duration("debug-linger", 0, "keep the debug server up this long after the run completes")
 	flag.Parse()
+
+	// Metrics are cleared at run start so every dump and debug endpoint
+	// reflects this run only, not process-lifetime totals.
+	obs.Default.Reset()
+	start := time.Now()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatalf("satgen: %v", err)
+	}
+
+	if *debugAddr != "" {
+		bound, stopDebug, err := obs.StartDebugServer(*debugAddr, obs.Default, func() any {
+			p := netsim.CurrentProgress()
+			p.ElapsedSeconds = time.Since(start).Seconds()
+			return p
+		})
+		if err != nil {
+			log.Fatalf("satgen: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s\n", bound)
+		defer func() {
+			if *debugLinger > 0 {
+				fmt.Fprintf(os.Stderr, "debug server lingering %s\n", *debugLinger)
+				time.Sleep(*debugLinger)
+			}
+			stopDebug()
+		}()
 	}
 
 	if *progress {
@@ -48,7 +81,19 @@ func main() {
 		defer stop()
 	}
 
-	cfg := netsim.Config{Customers: *customers, Days: *days, Seed: *seed, Parallelism: *parallelism}
+	var tracer *trace.Tracer
+	var traceFile *os.File
+	if *traceOut != "" {
+		var err error
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("satgen: %v", err)
+		}
+		tracer = trace.New(traceFile, *traceSample)
+	}
+
+	cfg := netsim.Config{Customers: *customers, Days: *days, Seed: *seed,
+		Parallelism: *parallelism, Trace: tracer}
 	sim, err := netsim.Run(cfg)
 	if err != nil {
 		log.Fatalf("satgen: %v", err)
@@ -115,6 +160,16 @@ func main() {
 		outputs = append(outputs, pcapPath)
 	}
 	manifest.AddTiming("write", time.Since(writeStart))
+
+	if tracer != nil {
+		traced := tracer.Len()
+		if err := tracer.Close(); err != nil {
+			log.Fatalf("satgen: trace: %v", err)
+		}
+		traceFile.Close()
+		fmt.Printf("wrote %s (%d traced flows, 1 in %d)\n", *traceOut, traced, tracer.SampleN())
+		manifest.AddTrace(*traceOut, tracer.SampleN())
+	}
 
 	if *metricsOut != "" {
 		mff, err := os.Create(*metricsOut)

@@ -39,6 +39,10 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write a JSON metrics dump here on exit")
 	flag.Parse()
 
+	// Metrics are cleared at run start so every dump reflects this run
+	// only, not process-lifetime totals.
+	obs.Default.Reset()
+
 	payload := make([]byte, *size)
 	for i := range payload {
 		payload[i] = byte(i)

@@ -27,6 +27,10 @@ func main() {
 	dnsOut := flag.String("dns", "", "write DNS log TSV here")
 	metricsOut := flag.String("metrics", "", "write a JSON metrics dump here after the replay")
 	flag.Parse()
+
+	// Metrics are cleared at run start so every dump reflects this run
+	// only, not process-lifetime totals.
+	obs.Default.Reset()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)

@@ -4,13 +4,17 @@
 //
 // Simulated runs write a manifest.json next to their outputs (config,
 // seed, version, per-stage timings, output digests); -metrics dumps the
-// full metrics registry and -progress streams a live status line to
-// stderr (see OBSERVABILITY.md).
+// full metrics registry, -progress streams a live status line to stderr,
+// -trace records per-flow latency span trees for sampled flows, and
+// -debug-addr serves /metrics, /progress and /debug/pprof live (see
+// OBSERVABILITY.md).
 //
 // Usage:
 //
 //	satreport [-customers 400] [-days 2] [-seed 1] [-parallelism 0]
 //	          [-logs DIR] [-errant] [-metrics FILE] [-progress]
+//	          [-trace FILE] [-trace-sample 100]
+//	          [-debug-addr :6060] [-debug-linger 0s]
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"satwatch/internal/errant"
 	"satwatch/internal/netsim"
 	"satwatch/internal/obs"
+	"satwatch/internal/trace"
 	"satwatch/internal/tstat"
 )
 
@@ -39,18 +44,61 @@ func main() {
 	errantOut := flag.Bool("errant", false, "also print ERRANT-style emulation profiles")
 	metricsOut := flag.String("metrics", "", "write a JSON metrics dump to this file after the run")
 	progress := flag.Bool("progress", false, "print a live progress line to stderr every 2s")
+	traceOut := flag.String("trace", "", "write per-flow latency span trees (JSONL) to this file")
+	traceSample := flag.Int("trace-sample", 100, "trace 1 in N flows (1 = every flow)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /progress and /debug/pprof on this address")
+	debugLinger := flag.Duration("debug-linger", 0, "keep the debug server up this long after the run completes")
 	flag.Parse()
 
+	// Metrics are cleared at run start so every dump and debug endpoint
+	// reflects this run only, not process-lifetime totals.
+	obs.Default.Reset()
 	start := time.Now()
+
+	if *debugAddr != "" {
+		bound, stopDebug, err := obs.StartDebugServer(*debugAddr, obs.Default, func() any {
+			p := netsim.CurrentProgress()
+			p.ElapsedSeconds = time.Since(start).Seconds()
+			return p
+		})
+		if err != nil {
+			log.Fatalf("satreport: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s\n", bound)
+		defer func() {
+			if *debugLinger > 0 {
+				fmt.Fprintf(os.Stderr, "debug server lingering %s\n", *debugLinger)
+				time.Sleep(*debugLinger)
+			}
+			stopDebug()
+		}()
+	}
+
 	if *progress {
 		stop := obs.StartProgress(os.Stderr, 2*time.Second, netsim.ProgressLine)
 		defer stop()
 	}
+
+	var tracer *trace.Tracer
+	var traceFile *os.File
+	if *traceOut != "" {
+		if *fromDir != "" {
+			log.Fatalf("satreport: -trace requires a simulated run, not -from")
+		}
+		var err error
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("satreport: %v", err)
+		}
+		tracer = trace.New(traceFile, *traceSample)
+	}
+
 	p := satwatch.New(
 		satwatch.WithCustomers(*customers),
 		satwatch.WithDays(*days),
 		satwatch.WithSeed(*seed),
 		satwatch.WithParallelism(*parallelism),
+		satwatch.WithTracer(tracer),
 	)
 	var res *satwatch.Results
 	var err error
@@ -97,12 +145,24 @@ func main() {
 		outputs = append(outputs, *metricsOut)
 	}
 
+	if tracer != nil {
+		traced := tracer.Len()
+		if err := tracer.Close(); err != nil {
+			log.Fatalf("satreport: trace: %v", err)
+		}
+		traceFile.Close()
+		fmt.Printf("wrote %s (%d traced flows, 1 in %d)\n", *traceOut, traced, tracer.SampleN())
+	}
+
 	// Replayed logs carry their producer's manifest; only simulated runs
 	// write a fresh one, next to the logs when exported, else in the
 	// working directory.
 	if *fromDir == "" {
 		manifest := netsim.ManifestFor("satreport", p.Config(), res.Output)
 		manifest.AddTiming("total", time.Since(start))
+		if tracer != nil {
+			manifest.AddTrace(*traceOut, tracer.SampleN())
+		}
 		for _, path := range outputs {
 			if err := manifest.AddOutput(path); err != nil {
 				log.Fatalf("satreport: %v", err)

@@ -1,0 +1,86 @@
+// Command sattrace renders flow traces recorded by satgen/satreport
+// -trace: per-flow latency waterfalls ("explain this flow's 550 ms") and
+// top-K rankings of the slowest flows, overall or by component.
+//
+// Usage:
+//
+//	sattrace -in trace.jsonl                    # top 10 slowest, with waterfalls
+//	sattrace -in trace.jsonl -top 25 -summary   # ranking table only
+//	sattrace -in trace.jsonl -by pep.setup      # slowest by PEP setup sojourn
+//	sattrace -in trace.jsonl -flow c12-d0-f3    # one flow's waterfall
+//	sattrace -in trace.jsonl -spans             # list recordable span names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"satwatch/internal/trace"
+)
+
+func main() {
+	in := flag.String("in", "", "trace JSONL file written by satgen/satreport -trace (required)")
+	top := flag.Int("top", 10, "show the K slowest flows")
+	by := flag.String("by", "", "rank by this component's span time (e.g. pep.setup) instead of total RTT")
+	flowID := flag.String("flow", "", "render a single flow's waterfall by id (c<customer>-d<day>-f<index>)")
+	summary := flag.Bool("summary", false, "print only the ranking table, no waterfalls")
+	spans := flag.Bool("spans", false, "list every span name the pipeline records and exit")
+	flag.Parse()
+
+	if *spans {
+		fmt.Println(strings.Join(trace.SpanNames(), "\n"))
+		return
+	}
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *by != "" {
+		known := false
+		for _, n := range trace.SpanNames() {
+			if n == *by {
+				known = true
+				break
+			}
+		}
+		if !known {
+			log.Fatalf("sattrace: unknown component %q (see -spans)", *by)
+		}
+	}
+
+	flows, err := trace.ReadFile(*in)
+	if err != nil {
+		log.Fatalf("sattrace: %v", err)
+	}
+	if len(flows) == 0 {
+		fmt.Println("no traced flows (sampling selected none — lower -trace-sample)")
+		return
+	}
+
+	if *flowID != "" {
+		f, ok := trace.ByID(flows, *flowID)
+		if !ok {
+			log.Fatalf("sattrace: flow %s not in %s (%d flows)", *flowID, *in, len(flows))
+		}
+		fmt.Print(trace.Waterfall(f))
+		return
+	}
+
+	ranked := trace.TopK(flows, *by, *top)
+	what := "total satellite RTT"
+	if *by != "" {
+		what = *by
+	}
+	fmt.Printf("%d traced flows in %s · top %d by %s\n\n", len(flows), *in, len(ranked), what)
+	fmt.Print(trace.Summary(ranked, *by))
+	if *summary {
+		return
+	}
+	for _, f := range ranked {
+		fmt.Println()
+		fmt.Print(trace.Waterfall(f))
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"satwatch/internal/dist"
 	"satwatch/internal/obs"
 	"satwatch/internal/simtime"
+	"satwatch/internal/trace"
 )
 
 // Exported metrics (see OBSERVABILITY.md).
@@ -319,11 +320,22 @@ func (m *Model) cell(ui, fi int) *dist.Empirical {
 // SampleUplink draws one uplink access delay at the given beam utilization
 // and frame error rate.
 func (m *Model) SampleUplink(util, fer float64, r *dist.Rand) time.Duration {
+	return m.SampleUplinkTraced(util, fer, r, nil)
+}
+
+// SampleUplinkTraced is SampleUplink recording a mac.uplink_access span
+// with the operating-point inputs on fl (nil fl records nothing).
+func (m *Model) SampleUplinkTraced(util, fer float64, r *dist.Rand, fl *trace.Flow) time.Duration {
 	ui := nearestIdx(m.utils, util)
 	fi := nearestIdx(m.fers, fer)
 	d := time.Duration(m.cell(ui, fi).Sample(r))
 	mUplinkDelay.ObserveDuration(d)
 	mBeamUtil.Observe(util)
+	if fl != nil {
+		fl.Span(trace.SpanMACUplink, trace.SegSatellite, d, trace.Attrs{
+			"util": util, "fer": fer, "grid_util": m.utils[ui], "grid_fer": m.fers[fi],
+		})
+	}
 	return d
 }
 
@@ -331,6 +343,12 @@ func (m *Model) SampleUplink(util, fer float64, r *dist.Rand) time.Duration {
 // channel with no contention: delay is frame alignment plus queueing that
 // grows with utilization, plus ARQ recovery on frame errors.
 func (m *Model) SampleDownlink(util, fer float64, r *dist.Rand) time.Duration {
+	return m.SampleDownlinkTraced(util, fer, r, nil)
+}
+
+// SampleDownlinkTraced is SampleDownlink recording a mac.downlink_queue
+// span with the operating-point inputs on fl (nil fl records nothing).
+func (m *Model) SampleDownlinkTraced(util, fer float64, r *dist.Rand, fl *trace.Flow) time.Duration {
 	if util > 0.98 {
 		util = 0.98
 	}
@@ -346,6 +364,11 @@ func (m *Model) SampleDownlink(util, fer float64, r *dist.Rand) time.Duration {
 		d += float64(m.p.HopRTT) + frame
 	}
 	mDownlinkDelay.ObserveDuration(time.Duration(d))
+	if fl != nil {
+		fl.Span(trace.SpanMACDownlink, trace.SegSatellite, time.Duration(d), trace.Attrs{
+			"util": util, "fer": fer,
+		})
+	}
 	return time.Duration(d)
 }
 

@@ -1,6 +1,8 @@
 package mac
 
 import (
+	"io"
+	"satwatch/internal/trace"
 	"testing"
 	"time"
 
@@ -147,5 +149,37 @@ func TestDistillEmptyFallback(t *testing.T) {
 	half := float64(DefaultParams().FrameDuration) / 2
 	if e.Quantile(0.5) != half {
 		t.Fatalf("fallback quantile %v, want %v", e.Quantile(0.5), half)
+	}
+}
+
+func TestSampleUplinkTracedRecordsSpan(t *testing.T) {
+	m := NewModel(fastParams())
+	fl := trace.New(io.Discard, 1).Start(1, 0, 2)
+	d := m.SampleUplinkTraced(0.5, 1e-5, dist.NewRand(7), fl)
+	want := m.SampleUplink(0.5, 1e-5, dist.NewRand(7))
+	if d != want {
+		t.Fatalf("traced sample %v differs from untraced %v", d, want)
+	}
+	if len(fl.Spans) != 1 || fl.Spans[0].Name != trace.SpanMACUplink {
+		t.Fatalf("expected one %s span, got %+v", trace.SpanMACUplink, fl.Spans)
+	}
+	s := fl.Spans[0]
+	if s.Seg != trace.SegSatellite || s.DurMS != float64(d)/float64(time.Millisecond) {
+		t.Fatalf("span wrong: %+v for delay %v", s, d)
+	}
+	if s.Attrs["util"] != 0.5 || s.Attrs["fer"] != 1e-5 {
+		t.Fatalf("span missing inputs: %+v", s.Attrs)
+	}
+}
+
+func TestSampleDownlinkTracedRecordsSpan(t *testing.T) {
+	m := NewModel(fastParams())
+	fl := trace.New(io.Discard, 1).Start(1, 0, 2)
+	d := m.SampleDownlinkTraced(0.7, 1e-4, dist.NewRand(8), fl)
+	if len(fl.Spans) != 1 || fl.Spans[0].Name != trace.SpanMACDownlink {
+		t.Fatalf("expected one %s span, got %+v", trace.SpanMACDownlink, fl.Spans)
+	}
+	if fl.Spans[0].DurMS != float64(d)/float64(time.Millisecond) {
+		t.Fatalf("span duration %v vs delay %v", fl.Spans[0].DurMS, d)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"satwatch/internal/phy"
 	"satwatch/internal/shaper"
 	"satwatch/internal/tcpmodel"
+	"satwatch/internal/trace"
 	"satwatch/internal/tstat"
 	"satwatch/internal/workload"
 )
@@ -21,6 +22,13 @@ import (
 // tracker, or the sharded tracker when pass B runs in parallel.
 type observer interface {
 	Observe(tuple packet.FiveTuple, ev tstat.SegmentEvent)
+}
+
+// flowTracer is the optional observer extension that completes trace
+// handles with the probe's own measurements (implemented by
+// tstat.Tracker).
+type flowTracer interface {
+	TraceFlow(tuple packet.FiveTuple, fl *trace.Flow)
 }
 
 // synthesizer turns flow intents into vantage-point segment events.
@@ -113,7 +121,7 @@ type pathParams struct {
 	upBps     float64
 }
 
-func (s *synthesizer) samplePath(fi *workload.FlowIntent, region cdn.Region, class shaper.Class, r *dist.Rand) pathParams {
+func (s *synthesizer) samplePath(fi *workload.FlowIntent, region cdn.Region, class shaper.Class, r *dist.Rand, fl *trace.Flow) pathParams {
 	c := fi.Customer
 	h := hourOf(fi.Start)
 	bl := s.loads[c.Beam]
@@ -134,6 +142,9 @@ func (s *synthesizer) samplePath(fi *workload.FlowIntent, region cdn.Region, cla
 		// without the hairpin through Italy.
 		p.groundRTT = time.Duration(dist.LogNormalFromMedian(float64(35*time.Millisecond), 0.2).Sample(r))
 	}
+	if fl != nil {
+		fl.Span(trace.SpanGroundRTT, trace.SegGround, p.groundRTT, trace.Attrs{"region": string(region)})
+	}
 
 	// Satellite segment: propagation + MAC access + PEP processing.
 	ch := s.channels[c.Country.Code]
@@ -142,15 +153,27 @@ func (s *synthesizer) samplePath(fi *workload.FlowIntent, region cdn.Region, cla
 		rain = 0.6 + 0.4*r.Float64()
 	}
 	fer := ch.FrameErrorRate(rain)
-	sat := s.propRTT[c.Country.Code]
+	prop := s.propRTT[c.Country.Code]
+	if fl != nil {
+		fl.Span(trace.SpanPropagation, trace.SegSatellite, prop, trace.Attrs{
+			"country":      string(c.Country.Code),
+			"zenith_deg":   geo.DefaultSatellite.ZenithDeg(c.Country.Lat, c.Country.Lon),
+			"slant_passes": 4,
+		})
+		fl.SetAttr("util", util)
+		fl.SetAttr("fer", fer)
+		fl.SetAttr("rho", rho)
+	}
+	sat := prop
 	if !s.cfg.DisableMAC {
-		sat += s.mac.SampleUplink(util, fer, r)
-		sat += s.mac.SampleDownlink(util, fer, r)
+		sat += s.mac.SampleUplinkTraced(util, fer, r, fl)
+		sat += s.mac.SampleDownlinkTraced(util, fer, r, fl)
 	}
 	if !s.cfg.DisablePEP {
-		sat += s.cfg.PEP.SetupDelay(rho, r)
+		sat += s.cfg.PEP.SetupDelayTraced(rho, r, fl)
 	}
 	p.satRTT = sat
+	fl.SetTotal(sat)
 
 	// Delivery bottleneck: plan shaping, beam congestion, terminal and
 	// AP contention (§6.5's mechanisms).
@@ -182,11 +205,19 @@ func (s *synthesizer) samplePath(fi *workload.FlowIntent, region cdn.Region, cla
 	if p.upBps < 25e3/8 {
 		p.upBps = 25e3 / 8
 	}
+	if fl != nil {
+		// The macro simulator applies plan shaping analytically (no
+		// token-bucket tick on this path), so the shaper contribution is
+		// the bottleneck itself, recorded as flow inputs.
+		fl.SetAttr("bneck_mbps", p.bneckBps*8/1e6)
+		fl.SetAttr("class", class.String())
+	}
 	return p
 }
 
-// flow synthesizes one intent into tracker events.
-func (s *synthesizer) flow(fi *workload.FlowIntent, r *dist.Rand) {
+// flow synthesizes one intent into tracker events, recording the sampled
+// flow's latency decomposition on fl (nil fl records nothing).
+func (s *synthesizer) flow(fi *workload.FlowIntent, r *dist.Rand, fl *trace.Flow) {
 	s.init()
 	c := fi.Customer
 
@@ -221,9 +252,30 @@ func (s *synthesizer) flow(fi *workload.FlowIntent, r *dist.Rand) {
 	}
 
 	class := shaper.ClassifyFlow(fi.Domain, serverPort)
-	path := s.samplePath(fi, region, class, r)
+	if fl != nil {
+		fl.SetMeta(c.Beam, string(c.Country.Code), hourOf(fi.Start)%24,
+			fi.Proto.String(), fi.Domain, fi.Start)
+	}
+	path := s.samplePath(fi, region, class, r, fl)
 	client := packet.Endpoint{Addr: c.Addr, Port: s.nextPort(c.ID)}
 	server := packet.Endpoint{Addr: serverAddr, Port: serverPort}
+
+	if fl != nil {
+		// Hand the trace to the probe: the tracker appends its own
+		// handshake-RTT measurement and finishes the tree when the flow
+		// record is emitted. Sinks without trace support finish here.
+		tupleProto := packet.ProtoUDP
+		switch fi.Proto {
+		case cdn.AppHTTPS, cdn.AppHTTP, cdn.AppTCPOther:
+			tupleProto = packet.ProtoTCP
+		}
+		tuple := packet.FiveTuple{Proto: tupleProto, Src: client, Dst: server}
+		if ft, ok := s.tracker.(flowTracer); ok {
+			ft.TraceFlow(tuple, fl)
+		} else {
+			defer fl.Finish()
+		}
+	}
 
 	// DNS resolution precedes ~30% of catalog flows (the rest hit the
 	// device/CPE cache).

@@ -20,33 +20,63 @@ func ManifestFor(tool string, cfg Config, out *Output) *obs.Manifest {
 	return m
 }
 
-// ProgressLine renders the live one-line run summary the CLIs print under
-// -progress: phase, customer progress with ETA, flow throughput, and the
-// load gauges (beam utilization so far, peak PEP rho). It reads the
-// Default obs registry, so it reflects whatever run is in flight.
-func ProgressLine(elapsed time.Duration) string {
+// Progress is the live state of the run in flight, read from the Default
+// obs registry. It backs both the -progress stderr line and the debug
+// server's /progress JSON endpoint.
+type Progress struct {
+	// ElapsedSeconds is filled by the caller (the registry has no start
+	// time); zero when unknown.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	Phase          string  `json:"phase"`
+	CustomersDone  int64   `json:"customers_done"`
+	CustomersTotal int64   `json:"customers_total"`
+	Flows          int64   `json:"flows"`
+	// BeamUtilMean is the mean beam utilization over all uplink samples
+	// so far (0 before the first sample).
+	BeamUtilMean float64 `json:"beam_util_mean"`
+	// PEPPeakRho is the highest PEP utilization any setup has seen.
+	PEPPeakRho float64 `json:"pep_peak_rho"`
+}
+
+// CurrentProgress snapshots the in-flight run state from the Default
+// registry.
+func CurrentProgress() Progress {
 	get := func(name string) obs.Snapshot {
 		s, _ := obs.Default.Get(name)
 		return s
 	}
-	total := int64(get("netsim_customers_total").Value)
-	done := int64(get("netsim_customers_done_total").Value)
-	flows := int64(get("netsim_flows_total").Value)
-	phase := "pass A"
+	p := Progress{
+		Phase:          "pass A",
+		CustomersDone:  int64(get("netsim_customers_done_total").Value),
+		CustomersTotal: int64(get("netsim_customers_total").Value),
+		Flows:          int64(get("netsim_flows_total").Value),
+		PEPPeakRho:     get("pep_peak_rho").Value,
+	}
 	if get("netsim_pass_a_seconds").Value > 0 {
-		phase = "pass B"
+		p.Phase = "pass B"
 	}
 	if get("netsim_pass_b_seconds").Value > 0 {
-		phase = "finalize"
+		p.Phase = "finalize"
 	}
-	line := fmt.Sprintf("[%s %s] customers %d/%d · flows %d (%s) · %s",
-		elapsed.Round(time.Second), phase, done, total,
-		flows, obs.FormatRate(flows, elapsed), obs.ETA(done, total, elapsed))
 	if bu := get("mac_beam_utilization_ratio"); bu.Count > 0 {
-		line += fmt.Sprintf(" · beam-util≈%.2f", bu.Mean())
+		p.BeamUtilMean = bu.Mean()
 	}
-	if rho := get("pep_peak_rho"); rho.Value > 0 {
-		line += fmt.Sprintf(" · pep-rho-peak %.2f", rho.Value)
+	return p
+}
+
+// ProgressLine renders the live one-line run summary the CLIs print under
+// -progress: phase, customer progress with ETA, flow throughput, and the
+// load gauges (beam utilization so far, peak PEP rho).
+func ProgressLine(elapsed time.Duration) string {
+	p := CurrentProgress()
+	line := fmt.Sprintf("[%s %s] customers %d/%d · flows %d (%s) · %s",
+		elapsed.Round(time.Second), p.Phase, p.CustomersDone, p.CustomersTotal,
+		p.Flows, obs.FormatRate(p.Flows, elapsed), obs.ETA(p.CustomersDone, p.CustomersTotal, elapsed))
+	if p.BeamUtilMean > 0 {
+		line += fmt.Sprintf(" · beam-util≈%.2f", p.BeamUtilMean)
+	}
+	if p.PEPPeakRho > 0 {
+		line += fmt.Sprintf(" · pep-rho-peak %.2f", p.PEPPeakRho)
 	}
 	return line
 }

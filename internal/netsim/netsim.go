@@ -33,6 +33,7 @@ import (
 	"satwatch/internal/obs"
 	"satwatch/internal/pepmodel"
 	"satwatch/internal/phy"
+	"satwatch/internal/trace"
 	"satwatch/internal/tstat"
 	"satwatch/internal/workload"
 )
@@ -72,6 +73,13 @@ type Config struct {
 	MAC mac.Params
 	// PEP overrides the PEP resource model (zero value → defaults).
 	PEP pepmodel.Model
+
+	// Trace, when non-nil, records a per-flow latency-decomposition span
+	// tree for sampled flows (see internal/trace). Nil disables tracing;
+	// the hot-path cost of the disabled state is a nil check. The caller
+	// owns the tracer and must Close it after Run returns. Excluded from
+	// the manifest config dump.
+	Trace *trace.Tracer `json:"-"`
 
 	// Ablations (DESIGN.md A1-A4).
 	//
@@ -319,7 +327,11 @@ func Run(cfg Config) (*Output, error) {
 					intents := workload.GenerateDay(c, day, r)
 					sr := root.ForkN("synth", uint64(c.ID)*1024+uint64(day))
 					for i := range intents {
-						syn.flow(&intents[i], sr)
+						// cfg.Trace.Start is nil-safe: with tracing off
+						// (or the flow unsampled) fl is nil and every
+						// downstream recording call is a pointer check.
+						fl := cfg.Trace.Start(c.ID, day, i)
+						syn.flow(&intents[i], sr, fl)
 					}
 					outs[w].intents += len(intents)
 					mFlows.Add(int64(len(intents)))

@@ -1,0 +1,154 @@
+package netsim
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"satwatch/internal/obs"
+	"satwatch/internal/trace"
+	"satwatch/internal/tstat"
+)
+
+// traceRun executes a small simulation with tracing attached and returns
+// the raw JSONL bytes.
+func traceRun(t *testing.T, seed uint64, sampleN, parallelism int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := trace.New(&buf, sampleN)
+	_, err := Run(Config{Customers: 25, Days: 1, Seed: seed,
+		Parallelism: parallelism, Trace: tr})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("trace close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceDeterministic is the tentpole guarantee: same seed and sample
+// rate produce byte-identical trace output, across repeated runs and
+// across worker counts.
+func TestTraceDeterministic(t *testing.T) {
+	a := traceRun(t, 5, 17, 1)
+	b := traceRun(t, 5, 17, 1)
+	if !bytes.Equal(a, b) {
+		t.Fatal("trace output differs between identical runs")
+	}
+	c := traceRun(t, 5, 17, 4)
+	if !bytes.Equal(a, c) {
+		t.Fatal("trace output depends on worker count")
+	}
+	if len(a) == 0 {
+		t.Fatal("sampling selected no flows; lower the rate so the test bites")
+	}
+	d := traceRun(t, 6, 17, 1)
+	if bytes.Equal(a, d) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestTraceDecompositionConsistent checks every traced flow's satellite
+// spans sum to its recorded total within 1 ms, and that the probe's
+// handshake-RTT measurement agrees with the decomposition for flows
+// where tstat could measure it.
+func TestTraceDecompositionConsistent(t *testing.T) {
+	flows, err := trace.Read(bytes.NewReader(traceRun(t, 9, 5, 0)))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(flows) < 20 {
+		t.Fatalf("only %d traced flows; not enough to exercise the check", len(flows))
+	}
+	measured := 0
+	for _, f := range flows {
+		if f.TotalMS <= 0 {
+			t.Fatalf("%s has no total RTT", f.ID())
+		}
+		if d := math.Abs(f.SatSumMS() - f.TotalMS); d > 1 {
+			t.Fatalf("%s: sat spans sum %.3f ms vs total %.3f ms (|Δ| %.3f > 1)",
+				f.ID(), f.SatSumMS(), f.TotalMS, d)
+		}
+		if f.ComponentMS(trace.SpanPropagation) <= 0 {
+			t.Fatalf("%s missing propagation span", f.ID())
+		}
+		if hs := f.ComponentMS(trace.SpanHandshakeRTT); hs > 0 {
+			measured++
+			// The probe measures the satellite leg from the handshake gap;
+			// for HTTPS that gap is exactly the satellite RTT.
+			if strings.Contains(f.Proto, "HTTPS") {
+				if d := math.Abs(hs - f.TotalMS); d > 1 {
+					t.Fatalf("%s: probe measured %.3f ms vs total %.3f ms (|Δ| %.3f > 1)",
+						f.ID(), hs, f.TotalMS, d)
+				}
+			}
+		}
+	}
+	if measured == 0 {
+		t.Fatal("no traced flow carries a probe handshake-RTT span")
+	}
+}
+
+// TestTraceAgreesWithAggregates cross-checks the flight recorder against
+// the obs histograms: with every flow sampled, the summed pep.setup span
+// time must equal the pep_setup_sojourn_seconds histogram sum for the
+// same run.
+func TestTraceAgreesWithAggregates(t *testing.T) {
+	obs.Default.Reset()
+	flows, err := trace.Read(bytes.NewReader(traceRun(t, 3, 1, 0)))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	snap, ok := obs.Default.Get("pep_setup_sojourn_seconds")
+	if !ok {
+		t.Fatal("pep_setup_sojourn_seconds not registered")
+	}
+	var spanSeconds float64
+	spans := 0
+	for _, f := range flows {
+		if ms := f.ComponentMS(trace.SpanPEPSetup); ms > 0 {
+			spanSeconds += ms / 1000
+			spans++
+		}
+	}
+	if spans == 0 || snap.Count == 0 {
+		t.Fatalf("nothing to compare: %d spans, %d observations", spans, snap.Count)
+	}
+	// Identical samples, so the sums agree to float tolerance (the spans
+	// are stored in ms, the histogram in seconds).
+	if d := math.Abs(spanSeconds - snap.Value); d > 1e-3*math.Max(1, snap.Value) {
+		t.Fatalf("pep.setup spans sum %.6f s vs histogram sum %.6f s (Δ %.6f)",
+			spanSeconds, snap.Value, d)
+	}
+}
+
+// TestTraceDisabledUnchanged guards the nil path: a run without a tracer
+// must produce exactly the same flow records as before tracing existed
+// (the instrumented components delegate through nil handles).
+func TestTraceDisabledUnchanged(t *testing.T) {
+	a, err := Run(Config{Customers: 25, Days: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tr := trace.New(&buf, 3)
+	b, err := Run(Config{Customers: 25, Days: 1, Seed: 5, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Flows) != len(b.Flows) {
+		t.Fatalf("tracing changed flow count: %d vs %d", len(a.Flows), len(b.Flows))
+	}
+	var wantTSV, gotTSV bytes.Buffer
+	if err := tstat.WriteFlows(&wantTSV, a.Flows); err != nil {
+		t.Fatal(err)
+	}
+	if err := tstat.WriteFlows(&gotTSV, b.Flows); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantTSV.Bytes(), gotTSV.Bytes()) {
+		t.Fatal("tracing changed the flow log output")
+	}
+}

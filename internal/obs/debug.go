@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugHandler builds the live debug mux served by -debug-addr:
+//
+//   - /metrics          Prometheus text exposition of reg
+//   - /progress         JSON from the progress callback (the same state
+//     the -progress stderr line renders)
+//   - /debug/pprof/*    the standard Go profiling endpoints
+//
+// progress may be nil, in which case /progress serves an empty object.
+// The mux is returned so tests can drive it without a listener.
+func DebugHandler(reg *Registry, progress func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var v any = struct{}{}
+		if progress != nil {
+			v = progress()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartDebugServer listens on addr (host:port; port 0 picks a free one)
+// and serves DebugHandler until stop is called. It returns the bound
+// address so callers can print where the server actually lives.
+func StartDebugServer(addr string, reg *Registry, progress func() any) (bound string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	srv := &http.Server{Handler: DebugHandler(reg, progress)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Serve returns ErrServerClosed on Shutdown; anything else is a
+		// runtime failure the caller cannot react to, so it is dropped.
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		<-done
+	}, nil
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func debugTestRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Counter("debug_test_total", "Test counter.", "").Add(3)
+	return reg
+}
+
+func TestDebugHandlerMetrics(t *testing.T) {
+	h := DebugHandler(debugTestRegistry(t), nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "debug_test_total 3") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+}
+
+func TestDebugHandlerProgress(t *testing.T) {
+	type state struct {
+		Phase string `json:"phase"`
+		Flows int    `json:"flows"`
+	}
+	h := DebugHandler(debugTestRegistry(t), func() any { return state{Phase: "pass B", Flows: 42} })
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/progress", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/progress status = %d", rec.Code)
+	}
+	var got state
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("/progress not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if got.Phase != "pass B" || got.Flows != 42 {
+		t.Fatalf("/progress = %+v", got)
+	}
+
+	// Nil progress callback serves an empty object, not an error.
+	h = DebugHandler(debugTestRegistry(t), nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/progress", nil))
+	if rec.Code != http.StatusOK || !strings.HasPrefix(strings.TrimSpace(rec.Body.String()), "{") {
+		t.Fatalf("/progress with nil callback = %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestDebugHandlerPprofIndex(t *testing.T) {
+	h := DebugHandler(debugTestRegistry(t), nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index missing profiles:\n%.200s", body)
+	}
+}
+
+func TestStartDebugServerServesAndStops(t *testing.T) {
+	bound, stop, err := StartDebugServer("127.0.0.1:0", debugTestRegistry(t), nil)
+	if err != nil {
+		t.Fatalf("StartDebugServer: %v", err)
+	}
+	resp, err := http.Get("http://" + bound + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "debug_test_total") {
+		t.Fatalf("live /metrics = %d %q", resp.StatusCode, body)
+	}
+	stop()
+	if _, err := http.Get("http://" + bound + "/metrics"); err == nil {
+		t.Fatal("server still serving after stop")
+	}
+}
+
+func TestManifestAddTrace(t *testing.T) {
+	dir := t.TempDir()
+
+	// Missing file: path and rate recorded, no digest, no error.
+	m := NewManifest("satgen", 1)
+	m.AddTrace(filepath.Join(dir, "nope.jsonl"), 50)
+	if m.Trace == nil || m.Trace.Sample != 50 || m.Trace.SHA256 != "" {
+		t.Fatalf("AddTrace on missing file = %+v", m.Trace)
+	}
+
+	// Empty file: same (a sampled run can select zero flows).
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m.AddTrace(empty, 10)
+	if m.Trace.SHA256 != "" || m.Trace.File != empty {
+		t.Fatalf("AddTrace on empty file = %+v", m.Trace)
+	}
+
+	// Real content digests like AddOutput does.
+	full := filepath.Join(dir, "trace.jsonl")
+	if err := os.WriteFile(full, []byte("{\"customer\":1}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m.AddTrace(full, 1)
+	if !strings.HasPrefix(m.Trace.SHA256, "sha256:") || m.Trace.Sample != 1 {
+		t.Fatalf("AddTrace on real file = %+v", m.Trace)
+	}
+
+	// Round-trips through the manifest file.
+	if err := m.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Trace == nil || back.Trace.SHA256 != m.Trace.SHA256 || back.Trace.Sample != 1 {
+		t.Fatalf("trace info lost in round trip: %+v", back.Trace)
+	}
+}

@@ -39,6 +39,19 @@ type Manifest struct {
 	TimingsSeconds map[string]float64 `json:"timings_seconds"`
 	// Outputs maps output file base name to "sha256:<hex>" digests.
 	Outputs map[string]string `json:"outputs"`
+	// Trace records the flow-trace output when the run had -trace set.
+	Trace *TraceInfo `json:"trace,omitempty"`
+}
+
+// TraceInfo describes a run's flow-trace output (see internal/trace).
+type TraceInfo struct {
+	// File is the trace path as given on the command line.
+	File string `json:"file"`
+	// SHA256 is the trace file's content digest ("sha256:<hex>"); empty
+	// when the file was missing or empty at manifest time.
+	SHA256 string `json:"sha256,omitempty"`
+	// Sample is the 1-in-N sampling rate the run used.
+	Sample int `json:"sample"`
 }
 
 // NewManifest starts a manifest for a tool invocation.
@@ -72,6 +85,28 @@ func (m *Manifest) AddOutput(path string) error {
 	}
 	m.Outputs[filepath.Base(path)] = "sha256:" + hex.EncodeToString(h.Sum(nil))
 	return nil
+}
+
+// AddTrace records the run's trace file and sampling config. Unlike
+// AddOutput it tolerates a missing or empty file — a sampled run can
+// legitimately select zero flows — recording the path and rate without a
+// digest in that case.
+func (m *Manifest) AddTrace(path string, sampleN int) {
+	m.Trace = &TraceInfo{File: path, Sample: sampleN}
+	st, err := os.Stat(path)
+	if err != nil || st.Size() == 0 {
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return
+	}
+	m.Trace.SHA256 = "sha256:" + hex.EncodeToString(h.Sum(nil))
 }
 
 // Write serializes the manifest as dir/manifest.json.

@@ -182,9 +182,9 @@ func TestJSONDumpRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var dump map[string]struct {
-		Kind  string  `json:"kind"`
-		Value float64 `json:"value"`
-		Count int64   `json:"count"`
+		Kind    string  `json:"kind"`
+		Value   float64 `json:"value"`
+		Count   int64   `json:"count"`
 		Buckets []struct {
 			LE    any   `json:"le"`
 			Count int64 `json:"count"`

@@ -12,6 +12,7 @@ import (
 
 	"satwatch/internal/dist"
 	"satwatch/internal/obs"
+	"satwatch/internal/trace"
 )
 
 // Exported metrics (see OBSERVABILITY.md).
@@ -66,6 +67,12 @@ func (m Model) clampRho(rho float64) float64 {
 // SetupTime/(1-rho). At rho near MaxRho this reaches multiple seconds —
 // the congested-beam behaviour of Figure 8.
 func (m Model) SetupDelay(rho float64, r *dist.Rand) time.Duration {
+	return m.SetupDelayTraced(rho, r, nil)
+}
+
+// SetupDelayTraced is SetupDelay recording a pep.setup span with the
+// sampled utilization on fl (nil fl records nothing).
+func (m Model) SetupDelayTraced(rho float64, r *dist.Rand, fl *trace.Flow) time.Duration {
 	rho = m.clampRho(rho)
 	mean := float64(m.SetupTime) / (1 - rho)
 	d := time.Duration(r.Exponential(mean))
@@ -74,6 +81,11 @@ func (m Model) SetupDelay(rho float64, r *dist.Rand) time.Duration {
 	mPeakRho.SetMax(rho)
 	if rho > 0.9 {
 		mSaturatedSetups.Inc()
+	}
+	if fl != nil {
+		fl.Span(trace.SpanPEPSetup, trace.SegSatellite, d, trace.Attrs{
+			"rho": rho, "setup_time_ms": float64(m.SetupTime) / float64(time.Millisecond),
+		})
 	}
 	return d
 }

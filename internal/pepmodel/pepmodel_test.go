@@ -1,6 +1,8 @@
 package pepmodel
 
 import (
+	"io"
+	"satwatch/internal/trace"
 	"testing"
 	"time"
 
@@ -76,5 +78,22 @@ func TestRho(t *testing.T) {
 	}
 	if Rho(10, 0, 1) != 0 || Rho(10, 100, 0) != 0 {
 		t.Fatal("degenerate capacities should give rho 0")
+	}
+}
+
+func TestSetupDelayTracedRecordsSpan(t *testing.T) {
+	m := Default()
+	fl := trace.New(io.Discard, 1).Start(3, 0, 1)
+	d := m.SetupDelayTraced(0.9, dist.NewRand(4), fl)
+	want := m.SetupDelay(0.9, dist.NewRand(4))
+	if d != want {
+		t.Fatalf("traced delay %v differs from untraced %v", d, want)
+	}
+	if len(fl.Spans) != 1 || fl.Spans[0].Name != trace.SpanPEPSetup {
+		t.Fatalf("expected one %s span, got %+v", trace.SpanPEPSetup, fl.Spans)
+	}
+	s := fl.Spans[0]
+	if s.Seg != trace.SegSatellite || s.Attrs["rho"] != 0.9 {
+		t.Fatalf("span wrong: %+v", s)
 	}
 }

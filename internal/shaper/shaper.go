@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"satwatch/internal/obs"
+	"satwatch/internal/trace"
 )
 
 // Exported metrics (see OBSERVABILITY.md).
@@ -89,6 +90,22 @@ func ForPlan(p Plan) *TokenBucket {
 // offset) and returns how long the bytes must wait before leaving. The
 // bucket may go negative internally — that debt is what produces the wait.
 func (tb *TokenBucket) Take(n int, now time.Duration) time.Duration {
+	return tb.TakeTraced(n, now, nil)
+}
+
+// TakeTraced is Take recording a shaper.throttle span on fl whenever the
+// call is actually throttled (nil fl records nothing).
+func (tb *TokenBucket) TakeTraced(n int, now time.Duration, fl *trace.Flow) time.Duration {
+	wait := tb.take(n, now)
+	if fl != nil && wait > 0 {
+		fl.Span(trace.SpanShaperThrottle, trace.SegGround, wait, trace.Attrs{
+			"bytes": n, "rate_bps": tb.rate * 8,
+		})
+	}
+	return wait
+}
+
+func (tb *TokenBucket) take(n int, now time.Duration) time.Duration {
 	tb.mu.Lock()
 	defer tb.mu.Unlock()
 	mBytes.Add(int64(n))

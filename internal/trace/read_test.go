@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func testFlows() []*Flow {
+	mk := func(c, i int, total, pep float64) *Flow {
+		f := &Flow{Customer: c, Day: 0, Index: i, Beam: 1, Country: "GB",
+			Hour: 20, Proto: "TCP/HTTPS", Domain: "d.test", TotalMS: total}
+		f.Spans = []Span{
+			{Name: SpanPropagation, Seg: SegSatellite, DurMS: total - pep},
+			{Name: SpanPEPSetup, Seg: SegSatellite, DurMS: pep, Attrs: Attrs{"rho": 0.9}},
+			{Name: SpanGroundRTT, Seg: SegGround, DurMS: 25},
+			{Name: SpanHandshakeRTT, Seg: SegProbe, DurMS: total},
+		}
+		return f
+	}
+	return []*Flow{mk(0, 0, 550, 40), mk(0, 1, 900, 400), mk(2, 0, 700, 10)}
+}
+
+func TestTopKByTotalAndComponent(t *testing.T) {
+	flows := testFlows()
+	byTotal := TopK(flows, "", 2)
+	if len(byTotal) != 2 || byTotal[0].ID() != "c0-d0-f1" || byTotal[1].ID() != "c2-d0-f0" {
+		t.Fatalf("TopK by total wrong: %s, %s", byTotal[0].ID(), byTotal[1].ID())
+	}
+	byPEP := TopK(flows, SpanPEPSetup, 3)
+	if byPEP[0].ID() != "c0-d0-f1" || byPEP[1].ID() != "c0-d0-f0" || byPEP[2].ID() != "c2-d0-f0" {
+		t.Fatalf("TopK by %s wrong: %s, %s, %s", SpanPEPSetup, byPEP[0].ID(), byPEP[1].ID(), byPEP[2].ID())
+	}
+	if got := TopK(flows, "", 0); len(got) != len(flows) {
+		t.Fatalf("TopK k=0 returned %d flows, want all %d", len(got), len(flows))
+	}
+}
+
+func TestByID(t *testing.T) {
+	flows := testFlows()
+	if f, ok := ByID(flows, "c2-d0-f0"); !ok || f.TotalMS != 700 {
+		t.Fatalf("ByID(c2-d0-f0) = %v, %v", f, ok)
+	}
+	if _, ok := ByID(flows, "c9-d9-f9"); ok {
+		t.Fatal("ByID found a flow that does not exist")
+	}
+}
+
+func TestWaterfallRendersDecomposition(t *testing.T) {
+	f := testFlows()[1] // total 900, pep 400
+	f.StartMS = float64(2 * time.Hour / time.Millisecond)
+	f.Attrs = Attrs{"rho": 0.9}
+	out := Waterfall(f)
+	for _, want := range []string{
+		"flow c0-d0-f1", "beam 1", "GB", "TCP/HTTPS", "d.test",
+		SpanPropagation, SpanPEPSetup, "rho=0.9",
+		"satellite RTT", "900.0 ms", "spans sum 900.0 ms", "delta +0.0 ms",
+		"[ground segment]", "[probe-measured]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("waterfall missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummaryRanksAndLabels(t *testing.T) {
+	flows := TopK(testFlows(), SpanPEPSetup, 2)
+	out := Summary(flows, SpanPEPSetup)
+	if !strings.Contains(out, SpanPEPSetup+" ms") {
+		t.Fatalf("summary header missing component column:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[1], "c0-d0-f1") {
+		t.Fatalf("summary rows wrong:\n%s", out)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{\"customer\":1}\nnot json\n")); err == nil {
+		t.Fatal("Read accepted malformed JSONL")
+	}
+	flows, err := Read(strings.NewReader("\n\n"))
+	if err != nil || len(flows) != 0 {
+		t.Fatalf("Read of blank lines = %v, %v", flows, err)
+	}
+}

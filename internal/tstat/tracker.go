@@ -8,6 +8,7 @@ import (
 	"satwatch/internal/cryptopan"
 	"satwatch/internal/obs"
 	"satwatch/internal/packet"
+	"satwatch/internal/trace"
 )
 
 // Exported metrics (see OBSERVABILITY.md).
@@ -55,6 +56,11 @@ type Tracker struct {
 
 	flowsOut []FlowRecord
 	dnsOut   []DNSRecord
+
+	// traced maps canonical tuples of sampled flows to their trace
+	// handles; the handle is completed and finished when the flow record
+	// is emitted (the probe is the last component to see the flow).
+	traced map[packet.FiveTuple]*trace.Flow
 
 	// Counters for operational visibility.
 	Observed   int64
@@ -201,8 +207,47 @@ func (t *Tracker) Flush() ([]FlowRecord, []DNSRecord) {
 // Active returns the number of in-flight flows.
 func (t *Tracker) Active() int { return len(t.flows) }
 
+// TraceFlow registers a trace handle for the flow identified by tuple.
+// When the tracker emits that flow's record it appends a
+// tstat.handshake_rtt span (the probe's satellite-RTT measurement, when
+// one was made) and finishes the handle. A nil fl is ignored.
+func (t *Tracker) TraceFlow(tuple packet.FiveTuple, fl *trace.Flow) {
+	if fl == nil {
+		return
+	}
+	key, _ := tuple.Canonical()
+	if t.traced == nil {
+		t.traced = make(map[packet.FiveTuple]*trace.Flow)
+	}
+	t.traced[key] = fl
+}
+
+// finishTrace completes a registered trace handle at flow emission.
+func (t *Tracker) finishTrace(f *flowState, rec *FlowRecord) {
+	if len(t.traced) == 0 {
+		return
+	}
+	proto := packet.ProtoUDP
+	if f.isTCP {
+		proto = packet.ProtoTCP
+	}
+	key, _ := packet.FiveTuple{Proto: proto, Src: f.client, Dst: f.server}.Canonical()
+	fl, ok := t.traced[key]
+	if !ok {
+		return
+	}
+	delete(t.traced, key)
+	if rec.SatRTT > 0 {
+		fl.Span(trace.SpanHandshakeRTT, trace.SegProbe, rec.SatRTT, trace.Attrs{
+			"proto": rec.Proto.String(), "events": rec.PktsUp + rec.PktsDown,
+		})
+	}
+	fl.Finish()
+}
+
 func (t *Tracker) emitFlow(f *flowState) {
 	rec := f.record()
+	t.finishTrace(f, &rec)
 	if t.cfg.Anonymizer != nil && rec.Client.Is4() {
 		rec.Client = t.cfg.Anonymizer.MustAnonymize(rec.Client)
 	}

@@ -1,7 +1,9 @@
 package tstat
 
 import (
+	"io"
 	"net/netip"
+	"satwatch/internal/trace"
 	"testing"
 	"time"
 
@@ -362,4 +364,48 @@ func TestFeedPacketFrontend(t *testing.T) {
 	if tr.DecodeErrs != 1 {
 		t.Fatalf("decode errors %d", tr.DecodeErrs)
 	}
+}
+
+func TestTraceFlowFinishesAtEmission(t *testing.T) {
+	tr := NewTracker(Config{})
+	rec := trace.New(io.Discard, 1)
+	fl := rec.Start(4, 0, 7)
+	tr.TraceFlow(tcpTuple(cust, srv), fl)
+	if rec.Len() != 0 {
+		t.Fatal("trace finished before the flow was emitted")
+	}
+	flowRec := playHTTPSFlow(t, tr, 600*time.Millisecond, 20*time.Millisecond)
+	if rec.Len() != 1 {
+		t.Fatalf("trace not finished at flow emission: %d done", rec.Len())
+	}
+	if len(fl.Spans) != 1 || fl.Spans[0].Name != trace.SpanHandshakeRTT {
+		t.Fatalf("expected one %s span, got %+v", trace.SpanHandshakeRTT, fl.Spans)
+	}
+	s := fl.Spans[0]
+	if s.Seg != trace.SegProbe || s.DurMS != float64(flowRec.SatRTT)/float64(time.Millisecond) {
+		t.Fatalf("span %+v does not match measured RTT %v", s, flowRec.SatRTT)
+	}
+	if s.Attrs["proto"] != flowRec.Proto.String() {
+		t.Fatalf("span proto %v, want %v", s.Attrs["proto"], flowRec.Proto)
+	}
+
+	// Unmeasured flows (no handshake RTT) still finish, without the span.
+	tr2 := NewTracker(Config{})
+	fl2 := rec.Start(4, 0, 8)
+	tr2.TraceFlow(tcpTuple(cust, srv), fl2)
+	ch := tlsClientHelloBytes(t, "x.test")
+	tr2.Observe(tcpTuple(cust, srv), SegmentEvent{T: time.Second, Flags: packet.FlagSYN})
+	tr2.Observe(tcpTuple(cust, srv), SegmentEvent{T: time.Second + time.Millisecond, Seq: 1, Payload: len(ch), AppData: ch, Flags: packet.FlagACK})
+	tr2.Flush()
+	if rec.Len() != 2 {
+		t.Fatal("unmeasured traced flow did not finish at emission")
+	}
+	if len(fl2.Spans) != 0 {
+		t.Fatalf("unmeasured flow recorded spans: %+v", fl2.Spans)
+	}
+
+	// A nil handle is ignored.
+	tr3 := NewTracker(Config{})
+	tr3.TraceFlow(tcpTuple(cust, srv), nil)
+	playHTTPSFlow(t, tr3, 600*time.Millisecond, 20*time.Millisecond)
 }

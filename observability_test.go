@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"satwatch/internal/obs"
+	"satwatch/internal/trace"
 )
 
 // TestObservabilityDocCoversRegistry asserts that OBSERVABILITY.md
@@ -52,6 +53,33 @@ func TestObservabilityDocHasNoStaleMetrics(t *testing.T) {
 		name := m[1]
 		if !registered[name] && !allowed[name] {
 			t.Errorf("OBSERVABILITY.md documents %q, which is not registered", name)
+		}
+	}
+}
+
+// TestObservabilityDocCoversSpans extends the runbook cross-check to the
+// flight recorder: every span name the pipeline can emit must be
+// documented in OBSERVABILITY.md's Tracing section, and every span-like
+// name the doc mentions must exist in trace.SpanNames().
+func TestObservabilityDocCoversSpans(t *testing.T) {
+	doc, err := os.ReadFile("OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	known := map[string]bool{}
+	for _, name := range trace.SpanNames() {
+		known[name] = true
+		if !strings.Contains(text, "`"+name+"`") {
+			t.Errorf("span %q is not documented in OBSERVABILITY.md", name)
+		}
+	}
+	// Span names are "<component>.<snake_case>"; the metric cross-check
+	// above covers the underscore-only metric names.
+	re := regexp.MustCompile("`((?:geo|mac|pep|shaper|cdn|tstat)\\.[a-z0-9_]+)`")
+	for _, m := range re.FindAllStringSubmatch(text, -1) {
+		if !known[m[1]] {
+			t.Errorf("OBSERVABILITY.md documents span %q, which the pipeline cannot emit", m[1])
 		}
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"satwatch/internal/geo"
 	"satwatch/internal/netsim"
 	"satwatch/internal/report"
+	"satwatch/internal/trace"
 )
 
 // Pipeline is a configured end-to-end run: generate → probe → analyze.
@@ -49,6 +50,12 @@ func WithSeed(seed uint64) Option { return func(p *Pipeline) { p.cfg.Seed = seed
 // WithParallelism sets the number of pass-B synthesis workers (0 uses
 // GOMAXPROCS). Results depend only on the seed, not on the worker count.
 func WithParallelism(n int) Option { return func(p *Pipeline) { p.cfg.Parallelism = n } }
+
+// WithTracer attaches a flow-trace recorder: sampled flows get a
+// per-flow latency-decomposition span tree written as JSONL (see
+// internal/trace). The caller owns the tracer and must Close it after
+// Run to flush the buffered flows.
+func WithTracer(tr *trace.Tracer) Option { return func(p *Pipeline) { p.cfg.Trace = tr } }
 
 // WithThroughputThreshold sets the Figure 11 minimum flow size in bytes.
 func WithThroughputThreshold(b int64) Option {
