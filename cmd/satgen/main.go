@@ -38,7 +38,8 @@ func main() {
 	customers := flag.Int("customers", 200, "population size")
 	days := flag.Int("days", 1, "observation window in days")
 	seed := flag.Uint64("seed", 1, "deterministic run seed")
-	parallelism := flag.Int("parallelism", 0, "pass-B synthesis workers (0 = GOMAXPROCS)")
+	parallelism := flag.Int("parallelism", 0, "simulation workers, both passes (0 = GOMAXPROCS); output is identical at any value")
+	intentCacheMB := flag.Int("intent-cache-mb", 0, "pass-A intent cache budget in MiB (0 = 512, negative disables)")
 	pcapFlows := flag.Int("pcap-flows", 50, "flows in the demo pcap (0 disables)")
 	metricsOut := flag.String("metrics", "", "write a JSON metrics dump to this file after the run")
 	progress := flag.Bool("progress", false, "print a live progress line to stderr every 2s")
@@ -93,7 +94,7 @@ func main() {
 	}
 
 	cfg := netsim.Config{Customers: *customers, Days: *days, Seed: *seed,
-		Parallelism: *parallelism, Trace: tracer}
+		Parallelism: *parallelism, IntentCacheBytes: int64(*intentCacheMB) << 20, Trace: tracer}
 	sim, err := netsim.Run(cfg)
 	if err != nil {
 		log.Fatalf("satgen: %v", err)

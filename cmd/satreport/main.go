@@ -38,7 +38,8 @@ func main() {
 	customers := flag.Int("customers", 400, "population size")
 	days := flag.Int("days", 2, "observation window in days")
 	seed := flag.Uint64("seed", 1, "deterministic run seed")
-	parallelism := flag.Int("parallelism", 0, "pass-B synthesis workers (0 = GOMAXPROCS)")
+	parallelism := flag.Int("parallelism", 0, "simulation workers, both passes (0 = GOMAXPROCS); output is identical at any value")
+	intentCacheMB := flag.Int("intent-cache-mb", 0, "pass-A intent cache budget in MiB (0 = 512, negative disables)")
 	logsDir := flag.String("logs", "", "directory to write flows.tsv and dns.tsv into")
 	fromDir := flag.String("from", "", "re-analyze saved logs (flows.tsv/dns.tsv/meta.tsv/prefixes.tsv) instead of simulating")
 	errantOut := flag.Bool("errant", false, "also print ERRANT-style emulation profiles")
@@ -98,6 +99,7 @@ func main() {
 		satwatch.WithDays(*days),
 		satwatch.WithSeed(*seed),
 		satwatch.WithParallelism(*parallelism),
+		satwatch.WithIntentCacheBytes(int64(*intentCacheMB)<<20),
 		satwatch.WithTracer(tracer),
 	)
 	var res *satwatch.Results

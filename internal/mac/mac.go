@@ -20,8 +20,10 @@
 package mac
 
 import (
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"satwatch/internal/dist"
@@ -90,6 +92,42 @@ func DefaultParams() Params {
 	}
 }
 
+// WithDefaults fills every zero field from DefaultParams, so a caller
+// overriding only some knobs (say, FrameDuration) still gets a usable
+// dimensioning instead of divide-by-zero slot math. Set MaxARQRetries
+// negative to disable ARQ; zero means "default".
+func (p Params) WithDefaults() Params {
+	d := DefaultParams()
+	if p.FrameDuration <= 0 {
+		p.FrameDuration = d.FrameDuration
+	}
+	if p.SlotsPerFrame <= 0 {
+		p.SlotsPerFrame = d.SlotsPerFrame
+	}
+	if p.ReservationSlots <= 0 {
+		p.ReservationSlots = d.ReservationSlots
+	}
+	if p.NumCPE <= 0 {
+		p.NumCPE = d.NumCPE
+	}
+	if p.HopRTT <= 0 {
+		p.HopRTT = d.HopRTT
+	}
+	if p.HoldFrames <= 0 {
+		p.HoldFrames = d.HoldFrames
+	}
+	if p.SimFrames <= 0 {
+		p.SimFrames = d.SimFrames
+	}
+	if p.MaxARQRetries == 0 {
+		p.MaxARQRetries = d.MaxARQRetries
+	}
+	if p.Seed == 0 {
+		p.Seed = d.Seed
+	}
+	return p
+}
+
 // quantile levels retained from each micro-simulation run.
 var tableLevels = []float64{0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}
 
@@ -100,6 +138,7 @@ var tableLevels = []float64{0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99
 // CPE to its successful delivery to the scheduler, excluding propagation of
 // the data itself (the caller adds slant-path delays).
 func SimulateAccessDelay(p Params, util, fer float64, seed uint64) *dist.Empirical {
+	p = p.WithDefaults()
 	if util < 0.01 {
 		util = 0.01
 	}
@@ -263,29 +302,87 @@ func distill(delays []time.Duration, p Params) *dist.Empirical {
 }
 
 // Model interpolates access-delay distributions over a precomputed
-// (utilization, FER) grid, computing grid cells lazily and caching them.
-// It is safe for concurrent use.
+// (utilization, FER) grid. Grid cells are pure functions of the
+// dimensioning, so they live in a process-wide cache shared by every model
+// with identical Params: a second Run (or a second Model) rebuilds
+// nothing. Missing cells are built lazily on first touch — each cell
+// independently, so two samplers needing different cells never serialize
+// on each other — or all at once with Prebuild. Safe for concurrent use.
 type Model struct {
 	p     Params
 	utils []float64
 	fers  []float64
 
-	mu    sync.Mutex
-	cells map[[2]int]*dist.Empirical
+	// cells is the per-model fast path: a flat [len(utils)*len(fers)]
+	// array of pointers resolved from the shared cache on first touch.
+	cells []atomic.Pointer[dist.Empirical]
 }
 
-// NewModel builds a lazily-populated access-delay model.
+// cellKey identifies one grid cell in the process-wide cache by its full
+// dimensioning and operating point.
+type cellKey struct {
+	p      Params
+	ui, fi int
+}
+
+// cellEntry guards one shared cell: the first goroutine to need it builds
+// it inside the once; concurrent builders of *other* cells proceed.
+type cellEntry struct {
+	once sync.Once
+	e    *dist.Empirical
+}
+
+var sharedCells sync.Map // cellKey → *cellEntry
+
+// NewModel builds an access-delay model over the standard grid. Zero
+// fields of p are filled from DefaultParams (see Params.WithDefaults).
 func NewModel(p Params) *Model {
-	return &Model{
-		p:     p,
+	m := &Model{
+		p:     p.WithDefaults(),
 		utils: []float64{0.05, 0.20, 0.35, 0.50, 0.65, 0.78, 0.88, 0.94, 0.98},
 		fers:  []float64{1e-5, 1e-3, 6e-3, 2.5e-2, 0.12},
-		cells: make(map[[2]int]*dist.Empirical),
 	}
+	m.cells = make([]atomic.Pointer[dist.Empirical], len(m.utils)*len(m.fers))
+	return m
 }
 
 // Params returns the dimensioning the model was built with.
 func (m *Model) Params() Params { return m.p }
+
+// GridSize returns the number of (utilization, FER) cells in the grid.
+func (m *Model) GridSize() int { return len(m.utils) * len(m.fers) }
+
+// Prebuild constructs every grid cell not yet in the process-wide cache,
+// using up to `workers` parallel builders (<=0 → GOMAXPROCS). Cells are
+// deterministic functions of (Params, util, fer) alone, so build order and
+// parallelism never affect sampled values; prebuilding only moves the
+// micro-simulation cost off the sampling hot path, where a lazy build
+// would stall every sampler needing that cell.
+func (m *Model) Prebuild(workers int) {
+	n := m.GridSize()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				m.cell(i/len(m.fers), i%len(m.fers))
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 func nearestIdx(grid []float64, x float64) int {
 	best, bd := 0, -1.0
@@ -302,19 +399,21 @@ func nearestIdx(grid []float64, x float64) int {
 }
 
 func (m *Model) cell(ui, fi int) *dist.Empirical {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	key := [2]int{ui, fi}
-	if c, ok := m.cells[key]; ok {
+	idx := ui*len(m.fers) + fi
+	if c := m.cells[idx].Load(); c != nil {
 		return c
 	}
-	seed := m.p.Seed ^ uint64(ui*31+fi+1)*0x9e3779b97f4a7c15
-	stop := mCellBuildTime.Start()
-	c := SimulateAccessDelay(m.p, m.utils[ui], m.fers[fi], seed)
-	stop()
-	mCellBuilds.Inc()
-	m.cells[key] = c
-	return c
+	v, _ := sharedCells.LoadOrStore(cellKey{p: m.p, ui: ui, fi: fi}, &cellEntry{})
+	ce := v.(*cellEntry)
+	ce.once.Do(func() {
+		seed := m.p.Seed ^ uint64(ui*31+fi+1)*0x9e3779b97f4a7c15
+		stop := mCellBuildTime.Start()
+		ce.e = SimulateAccessDelay(m.p, m.utils[ui], m.fers[fi], seed)
+		stop()
+		mCellBuilds.Inc()
+	})
+	m.cells[idx].Store(ce.e)
+	return ce.e
 }
 
 // SampleUplink draws one uplink access delay at the given beam utilization

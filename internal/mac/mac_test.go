@@ -183,3 +183,59 @@ func TestSampleDownlinkTracedRecordsSpan(t *testing.T) {
 		t.Fatalf("span duration %v vs delay %v", fl.Spans[0].DurMS, d)
 	}
 }
+
+// TestPartialParamsGetDefaults regresses the divide-by-zero crash: a
+// caller overriding only some knobs (here FrameDuration) used to leave
+// SlotsPerFrame zero and panic inside the micro-simulation.
+func TestPartialParamsGetDefaults(t *testing.T) {
+	p := Params{FrameDuration: 30 * time.Millisecond, SimFrames: 600}
+	e := SimulateAccessDelay(p, 0.5, 1e-3, 3)
+	if e == nil || e.Quantile(0.5) <= 0 {
+		t.Fatal("partial params produced no usable distribution")
+	}
+	m := NewModel(Params{FrameDuration: 30 * time.Millisecond, SimFrames: 600})
+	if d := m.SampleUplink(0.5, 1e-3, dist.NewRand(3)); d <= 0 {
+		t.Fatalf("partial-params model sampled %v", d)
+	}
+	eff := m.Params()
+	if eff.FrameDuration != 30*time.Millisecond {
+		t.Fatalf("override lost: FrameDuration %v", eff.FrameDuration)
+	}
+	if eff.SlotsPerFrame != DefaultParams().SlotsPerFrame {
+		t.Fatalf("SlotsPerFrame not defaulted: %d", eff.SlotsPerFrame)
+	}
+}
+
+// TestWithDefaultsSemantics pins the two special fields: zero means
+// "default" for MaxARQRetries (use negative to disable ARQ) and Seed.
+func TestWithDefaultsSemantics(t *testing.T) {
+	eff := Params{}.WithDefaults()
+	if eff != DefaultParams() {
+		t.Fatalf("zero params != DefaultParams: %+v", eff)
+	}
+	noARQ := Params{MaxARQRetries: -1}.WithDefaults()
+	if noARQ.MaxARQRetries != -1 {
+		t.Fatalf("negative MaxARQRetries overwritten: %d", noARQ.MaxARQRetries)
+	}
+}
+
+// TestPrebuildWarmsFullGrid checks Prebuild leaves no cell to be built
+// lazily and that sampling afterwards agrees with lazy building.
+func TestPrebuildWarmsFullGrid(t *testing.T) {
+	p := fastParams()
+	p.SimFrames = 300
+	p.Seed = 0xfeed1 // distinct Params → fresh process-wide cache entries
+	warm := NewModel(p)
+	warm.Prebuild(4)
+	lazy := NewModel(p)
+	for _, u := range []float64{0.05, 0.65, 0.98} {
+		for _, f := range []float64{1e-5, 1e-2, 0.12} {
+			if warm.QuantileUplink(u, f, 0.5) != lazy.QuantileUplink(u, f, 0.5) {
+				t.Fatalf("prebuilt cell (%v,%v) differs from lazy build", u, f)
+			}
+		}
+	}
+	if warm.GridSize() <= 0 {
+		t.Fatal("grid size not reported")
+	}
+}

@@ -1,0 +1,173 @@
+package netsim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"satwatch/internal/trace"
+	"satwatch/internal/tstat"
+)
+
+// serialize renders a run's outputs exactly as the CLIs write them, so
+// comparisons below are over the bytes users actually get.
+func serialize(t *testing.T, out *Output) (flows, dns, meta []byte) {
+	t.Helper()
+	var fb, db, mb bytes.Buffer
+	if err := tstat.WriteFlows(&fb, out.Flows); err != nil {
+		t.Fatal(err)
+	}
+	if err := tstat.WriteDNS(&db, out.DNS); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMeta(&mb, out.Meta); err != nil {
+		t.Fatal(err)
+	}
+	return fb.Bytes(), db.Bytes(), mb.Bytes()
+}
+
+// TestBeamsOrderDeterministic regresses the old map-iteration bug: Beams
+// must come out identical (and ordered by ID) on every equal-seed run.
+func TestBeamsOrderDeterministic(t *testing.T) {
+	a, err := Run(Config{Customers: 30, Days: 1, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Customers: 30, Days: 1, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Beams, b.Beams) {
+		t.Fatal("Beams differ between identical runs")
+	}
+	for i := 1; i < len(a.Beams); i++ {
+		if a.Beams[i-1].Beam >= a.Beams[i].Beam {
+			t.Fatalf("Beams not sorted by ID: %d before %d", a.Beams[i-1].Beam, a.Beams[i].Beam)
+		}
+	}
+}
+
+// TestParallelismInvariance is the PR's headline contract: the same seed
+// must produce byte-identical outputs (flow log, DNS log, metadata, and
+// flow traces) at any worker count.
+func TestParallelismInvariance(t *testing.T) {
+	type result struct {
+		flows, dns, meta, traces []byte
+	}
+	runAt := func(par int) result {
+		var tb bytes.Buffer
+		tr := trace.New(&tb, 1)
+		out, err := Run(Config{Customers: 40, Days: 1, Seed: 99, Parallelism: par, Trace: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		f, d, m := serialize(t, out)
+		return result{flows: f, dns: d, meta: m, traces: tb.Bytes()}
+	}
+	base := runAt(1)
+	if len(base.flows) == 0 || len(base.traces) == 0 {
+		t.Fatal("empty serialized output at parallelism 1")
+	}
+	for _, par := range []int{2, 8} {
+		got := runAt(par)
+		if !bytes.Equal(base.flows, got.flows) {
+			t.Errorf("flow log differs between parallelism 1 and %d", par)
+		}
+		if !bytes.Equal(base.dns, got.dns) {
+			t.Errorf("DNS log differs between parallelism 1 and %d", par)
+		}
+		if !bytes.Equal(base.meta, got.meta) {
+			t.Errorf("metadata differs between parallelism 1 and %d", par)
+		}
+		if !bytes.Equal(base.traces, got.traces) {
+			t.Errorf("flow traces differ between parallelism 1 and %d", par)
+		}
+	}
+}
+
+// TestIntentCacheSpillEquivalence: a budget too small to cache anything
+// must still produce byte-identical output — the cache is purely a
+// performance lever.
+func TestIntentCacheSpillEquivalence(t *testing.T) {
+	cached, err := Run(Config{Customers: 30, Days: 1, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Stats.IntentCacheHits == 0 {
+		t.Fatal("default budget cached nothing on a laptop-scale run")
+	}
+	spilled, err := Run(Config{Customers: 30, Days: 1, Seed: 41, IntentCacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spilled.Stats.IntentCacheHits != 0 {
+		t.Fatal("disabled cache still reported hits")
+	}
+	cf, cd, cm := serialize(t, cached)
+	sf, sd, sm := serialize(t, spilled)
+	if !bytes.Equal(cf, sf) || !bytes.Equal(cd, sd) || !bytes.Equal(cm, sm) {
+		t.Fatal("intent-cache spills changed the output")
+	}
+}
+
+// TestEffectiveDefaults pins the documented effective defaults — in
+// particular Days, which used to silently default to 1 while
+// DefaultConfig advertised 2.
+func TestEffectiveDefaults(t *testing.T) {
+	eff := Config{}.withDefaults()
+	def := DefaultConfig()
+	if eff.Days != def.Days {
+		t.Fatalf("effective Days default %d != DefaultConfig's %d", eff.Days, def.Days)
+	}
+	if eff.Customers != def.Customers {
+		t.Fatalf("effective Customers default %d != DefaultConfig's %d", eff.Customers, def.Customers)
+	}
+	if eff.MAC.SlotsPerFrame == 0 || eff.MAC.FrameDuration == 0 {
+		t.Fatal("effective MAC params not filled in")
+	}
+}
+
+// TestNextPortIssuesFullRange regresses the ephemeral-port allocator: the
+// first issued port is 1024 (it used to be skipped), the walk is
+// sequential, and a wrap never reissues a port whose flow the probe could
+// still be tracking.
+func TestNextPortIssuesFullRange(t *testing.T) {
+	s := &synthesizer{ports: map[int]*portAlloc{}}
+	if p := s.nextPort(1, 0); p != 1024 {
+		t.Fatalf("first port = %d, want 1024", p)
+	}
+	if p := s.nextPort(1, 0); p != 1025 {
+		t.Fatalf("second port = %d, want 1025", p)
+	}
+	// Walk to the wrap point: the full range through 65535 is issued.
+	var last uint16
+	for i := 0; i < 65535-1025; i++ {
+		last = s.nextPort(1, 0)
+	}
+	if last != 65535 {
+		t.Fatalf("port before wrap = %d, want 65535", last)
+	}
+	// Mark 1024 as busy until t=100m; the wrapped allocator must skip it
+	// for a flow starting inside the guard window and reuse it after.
+	s.holdPort(1, 1024, 100*60e9)
+	if p := s.nextPort(1, 100*60e9); p != 1025 {
+		t.Fatalf("wrap reissued a busy port: got %d, want 1025", p)
+	}
+	pa := s.ports[1]
+	pa.next = 1024
+	if p := s.nextPort(1, 200*60e9); p != 1024 {
+		t.Fatalf("idle port not reissued after the guard: got %d", p)
+	}
+}
+
+// TestPortsDoNotCollideAcrossCustomers checks the allocator state is
+// per-customer.
+func TestPortsDoNotCollideAcrossCustomers(t *testing.T) {
+	s := &synthesizer{ports: map[int]*portAlloc{}}
+	if a, b := s.nextPort(1, 0), s.nextPort(2, 0); a != b {
+		t.Fatalf("fresh allocators disagree: %d vs %d", a, b)
+	}
+}

@@ -36,11 +36,11 @@ type synthesizer struct {
 	cfg     Config
 	tracker observer
 	mac     *mac.Model
-	loads   map[int]*beamLoad
+	loads   []*beamLoad // indexed by beam ID
 
 	channels map[geo.CountryCode]phy.Channel
 	propRTT  map[geo.CountryCode]time.Duration
-	ports    map[int]uint16
+	ports    map[int]*portAlloc
 
 	chCache  map[string][]byte // ClientHello bytes per SNI
 	shBytes  []byte            // ServerHello + Certificate + HelloDone
@@ -56,7 +56,7 @@ func (s *synthesizer) init() {
 	if s.ports != nil {
 		return
 	}
-	s.ports = map[int]uint16{}
+	s.ports = map[int]*portAlloc{}
 	s.chCache = map[string][]byte{}
 	s.propRTT = map[geo.CountryCode]time.Duration{}
 	for code := range s.channels {
@@ -103,14 +103,54 @@ func (s *synthesizer) clientHello(sni string) []byte {
 	return rec
 }
 
-func (s *synthesizer) nextPort(custID int) uint16 {
-	p, ok := s.ports[custID]
-	if !ok || p >= 65500 {
-		p = 1024
+// portAlloc hands out a customer's ephemeral source ports.
+type portAlloc struct {
+	next uint16
+	// busy maps issued ports to a conservative busy-until timestamp, so a
+	// wrapped allocator never reissues a port whose previous flow the
+	// probe could still be tracking (which would merge two flows sharing
+	// a server into one 5-tuple).
+	busy map[uint16]time.Duration
+}
+
+// portReuseGuard must exceed the tracker's largest inactivity window
+// (TCPIdle + FinLinger) so a reused 5-tuple always lands on a fresh flow.
+const portReuseGuard = 6 * time.Minute
+
+// nextPort issues an ephemeral port for a flow starting at start. Ports
+// walk 1024..65535 and wrap; a wrapped port is reissued only once its
+// previous flow has been idle past the tracker's sweep window.
+func (s *synthesizer) nextPort(custID int, start time.Duration) uint16 {
+	pa := s.ports[custID]
+	if pa == nil {
+		pa = &portAlloc{next: 1024, busy: map[uint16]time.Duration{}}
+		s.ports[custID] = pa
 	}
-	p++
-	s.ports[custID] = p
-	return p
+	for tries := 0; tries < 1<<16; tries++ {
+		p := pa.next
+		if pa.next == 65535 {
+			pa.next = 1024
+		} else {
+			pa.next++
+		}
+		if until, ok := pa.busy[p]; ok {
+			if until+portReuseGuard > start {
+				continue
+			}
+			delete(pa.busy, p)
+		}
+		return p
+	}
+	// Pathological: every port busy. Reuse the cursor anyway.
+	return pa.next
+}
+
+// holdPort records when a flow on port p went quiet, blocking its reuse
+// until the probe must have swept the flow.
+func (s *synthesizer) holdPort(custID int, p uint16, end time.Duration) {
+	if pa := s.ports[custID]; pa != nil && end > pa.busy[p] {
+		pa.busy[p] = end
+	}
 }
 
 // pathParams holds the per-flow sampled network conditions.
@@ -124,7 +164,10 @@ type pathParams struct {
 func (s *synthesizer) samplePath(fi *workload.FlowIntent, region cdn.Region, class shaper.Class, r *dist.Rand, fl *trace.Flow) pathParams {
 	c := fi.Customer
 	h := hourOf(fi.Start)
-	bl := s.loads[c.Beam]
+	var bl *beamLoad
+	if c.Beam >= 0 && c.Beam < len(s.loads) {
+		bl = s.loads[c.Beam]
+	}
 	util := 0.0
 	rho := 0.0
 	if bl != nil {
@@ -257,7 +300,7 @@ func (s *synthesizer) flow(fi *workload.FlowIntent, r *dist.Rand, fl *trace.Flow
 			fi.Proto.String(), fi.Domain, fi.Start)
 	}
 	path := s.samplePath(fi, region, class, r, fl)
-	client := packet.Endpoint{Addr: c.Addr, Port: s.nextPort(c.ID)}
+	client := packet.Endpoint{Addr: c.Addr, Port: s.nextPort(c.ID, fi.Start)}
 	server := packet.Endpoint{Addr: serverAddr, Port: serverPort}
 
 	if fl != nil {
@@ -283,16 +326,18 @@ func (s *synthesizer) flow(fi *workload.FlowIntent, r *dist.Rand, fl *trace.Flow
 		s.dnsTransaction(fi, c, serverAddr, r)
 	}
 
+	var end time.Duration
 	switch fi.Proto {
 	case cdn.AppHTTPS, cdn.AppHTTP, cdn.AppTCPOther:
-		s.tcpFlow(fi, client, server, path, r)
+		end = s.tcpFlow(fi, client, server, path, r)
 	case cdn.AppQUIC:
-		s.quicFlow(fi, client, server, path, r)
+		end = s.quicFlow(fi, client, server, path, r)
 	case cdn.AppRTP:
-		s.rtpFlow(fi, client, server, path, r)
+		end = s.rtpFlow(fi, client, server, path, r)
 	default:
-		s.udpFlow(fi, client, server, path, r)
+		end = s.udpFlow(fi, client, server, path, r)
 	}
+	s.holdPort(c.ID, client.Port, end)
 }
 
 // dnsTransaction emits the query/response pair observed at the vantage
@@ -320,15 +365,17 @@ func (s *synthesizer) dnsTransaction(fi *workload.FlowIntent, c *workload.Custom
 	if err != nil {
 		return
 	}
-	cp := packet.Endpoint{Addr: c.Addr, Port: s.nextPort(c.ID)}
+	cp := packet.Endpoint{Addr: c.Addr, Port: s.nextPort(c.ID, tq)}
 	rp := packet.Endpoint{Addr: resolver.Addr, Port: 53}
 	c2r := packet.FiveTuple{Proto: packet.ProtoUDP, Src: cp, Dst: rp}
 	s.tracker.Observe(c2r, tstat.SegmentEvent{T: tq, Payload: len(qb), WireLen: len(qb) + 28, Packets: 1, AppData: qb})
 	s.tracker.Observe(c2r.Reverse(), tstat.SegmentEvent{T: tq + respTime, Payload: len(rb), WireLen: len(rb) + 28, Packets: 1, AppData: rb})
+	s.holdPort(c.ID, cp.Port, tq+respTime)
 }
 
-// tcpFlow synthesizes the PEP-side TCP conversation.
-func (s *synthesizer) tcpFlow(fi *workload.FlowIntent, client, server packet.Endpoint, path pathParams, r *dist.Rand) {
+// tcpFlow synthesizes the PEP-side TCP conversation and returns the time
+// of its last event.
+func (s *synthesizer) tcpFlow(fi *workload.FlowIntent, client, server packet.Endpoint, path pathParams, r *dist.Rand) time.Duration {
 	c2s := packet.FiveTuple{Proto: packet.ProtoTCP, Src: client, Dst: server}
 	s2c := c2s.Reverse()
 	g := path.groundRTT
@@ -398,6 +445,7 @@ func (s *synthesizer) tcpFlow(fi *workload.FlowIntent, client, server packet.End
 	// Teardown.
 	obs(c2s, tstat.SegmentEvent{T: endData + 2*ms, Flags: packet.FlagFIN | packet.FlagACK, Seq: seq, Packets: 1, WireLen: hdrLen})
 	obs(s2c, tstat.SegmentEvent{T: endData + 2*ms + g, Flags: packet.FlagFIN | packet.FlagACK, Ack: seq + 1, Packets: 1, WireLen: hdrLen})
+	return endData + 2*ms + g
 }
 
 // emitDownload spreads the server→client bytes over the transfer window:
@@ -487,15 +535,16 @@ func (s *synthesizer) emitUpload(c2s, s2c packet.FiveTuple, start time.Duration,
 }
 
 // quicFlow synthesizes a QUIC conversation (UDP is not PEP-accelerated,
-// §2.1, so the whole handshake crosses the satellite).
-func (s *synthesizer) quicFlow(fi *workload.FlowIntent, client, server packet.Endpoint, path pathParams, r *dist.Rand) {
+// §2.1, so the whole handshake crosses the satellite). Returns the time
+// of its last event.
+func (s *synthesizer) quicFlow(fi *workload.FlowIntent, client, server packet.Endpoint, path pathParams, r *dist.Rand) time.Duration {
 	c2s := packet.FiveTuple{Proto: packet.ProtoUDP, Src: client, Dst: server}
 	s2c := c2s.Reverse()
 	obs := func(tuple packet.FiveTuple, ev tstat.SegmentEvent) { s.tracker.Observe(tuple, ev) }
 
 	hs, err := (&packet.ClientHello{Version: packet.TLSVersion12, ServerName: fi.Domain}).Encode()
 	if err != nil {
-		return
+		return fi.Start
 	}
 	dcid := make([]byte, 8)
 	for i := range dcid {
@@ -503,7 +552,7 @@ func (s *synthesizer) quicFlow(fi *workload.FlowIntent, client, server packet.En
 	}
 	ini, err := (&packet.QUICInitial{Version: packet.QUICVersion1, DCID: dcid, CryptoPayload: hs}).Encode()
 	if err != nil {
-		return
+		return fi.Start
 	}
 	t := fi.Start
 	g := path.groundRTT
@@ -521,16 +570,18 @@ func (s *synthesizer) quicFlow(fi *workload.FlowIntent, client, server packet.En
 	if fi.Up > 2<<10 {
 		s.emitDatagramBurst(c2s, t+g+path.satRTT+g, dur, fi.Up, 6)
 	}
+	return t + g + path.satRTT + g + dur
 }
 
 // rtpFlow synthesizes a real-time media session: constant-rate packets in
-// both directions for the call duration.
-func (s *synthesizer) rtpFlow(fi *workload.FlowIntent, client, server packet.Endpoint, path pathParams, r *dist.Rand) {
+// both directions for the call duration. Returns the time of its last
+// event.
+func (s *synthesizer) rtpFlow(fi *workload.FlowIntent, client, server packet.Endpoint, path pathParams, r *dist.Rand) time.Duration {
 	c2s := packet.FiveTuple{Proto: packet.ProtoUDP, Src: client, Dst: server}
 	s2c := c2s.Reverse()
 	rtp, err := (&packet.RTP{PayloadType: 111, Sequence: uint16(r.Uint64()), SSRC: uint32(r.Uint64())}).Encode()
 	if err != nil {
-		return
+		return fi.Start
 	}
 	probe := append(rtp, make([]byte, 148)...)
 	// First packet carries DPI-visible RTP bytes.
@@ -542,10 +593,12 @@ func (s *synthesizer) rtpFlow(fi *workload.FlowIntent, client, server packet.End
 	}
 	s.emitDatagramBurst(s2c, fi.Start+path.groundRTT, dur, fi.Down, 10)
 	s.emitDatagramBurst(c2s, fi.Start+10*time.Millisecond, dur, fi.Up, 10)
+	return fi.Start + path.groundRTT + dur
 }
 
-// udpFlow synthesizes opaque UDP exchanges.
-func (s *synthesizer) udpFlow(fi *workload.FlowIntent, client, server packet.Endpoint, path pathParams, r *dist.Rand) {
+// udpFlow synthesizes opaque UDP exchanges. Returns the time of its last
+// event.
+func (s *synthesizer) udpFlow(fi *workload.FlowIntent, client, server packet.Endpoint, path pathParams, r *dist.Rand) time.Duration {
 	c2s := packet.FiveTuple{Proto: packet.ProtoUDP, Src: client, Dst: server}
 	s2c := c2s.Reverse()
 	first := make([]byte, 64)
@@ -554,6 +607,7 @@ func (s *synthesizer) udpFlow(fi *workload.FlowIntent, client, server packet.End
 	dur := time.Duration(30+r.IntN(300)) * time.Second
 	s.emitDatagramBurst(s2c, fi.Start+path.groundRTT, dur, fi.Down, 5)
 	s.emitDatagramBurst(c2s, fi.Start+20*time.Millisecond, dur, fi.Up, 4)
+	return fi.Start + path.groundRTT + dur
 }
 
 // emitDatagramBurst spreads bytes across up to n burst events.

@@ -8,15 +8,17 @@ import (
 )
 
 // ManifestFor seeds a run manifest from a finished simulation: seed and
-// full config, the effective parallelism, and the pass-A/pass-B wall
-// timings. Callers add output digests and extra timings, then Write it
-// next to the run's outputs.
+// full config, the effective parallelism, and the per-stage wall timings
+// (pass A, MAC grid pre-build, pass B, k-way merge). Callers add output
+// digests and extra timings, then Write it next to the run's outputs.
 func ManifestFor(tool string, cfg Config, out *Output) *obs.Manifest {
 	m := obs.NewManifest(tool, cfg.Seed)
 	m.Config = cfg.withDefaults()
 	m.Parallelism = out.Stats.Workers
 	m.AddTiming("pass_a", out.Stats.PassA)
+	m.AddTiming("mac_prebuild", out.Stats.MACPrebuild)
 	m.AddTiming("pass_b", out.Stats.PassB)
+	m.AddTiming("merge", out.Stats.Merge)
 	return m
 }
 

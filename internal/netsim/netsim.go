@@ -12,10 +12,15 @@
 //	throughput    = plan shaping (shaper) x beam congestion x terminal
 //	                and AP contention factors, rolled out by tcpmodel
 //
-// The simulator runs in two passes: pass A aggregates offered load per
-// (beam, hour) to dimension beam capacity and PEP resources; pass B
-// regenerates the same flows deterministically and synthesizes their
-// timelines under the resulting utilization.
+// The simulator runs in two passes over the same worker partition
+// (customers striped across workers): pass A generates every customer-day
+// workload in parallel and aggregates offered load per (beam, hour) into
+// per-worker integer shards, reduced exactly by beam ID to dimension beam
+// capacity and PEP resources; pass B synthesizes the flow timelines under
+// the resulting utilization, reusing the pass-A intents through a
+// memory-bounded cache (regenerating deterministically when the budget
+// spilled them). Per-worker logs are sorted in parallel and combined with
+// a k-way merge, so the output is byte-identical at any worker count.
 package netsim
 
 import (
@@ -23,6 +28,7 @@ import (
 	"net/netip"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"satwatch/internal/cryptopan"
@@ -41,11 +47,15 @@ import (
 // Exported metrics (see OBSERVABILITY.md).
 var (
 	mPassA = obs.NewGauge("netsim_pass_a_seconds",
-		"Wall time of pass A (offered-load aggregation and beam dimensioning) of the last run.", "seconds")
+		"Wall time of pass A (parallel workload generation and beam dimensioning) of the last run.", "seconds")
 	mPassB = obs.NewGauge("netsim_pass_b_seconds",
 		"Wall time of pass B (parallel flow synthesis and tracking) of the last run.", "seconds")
+	mMACPrebuild = obs.NewGauge("netsim_mac_prebuild_seconds",
+		"Wall time spent pre-building the full MAC access-delay grid between passes.", "seconds")
+	mMerge = obs.NewGauge("netsim_merge_seconds",
+		"Wall time of the k-way merge of per-worker sorted logs of the last run.", "seconds")
 	mWorkers = obs.NewGauge("netsim_workers",
-		"Effective pass-B worker count of the last run.", "")
+		"Effective worker count (both passes) of the last run.", "")
 	mCustomersTotal = obs.NewGauge("netsim_customers_total",
 		"Population size of the last run.", "")
 	mCustomersDone = obs.NewCounter("netsim_customers_done_total",
@@ -55,21 +65,45 @@ var (
 	mWorkerRate = obs.NewHistogram("netsim_worker_flows_per_second",
 		"Per-worker pass-B flow synthesis throughput (one sample per worker per run).", "flows/s",
 		obs.ExpBuckets(100, 2, 14))
+	mIntentCacheHits = obs.NewCounter("netsim_intent_cache_hits_total",
+		"Customer-days whose pass-A intents were reused in pass B without regeneration.", "")
+	mIntentCacheSpills = obs.NewCounter("netsim_intent_cache_spills_total",
+		"Customer-days dropped from the intent cache by the byte budget (regenerated in pass B).", "")
+	mIntentCacheBytes = obs.NewGauge("netsim_intent_cache_bytes",
+		"Peak bytes admitted to the pass-A intent cache in the last run.", "bytes")
 )
 
-// Config parameterizes a simulation run.
+// defaultIntentCacheBytes bounds the pass-A→pass-B intent cache when the
+// config leaves IntentCacheBytes zero: laptop-scale runs fit entirely and
+// skip the second workload generation, while operator-scale runs degrade
+// gracefully to regeneration once the budget is spent.
+const defaultIntentCacheBytes = 512 << 20
+
+// Config parameterizes a simulation run. Zero fields take the effective
+// defaults applied by Run: 400 customers, 2 days (matching
+// DefaultConfig), seed 0, GOMAXPROCS workers, per-field MAC defaults
+// (mac.DefaultParams), the default PEP model, and a 512 MiB intent cache.
 type Config struct {
 	// Customers is the population size; Days the observation window.
 	Customers int
 	Days      int
 	// Seed drives all randomness; identical configs produce identical logs.
 	Seed uint64
-	// Parallelism is the number of pass-B workers (0 → GOMAXPROCS). Flow
-	// synthesis partitions by customer and the sharded tracker merges
-	// deterministically, so results depend only on Seed.
+	// Parallelism is the number of simulation workers for both passes
+	// (0 → GOMAXPROCS). Both passes partition by customer, pass-A load
+	// aggregation reduces integer shards exactly, and the per-worker logs
+	// are k-way merged in a canonical total order, so results depend only
+	// on Seed — byte-identical at any worker count.
 	Parallelism int
 
-	// MAC overrides the data-link dimensioning (zero value → defaults).
+	// IntentCacheBytes bounds the memory holding pass-A flow intents for
+	// reuse in pass B (0 → 512 MiB; negative disables the cache). Intents
+	// beyond the budget are regenerated deterministically in pass B, so
+	// the budget trades memory for generation time without affecting
+	// output.
+	IntentCacheBytes int64
+
+	// MAC overrides the data-link dimensioning (zero fields → defaults).
 	MAC mac.Params
 	// PEP overrides the PEP resource model (zero value → defaults).
 	PEP pepmodel.Model
@@ -106,11 +140,9 @@ func (c Config) withDefaults() Config {
 		c.Customers = 400
 	}
 	if c.Days <= 0 {
-		c.Days = 1
+		c.Days = 2
 	}
-	if c.MAC.FrameDuration == 0 {
-		c.MAC = mac.DefaultParams()
-	}
+	c.MAC = c.MAC.WithDefaults()
 	if c.PEP.SetupTime == 0 {
 		c.PEP = pepmodel.Default()
 	}
@@ -148,11 +180,23 @@ type RunStats struct {
 	// PassA / PassB are the wall times of the two simulator passes.
 	PassA time.Duration
 	PassB time.Duration
-	// Workers is the effective pass-B parallelism (Config.Parallelism
-	// resolved against GOMAXPROCS and the population size).
+	// MACPrebuild is the wall time spent pre-building the MAC grid
+	// between the passes (near zero when the process-wide cell cache is
+	// already warm).
+	MACPrebuild time.Duration
+	// Merge is the wall time of the final k-way merge of per-worker logs.
+	Merge time.Duration
+	// Workers is the effective parallelism of both passes
+	// (Config.Parallelism resolved against GOMAXPROCS and the population
+	// size).
 	Workers int
 	// WorkerFlows is the number of flow intents each worker synthesized.
 	WorkerFlows []int
+	// IntentCacheHits / IntentCacheSpills count customer-days whose
+	// pass-A intents were reused in pass B vs. regenerated because the
+	// cache byte budget was exhausted.
+	IntentCacheHits   int
+	IntentCacheSpills int
 }
 
 // Flows returns the total flow intents synthesized across workers.
@@ -172,7 +216,7 @@ type Output struct {
 	Meta map[netip.Addr]CustomerMeta
 	// CountryPrefixes maps anonymized /16 prefixes to countries.
 	CountryPrefixes map[netip.Prefix]geo.CountryCode
-	// Beams carries per-beam load statistics.
+	// Beams carries per-beam load statistics, ordered by beam ID.
 	Beams []BeamStat
 	// Epoch is the wall-clock instant of simulated time zero (UTC
 	// midnight), for pcap export.
@@ -207,6 +251,23 @@ func (b *beamLoad) pepRho(hour int, factor float64) float64 {
 	return pepmodel.Rho(b.setupsHour[hour]/3600, b.pepPeak, factor)
 }
 
+// passAShard is one worker's private pass-A state: integer load
+// accumulators per (beam, hour) — integer sums reduce exactly in any
+// order, which is what keeps the dimensioning bit-identical at any worker
+// count — plus the intents it generated, cached for pass B when the byte
+// budget allows.
+type passAShard struct {
+	bytes  [][]int64 // [beam ID][hour] offered bytes
+	setups [][]int64 // [beam ID][hour] connection setups
+	// cache holds this worker's generated intents per local
+	// (customer, day) slot; nil slots were spilled by the budget and are
+	// regenerated deterministically in pass B.
+	cache      [][]workload.FlowIntent
+	cacheBytes int64
+	hits       int
+	spills     int
+}
+
 // Run executes the simulation.
 func Run(cfg Config) (*Output, error) {
 	cfg = cfg.withDefaults()
@@ -219,50 +280,136 @@ func Run(cfg Config) (*Output, error) {
 		return nil, err
 	}
 
-	// --- Pass A: offered load per beam-hour --------------------------
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(customers) {
+		workers = len(customers)
+	}
+	mWorkers.Set(float64(workers))
+
+	// --- Pass A: offered load per beam-hour, sharded by worker ----------
+	// Customers stripe across workers (ci ≡ w mod workers) — the same
+	// partition pass B uses, so each worker's intent cache feeds its own
+	// pass-B loop. Each (customer, day) has its own forked random stream,
+	// so generation order across workers cannot perturb the workload.
 	hours := cfg.Days * 24
-	loads := map[int]*beamLoad{}
-	for _, b := range geo.Beams() {
-		loads[b.ID] = &beamLoad{beam: b, bytesHour: make([]float64, hours), setupsHour: make([]float64, hours)}
+	beams := geo.Beams()
+	maxBeamID := 0
+	for _, b := range beams {
+		if b.ID > maxBeamID {
+			maxBeamID = b.ID
+		}
 	}
-	for _, c := range customers {
-		for day := 0; day < cfg.Days; day++ {
-			r := root.ForkN("day", uint64(c.ID)*1024+uint64(day))
-			for _, fi := range workload.GenerateDay(c, day, r) {
-				bl := loads[c.Beam]
-				h := hourOf(fi.Start)
-				if h >= 0 && h < hours {
-					bl.bytesHour[h] += float64(fi.Down + fi.Up)
-					bl.setupsHour[h]++
+
+	budget := cfg.IntentCacheBytes
+	if budget == 0 {
+		budget = defaultIntentCacheBytes
+	}
+	var cacheFree atomic.Int64
+	cacheFree.Store(budget)
+
+	shards := make([]passAShard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := &shards[w]
+			sh.bytes = make([][]int64, maxBeamID+1)
+			sh.setups = make([][]int64, maxBeamID+1)
+			for _, b := range beams {
+				sh.bytes[b.ID] = make([]int64, hours)
+				sh.setups[b.ID] = make([]int64, hours)
+			}
+			nLocal := (len(customers) - w + workers - 1) / workers
+			sh.cache = make([][]workload.FlowIntent, nLocal*cfg.Days)
+			local := 0
+			for ci := w; ci < len(customers); ci += workers {
+				c := customers[ci]
+				for day := 0; day < cfg.Days; day++ {
+					r := root.ForkN("day", uint64(c.ID)*1024+uint64(day))
+					intents := workload.GenerateDay(c, day, r)
+					bb, sb := sh.bytes[c.Beam], sh.setups[c.Beam]
+					var size int64
+					for i := range intents {
+						fi := &intents[i]
+						if h := hourOf(fi.Start); h >= 0 && h < hours {
+							bb[h] += fi.Down + fi.Up
+							sb[h]++
+						}
+						size += int64(fi.MemBytes())
+					}
+					// Admit into the intent cache while the budget
+					// lasts; spilled slots are regenerated in pass B.
+					if cacheFree.Add(-size) >= 0 {
+						sh.cache[local*cfg.Days+day] = intents
+						sh.cacheBytes += size
+					} else {
+						cacheFree.Add(size)
+						sh.spills++
+					}
 				}
+				local++
 			}
-		}
+		}(w)
 	}
-	// Dimension each beam so its busiest hour hits the operator's target
-	// utilization, and the PEP so its busiest hour hits 1/PEPFactor.
-	for _, bl := range loads {
-		var peakBytes, peakSetups float64
+	wg.Wait()
+
+	var cachedBytes int64
+	for w := range shards {
+		cachedBytes += shards[w].cacheBytes
+	}
+	mIntentCacheBytes.Set(float64(cachedBytes))
+
+	// Reduce the integer shards by beam ID and dimension each beam so its
+	// busiest hour hits the operator's target utilization, and the PEP so
+	// its busiest hour hits 1/PEPFactor. loads is indexed by beam ID.
+	loads := make([]*beamLoad, maxBeamID+1)
+	for _, b := range beams {
+		bl := &beamLoad{beam: b, bytesHour: make([]float64, hours), setupsHour: make([]float64, hours)}
+		var peakBytes, peakSetups int64
 		for h := 0; h < hours; h++ {
-			if bl.bytesHour[h] > peakBytes {
-				peakBytes = bl.bytesHour[h]
+			var byteSum, setupSum int64
+			for w := range shards {
+				byteSum += shards[w].bytes[b.ID][h]
+				setupSum += shards[w].setups[b.ID][h]
 			}
-			if bl.setupsHour[h] > peakSetups {
-				peakSetups = bl.setupsHour[h]
+			bl.bytesHour[h] = float64(byteSum)
+			bl.setupsHour[h] = float64(setupSum)
+			if byteSum > peakBytes {
+				peakBytes = byteSum
+			}
+			if setupSum > peakSetups {
+				peakSetups = setupSum
 			}
 		}
-		offered := peakBytes / 3600
+		offered := float64(peakBytes) / 3600
 		if offered <= 0 {
 			offered = 1
 		}
-		bl.capacity = offered / bl.beam.TargetPeakUtil
-		bl.pepPeak = peakSetups / 3600
+		bl.capacity = offered / b.TargetPeakUtil
+		bl.pepPeak = float64(peakSetups) / 3600
 		if bl.pepPeak <= 0 {
 			bl.pepPeak = 1.0 / 3600
 		}
+		loads[b.ID] = bl
 	}
 
 	passA := time.Since(startA)
 	mPassA.SetDuration(passA)
+
+	// --- MAC grid pre-build ----------------------------------------------
+	// Build every (util, FER) access-delay cell in parallel before fanning
+	// out, so no pass-B worker ever stalls on a lazy micro-simulation (the
+	// first rainy flow used to build its FER cell under a global lock).
+	// Cells live in a process-wide cache, so repeated runs skip this.
+	startPre := time.Now()
+	macModel := mac.NewModel(cfg.MAC)
+	macModel.Prebuild(workers)
+	prebuild := time.Since(startPre)
+	mMACPrebuild.SetDuration(prebuild)
 
 	// --- Pass B: synthesize the vantage-point stream ------------------
 	startB := time.Now()
@@ -275,39 +422,24 @@ func Run(cfg Config) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
-	macModel := mac.NewModel(cfg.MAC)
 	channels := map[geo.CountryCode]phy.Channel{}
 	for _, country := range geo.Countries() {
 		channels[country.Code] = phy.ChannelFor(country)
 	}
-	// Warm the MAC grid cells the run will touch before fanning out, so
-	// workers never contend on cell construction.
-	warm := dist.NewRand(cfg.Seed ^ 0xbeef)
-	for _, u := range []float64{0.05, 0.35, 0.65, 0.88, 0.98} {
-		macModel.SampleUplink(u, 1e-3, warm)
-	}
 
-	workers := cfg.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(customers) {
-		workers = len(customers)
-	}
 	// Each worker owns a private tracker and synthesizes only its own
-	// customers (stride partition), so every tracker sees a fully
-	// deterministic single-producer event order; flows never span
-	// workers because 5-tuples are per-customer. The per-worker logs are
-	// merged and sorted afterwards, making the output independent of
-	// scheduling.
+	// customers (the pass-A stride partition), so every tracker sees a
+	// fully deterministic single-producer event order; flows never span
+	// workers because 5-tuples are per-customer. Each worker sorts its
+	// own log into the canonical total order, and the sorted runs are
+	// k-way merged afterwards, making the output independent of
+	// scheduling and worker count.
 	type workerOut struct {
 		flows   []tstat.FlowRecord
 		dns     []tstat.DNSRecord
 		intents int
 	}
 	outs := make([]workerOut, workers)
-	mWorkers.Set(float64(workers))
-	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -320,11 +452,20 @@ func Run(cfg Config) (*Output, error) {
 				loads:    loads,
 				channels: channels,
 			}
+			sh := &shards[w]
+			local := 0
 			for ci := w; ci < len(customers); ci += workers {
 				c := customers[ci]
 				for day := 0; day < cfg.Days; day++ {
-					r := root.ForkN("day", uint64(c.ID)*1024+uint64(day))
-					intents := workload.GenerateDay(c, day, r)
+					slot := local*cfg.Days + day
+					intents := sh.cache[slot]
+					if intents != nil {
+						sh.cache[slot] = nil // consumed; release for GC
+						sh.hits++
+					} else {
+						r := root.ForkN("day", uint64(c.ID)*1024+uint64(day))
+						intents = workload.GenerateDay(c, day, r)
+					}
 					sr := root.ForkN("synth", uint64(c.ID)*1024+uint64(day))
 					for i := range intents {
 						// cfg.Trace.Start is nil-safe: with tracing off
@@ -336,30 +477,43 @@ func Run(cfg Config) (*Output, error) {
 					outs[w].intents += len(intents)
 					mFlows.Add(int64(len(intents)))
 				}
+				local++
 				mCustomersDone.Inc()
 			}
 			outs[w].flows, outs[w].dns = tracker.Flush()
+			tstat.SortFlows(outs[w].flows)
+			tstat.SortDNS(outs[w].dns)
 		}(w)
 	}
 	wg.Wait()
 	passB := time.Since(startB)
 	mPassB.SetDuration(passB)
-	stats := RunStats{PassA: passA, PassB: passB, Workers: workers, WorkerFlows: make([]int, workers)}
+	stats := RunStats{
+		PassA: passA, PassB: passB, MACPrebuild: prebuild,
+		Workers: workers, WorkerFlows: make([]int, workers),
+	}
 	for w := range outs {
 		stats.WorkerFlows[w] = outs[w].intents
+		stats.IntentCacheHits += shards[w].hits
+		stats.IntentCacheSpills += shards[w].spills
 		if secs := passB.Seconds(); secs > 0 {
 			mWorkerRate.Observe(float64(outs[w].intents) / secs)
 		}
 	}
+	mIntentCacheHits.Add(int64(stats.IntentCacheHits))
+	mIntentCacheSpills.Add(int64(stats.IntentCacheSpills))
 
-	var flows []tstat.FlowRecord
-	var dns []tstat.DNSRecord
-	for _, o := range outs {
-		flows = append(flows, o.flows...)
-		dns = append(dns, o.dns...)
+	startMerge := time.Now()
+	flowRuns := make([][]tstat.FlowRecord, workers)
+	dnsRuns := make([][]tstat.DNSRecord, workers)
+	for w := range outs {
+		flowRuns[w] = outs[w].flows
+		dnsRuns[w] = outs[w].dns
 	}
-	tstat.SortFlows(flows)
-	tstat.SortDNS(dns)
+	flows := tstat.MergeFlows(flowRuns)
+	dns := tstat.MergeDNS(dnsRuns)
+	stats.Merge = time.Since(startMerge)
+	mMerge.SetDuration(stats.Merge)
 
 	out := &Output{
 		Flows:           flows,
@@ -387,7 +541,13 @@ func Run(cfg Config) (*Output, error) {
 		}
 		out.CountryPrefixes[anonPrefix] = p.Country.Code
 	}
+	// loads is indexed by beam ID, so iterating it in order yields Beams
+	// sorted by ID — a deterministic order, unlike the map iteration this
+	// replaced.
 	for _, bl := range loads {
+		if bl == nil {
+			continue
+		}
 		var sum, peak, pepPeakRho float64
 		for h := 0; h < hours; h++ {
 			u := bl.util(h)

@@ -1,0 +1,196 @@
+package tstat
+
+import "container/heap"
+
+// This file defines the canonical total order over records and the k-way
+// merge the simulator uses to combine per-worker logs. The comparators
+// cover every serialized field, so any two records that compare equal are
+// byte-identical in the TSV output — which is what makes the merged log
+// independent of how records were partitioned across workers.
+
+// CompareFlows is the canonical total order over flow records: start
+// time, then endpoints (the order SortFlows always used), then every
+// remaining serialized field as a tie-break.
+func CompareFlows(a, b *FlowRecord) int {
+	switch {
+	case a.Start != b.Start:
+		return cmpDur(a.Start, b.Start)
+	}
+	if c := a.Client.Compare(b.Client); c != 0 {
+		return c
+	}
+	if a.CPort != b.CPort {
+		return cmpInt(int64(a.CPort), int64(b.CPort))
+	}
+	if c := a.Server.Compare(b.Server); c != 0 {
+		return c
+	}
+	if a.SPort != b.SPort {
+		return cmpInt(int64(a.SPort), int64(b.SPort))
+	}
+	// Tie-breaks: distinct records sharing a 5-tuple and start time.
+	if a.Proto != b.Proto {
+		return cmpInt(int64(a.Proto), int64(b.Proto))
+	}
+	if a.Domain != b.Domain {
+		return cmpStr(a.Domain, b.Domain)
+	}
+	if a.End != b.End {
+		return cmpDur(a.End, b.End)
+	}
+	if a.BytesUp != b.BytesUp {
+		return cmpInt(a.BytesUp, b.BytesUp)
+	}
+	if a.BytesDown != b.BytesDown {
+		return cmpInt(a.BytesDown, b.BytesDown)
+	}
+	if a.PktsUp != b.PktsUp {
+		return cmpInt(a.PktsUp, b.PktsUp)
+	}
+	if a.PktsDown != b.PktsDown {
+		return cmpInt(a.PktsDown, b.PktsDown)
+	}
+	if a.GroundRTT.Samples != b.GroundRTT.Samples {
+		return cmpInt(int64(a.GroundRTT.Samples), int64(b.GroundRTT.Samples))
+	}
+	if a.GroundRTT.Min != b.GroundRTT.Min {
+		return cmpDur(a.GroundRTT.Min, b.GroundRTT.Min)
+	}
+	if a.GroundRTT.Avg != b.GroundRTT.Avg {
+		return cmpDur(a.GroundRTT.Avg, b.GroundRTT.Avg)
+	}
+	if a.GroundRTT.Max != b.GroundRTT.Max {
+		return cmpDur(a.GroundRTT.Max, b.GroundRTT.Max)
+	}
+	if a.GroundRTT.Std != b.GroundRTT.Std {
+		return cmpDur(a.GroundRTT.Std, b.GroundRTT.Std)
+	}
+	if a.SatRTT != b.SatRTT {
+		return cmpDur(a.SatRTT, b.SatRTT)
+	}
+	if len(a.First10) != len(b.First10) {
+		return cmpInt(int64(len(a.First10)), int64(len(b.First10)))
+	}
+	for i := range a.First10 {
+		if a.First10[i] != b.First10[i] {
+			return cmpDur(a.First10[i], b.First10[i])
+		}
+	}
+	return 0
+}
+
+// CompareDNS is the canonical total order over DNS records.
+func CompareDNS(a, b *DNSRecord) int {
+	if a.T != b.T {
+		return cmpDur(a.T, b.T)
+	}
+	if c := a.Client.Compare(b.Client); c != 0 {
+		return c
+	}
+	if a.Query != b.Query {
+		return cmpStr(a.Query, b.Query)
+	}
+	if c := a.Resolver.Compare(b.Resolver); c != 0 {
+		return c
+	}
+	if a.RCode != b.RCode {
+		return cmpInt(int64(a.RCode), int64(b.RCode))
+	}
+	if c := a.Answer.Compare(b.Answer); c != 0 {
+		return c
+	}
+	return cmpDur(a.ResponseTime, b.ResponseTime)
+}
+
+func cmpInt(a, b int64) int {
+	if a < b {
+		return -1
+	}
+	if a > b {
+		return 1
+	}
+	return 0
+}
+
+func cmpDur[T ~int64](a, b T) int { return cmpInt(int64(a), int64(b)) }
+
+func cmpStr(a, b string) int {
+	if a < b {
+		return -1
+	}
+	if a > b {
+		return 1
+	}
+	return 0
+}
+
+// mergeHeap is a min-heap over the heads of k sorted runs.
+type mergeHeap[T any] struct {
+	runs [][]T // remaining tail of each run
+	idx  []int // heap of run indices
+	cmp  func(a, b *T) int
+}
+
+func (h *mergeHeap[T]) Len() int { return len(h.idx) }
+func (h *mergeHeap[T]) Less(i, j int) bool {
+	a, b := h.idx[i], h.idx[j]
+	if c := h.cmp(&h.runs[a][0], &h.runs[b][0]); c != 0 {
+		return c < 0
+	}
+	// Fully equal heads: order by run index for reproducibility (the
+	// records are interchangeable, but keep the heap deterministic).
+	return a < b
+}
+func (h *mergeHeap[T]) Swap(i, j int) { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *mergeHeap[T]) Push(x any)    { h.idx = append(h.idx, x.(int)) }
+func (h *mergeHeap[T]) Pop() any {
+	x := h.idx[len(h.idx)-1]
+	h.idx = h.idx[:len(h.idx)-1]
+	return x
+}
+
+// mergeRuns k-way merges sorted runs under cmp, which must be the total
+// order each run was sorted in.
+func mergeRuns[T any](runs [][]T, cmp func(a, b *T) int) []T {
+	total := 0
+	nonEmpty := runs[:0:0]
+	for _, r := range runs {
+		if len(r) > 0 {
+			nonEmpty = append(nonEmpty, r)
+			total += len(r)
+		}
+	}
+	if len(nonEmpty) == 1 {
+		return nonEmpty[0]
+	}
+	out := make([]T, 0, total)
+	h := &mergeHeap[T]{runs: nonEmpty, cmp: cmp}
+	for i := range nonEmpty {
+		h.idx = append(h.idx, i)
+	}
+	heap.Init(h)
+	for h.Len() > 0 {
+		i := h.idx[0]
+		out = append(out, h.runs[i][0])
+		h.runs[i] = h.runs[i][1:]
+		if len(h.runs[i]) == 0 {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+	return out
+}
+
+// MergeFlows k-way merges per-worker flow logs, each already sorted in
+// CompareFlows order (see SortFlows), into one globally sorted log. The
+// result is identical to concatenating and sorting, at O(N log k) with no
+// re-sort of the whole record set.
+func MergeFlows(runs [][]FlowRecord) []FlowRecord {
+	return mergeRuns(runs, CompareFlows)
+}
+
+// MergeDNS k-way merges per-worker DNS logs sorted in CompareDNS order.
+func MergeDNS(runs [][]DNSRecord) []DNSRecord {
+	return mergeRuns(runs, CompareDNS)
+}

@@ -1,0 +1,109 @@
+package tstat
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// synthFlows builds a deterministic pseudo-random record set with plenty
+// of ties on the leading sort keys, exercising the deep tie-breaks.
+func synthFlows(n int) []FlowRecord {
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func(mod uint64) uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return (state >> 33) % mod
+	}
+	out := make([]FlowRecord, n)
+	for i := range out {
+		out[i] = FlowRecord{
+			Start:     time.Duration(next(50)) * time.Second, // dense → ties
+			Client:    netip.AddrFrom4([4]byte{10, byte(next(4)), 0, byte(next(8))}),
+			CPort:     uint16(1024 + next(16)),
+			Server:    netip.AddrFrom4([4]byte{93, 184, byte(next(3)), 34}),
+			SPort:     443,
+			Proto:     Protocol(next(5)),
+			Domain:    []string{"", "a.example", "b.example"}[next(3)],
+			End:       time.Duration(next(100)) * time.Second,
+			BytesDown: int64(next(1000)),
+			SatRTT:    time.Duration(next(3)) * 275 * time.Millisecond,
+		}
+	}
+	return out
+}
+
+// TestMergeFlowsMatchesGlobalSort: k-way merging per-run sorted slices
+// must be indistinguishable from concatenating and sorting globally, for
+// any partitioning.
+func TestMergeFlowsMatchesGlobalSort(t *testing.T) {
+	all := synthFlows(500)
+	want := append([]FlowRecord(nil), all...)
+	SortFlows(want)
+
+	for _, k := range []int{1, 2, 3, 7} {
+		runs := make([][]FlowRecord, k)
+		for i, f := range all { // round-robin partition
+			runs[i%k] = append(runs[i%k], f)
+		}
+		for i := range runs {
+			SortFlows(runs[i])
+		}
+		got := MergeFlows(runs)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("merge of %d runs differs from global sort", k)
+		}
+	}
+}
+
+func TestMergeFlowsEdgeCases(t *testing.T) {
+	if got := MergeFlows(nil); len(got) != 0 {
+		t.Fatalf("merge of no runs returned %d records", len(got))
+	}
+	if got := MergeFlows([][]FlowRecord{nil, {}, nil}); len(got) != 0 {
+		t.Fatalf("merge of empty runs returned %d records", len(got))
+	}
+	one := synthFlows(10)
+	SortFlows(one)
+	if got := MergeFlows([][]FlowRecord{nil, one}); !reflect.DeepEqual(got, one) {
+		t.Fatal("single non-empty run not passed through")
+	}
+}
+
+func TestMergeDNSMatchesGlobalSort(t *testing.T) {
+	mk := func(tq int, client byte, q string) DNSRecord {
+		return DNSRecord{T: time.Duration(tq) * time.Second,
+			Client: netip.AddrFrom4([4]byte{10, 0, 0, client}),
+			Query:  q, Resolver: netip.AddrFrom4([4]byte{9, 9, 9, 9})}
+	}
+	all := []DNSRecord{
+		mk(3, 1, "z.example"), mk(1, 2, "a.example"), mk(1, 1, "a.example"),
+		mk(1, 1, "b.example"), mk(2, 9, "a.example"), mk(1, 1, "a.example"),
+	}
+	want := append([]DNSRecord(nil), all...)
+	SortDNS(want)
+	runs := [][]DNSRecord{append([]DNSRecord(nil), all[:3]...), append([]DNSRecord(nil), all[3:]...)}
+	SortDNS(runs[0])
+	SortDNS(runs[1])
+	if got := MergeDNS(runs); !reflect.DeepEqual(got, want) {
+		t.Fatal("DNS merge differs from global sort")
+	}
+}
+
+// TestCompareFlowsIsTotalOrder spot-checks antisymmetry and that equal
+// comparison implies deep equality (the property the simulator's
+// partition-independence relies on).
+func TestCompareFlowsIsTotalOrder(t *testing.T) {
+	recs := synthFlows(200)
+	for i := range recs {
+		for j := range recs {
+			c1, c2 := CompareFlows(&recs[i], &recs[j]), CompareFlows(&recs[j], &recs[i])
+			if c1 != -c2 {
+				t.Fatalf("antisymmetry violated at (%d,%d): %d vs %d", i, j, c1, c2)
+			}
+			if c1 == 0 && !reflect.DeepEqual(recs[i], recs[j]) {
+				t.Fatalf("records %d and %d compare equal but differ", i, j)
+			}
+		}
+	}
+}

@@ -102,41 +102,19 @@ func (s *Sharded) Flush() ([]FlowRecord, []DNSRecord) {
 	return flows, dns
 }
 
-// SortFlows orders flow records canonically (start time, then endpoints),
-// so logs merged from multiple trackers compare stably.
+// SortFlows orders flow records in the canonical total order (start time,
+// then endpoints, then every remaining field — see CompareFlows), so logs
+// sorted or merged from any partitioning compare byte-identically.
 func SortFlows(flows []FlowRecord) {
 	sort.Slice(flows, func(i, j int) bool {
-		a, b := &flows[i], &flows[j]
-		if a.Start != b.Start {
-			return a.Start < b.Start
-		}
-		if c := a.Client.Compare(b.Client); c != 0 {
-			return c < 0
-		}
-		if a.CPort != b.CPort {
-			return a.CPort < b.CPort
-		}
-		if c := a.Server.Compare(b.Server); c != 0 {
-			return c < 0
-		}
-		return a.SPort < b.SPort
+		return CompareFlows(&flows[i], &flows[j]) < 0
 	})
 }
 
-// SortDNS orders DNS records canonically.
+// SortDNS orders DNS records in the canonical total order (CompareDNS).
 func SortDNS(dns []DNSRecord) {
 	sort.Slice(dns, func(i, j int) bool {
-		a, b := &dns[i], &dns[j]
-		if a.T != b.T {
-			return a.T < b.T
-		}
-		if c := a.Client.Compare(b.Client); c != 0 {
-			return c < 0
-		}
-		if a.Query != b.Query {
-			return a.Query < b.Query
-		}
-		return a.Resolver.Compare(b.Resolver) < 0
+		return CompareDNS(&dns[i], &dns[j]) < 0
 	})
 }
 

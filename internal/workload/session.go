@@ -5,6 +5,7 @@ import (
 	"math"
 	"net/netip"
 	"time"
+	"unsafe"
 
 	"satwatch/internal/cdn"
 	"satwatch/internal/dist"
@@ -87,6 +88,14 @@ var chineseEntries = func() []cdn.Entry {
 
 // Day is 24 hours of simulated time.
 const Day = 24 * time.Hour
+
+// MemBytes estimates the retained heap footprint of one intent, for the
+// simulator's pass-A intent cache budget. The struct itself plus the
+// per-flow FQDN string; catalog-entry strings are shared with the catalog
+// and not counted.
+func (fi *FlowIntent) MemBytes() int {
+	return int(unsafe.Sizeof(*fi)) + len(fi.Domain)
+}
 
 // GenerateDay produces all flow intents of one customer for one day.
 // Determinism: the caller derives r per (customer, day).

@@ -47,9 +47,18 @@ func WithDays(n int) Option { return func(p *Pipeline) { p.cfg.Days = n } }
 // WithSeed sets the run's deterministic seed.
 func WithSeed(seed uint64) Option { return func(p *Pipeline) { p.cfg.Seed = seed } }
 
-// WithParallelism sets the number of pass-B synthesis workers (0 uses
-// GOMAXPROCS). Results depend only on the seed, not on the worker count.
+// WithParallelism sets the number of simulation workers for both passes
+// (0 uses GOMAXPROCS). Results depend only on the seed, not on the worker
+// count: outputs are byte-identical at any parallelism.
 func WithParallelism(n int) Option { return func(p *Pipeline) { p.cfg.Parallelism = n } }
+
+// WithIntentCacheBytes bounds the memory the simulator spends keeping
+// pass-A flow intents for reuse in pass B (0 uses the 512 MiB default;
+// negative disables the cache). The budget trades memory for regeneration
+// time and never affects outputs.
+func WithIntentCacheBytes(n int64) Option {
+	return func(p *Pipeline) { p.cfg.IntentCacheBytes = n }
+}
 
 // WithTracer attaches a flow-trace recorder: sampled flows get a
 // per-flow latency-decomposition span tree written as JSONL (see
@@ -132,7 +141,7 @@ func (p *Pipeline) Run() (*Results, error) {
 func (p *Pipeline) Analyze(out *netsim.Output, ds *analytics.Dataset) *Results {
 	days := p.cfg.Days
 	if days <= 0 {
-		days = 1
+		days = 2 // the netsim effective default
 	}
 	return &Results{
 		Output:   out,
