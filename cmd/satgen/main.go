@@ -4,28 +4,42 @@
 // satprobe demos and interoperability tests with standard tooling).
 //
 // Every run writes a manifest.json next to its outputs (config, seed,
-// version, per-stage timings, output digests) so runs are comparable and
-// reproducible; -metrics dumps the full metrics registry, -progress
-// streams a live status line to stderr, -trace records per-flow latency
-// span trees for sampled flows, and -debug-addr serves /metrics,
+// version, per-stage timings, output digests, run status) so runs are
+// comparable and reproducible; -metrics dumps the full metrics registry,
+// -progress streams a live status line to stderr, -trace records
+// per-flow latency span trees for sampled flows, -faults plays back a
+// deterministic fault schedule, and -debug-addr serves /metrics,
 // /progress and /debug/pprof live (see OBSERVABILITY.md).
+//
+// Outputs are written atomically (temp file + rename) and a manifest with
+// status "partial" is put down before the simulation starts, so a killed
+// run leaves either complete files or none, under a manifest that says
+// so. SIGINT stops the run at the next customer boundary and flushes
+// whatever completed; a second SIGINT kills immediately.
+//
+// Exit codes: 0 on success, 1 on error, 2 when the run completed
+// degraded or partial (outputs exist but are incomplete).
 //
 // Usage:
 //
 //	satgen -out DIR [-customers 200] [-days 1] [-seed 1] [-parallelism 0]
-//	       [-pcap-flows 50] [-metrics FILE] [-progress]
-//	       [-trace FILE] [-trace-sample 100]
+//	       [-faults FILE|PRESET] [-pcap-flows 50] [-metrics FILE]
+//	       [-progress] [-trace FILE] [-trace-sample 100]
 //	       [-debug-addr :6060] [-debug-linger 0s]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strings"
 	"time"
 
+	"satwatch/internal/faults"
 	"satwatch/internal/netsim"
 	"satwatch/internal/obs"
 	"satwatch/internal/pcapgen"
@@ -34,12 +48,22 @@ import (
 )
 
 func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "satgen:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run() (int, error) {
 	out := flag.String("out", "trace", "output directory")
 	customers := flag.Int("customers", 200, "population size")
 	days := flag.Int("days", 1, "observation window in days")
 	seed := flag.Uint64("seed", 1, "deterministic run seed")
 	parallelism := flag.Int("parallelism", 0, "simulation workers, both passes (0 = GOMAXPROCS); output is identical at any value")
 	intentCacheMB := flag.Int("intent-cache-mb", 0, "pass-A intent cache budget in MiB (0 = 512, negative disables)")
+	faultsArg := flag.String("faults", "", "fault schedule: a JSON file or a preset ("+strings.Join(faults.PresetNames(), ", ")+")")
 	pcapFlows := flag.Int("pcap-flows", 50, "flows in the demo pcap (0 disables)")
 	metricsOut := flag.String("metrics", "", "write a JSON metrics dump to this file after the run")
 	progress := flag.Bool("progress", false, "print a live progress line to stderr every 2s")
@@ -54,8 +78,35 @@ func main() {
 	obs.Default.Reset()
 	start := time.Now()
 
+	sched, err := faults.Load(*faultsArg, *days, *seed)
+	if err != nil {
+		return 0, err
+	}
+
+	// First SIGINT cancels the run gracefully (workers stop at the next
+	// customer boundary, logs and manifest are flushed); a second one
+	// restores the default handler, so it kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatalf("satgen: %v", err)
+		return 0, err
+	}
+
+	// Put down a status-partial manifest before simulating: if the
+	// process dies at any point, the directory says the run is
+	// incomplete. The real manifest atomically replaces it at the end.
+	early := obs.NewManifest("satgen", *seed)
+	early.Status = netsim.StatusPartial
+	if sched != nil {
+		early.Faults = sched
+	}
+	if err := early.Write(*out); err != nil {
+		return 0, err
 	}
 
 	if *debugAddr != "" {
@@ -65,7 +116,7 @@ func main() {
 			return p
 		})
 		if err != nil {
-			log.Fatalf("satgen: %v", err)
+			return 0, err
 		}
 		fmt.Fprintf(os.Stderr, "debug server on http://%s\n", bound)
 		defer func() {
@@ -78,69 +129,61 @@ func main() {
 	}
 
 	if *progress {
-		stop := obs.StartProgress(os.Stderr, 2*time.Second, netsim.ProgressLine)
-		defer stop()
+		stopProgress := obs.StartProgress(os.Stderr, 2*time.Second, netsim.ProgressLine)
+		defer stopProgress()
 	}
 
 	var tracer *trace.Tracer
-	var traceFile *os.File
+	var traceTmp *os.File
 	if *traceOut != "" {
-		var err error
-		traceFile, err = os.Create(*traceOut)
-		if err != nil {
-			log.Fatalf("satgen: %v", err)
+		// The tracer streams as it goes, so it writes to a temp file that
+		// is renamed into place only once Close has flushed it.
+		dir, base := filepath.Split(*traceOut)
+		if dir == "" {
+			dir = "."
 		}
-		tracer = trace.New(traceFile, *traceSample)
+		traceTmp, err = os.CreateTemp(dir, "."+base+".tmp*")
+		if err != nil {
+			return 0, err
+		}
+		defer os.Remove(traceTmp.Name())
+		tracer = trace.New(traceTmp, *traceSample)
 	}
 
 	cfg := netsim.Config{Customers: *customers, Days: *days, Seed: *seed,
-		Parallelism: *parallelism, IntentCacheBytes: int64(*intentCacheMB) << 20, Trace: tracer}
-	sim, err := netsim.Run(cfg)
+		Parallelism: *parallelism, IntentCacheBytes: int64(*intentCacheMB) << 20,
+		Trace: tracer, Faults: sched}
+	sim, err := netsim.RunContext(ctx, cfg)
 	if err != nil {
-		log.Fatalf("satgen: %v", err)
+		return 0, err
 	}
 	manifest := netsim.ManifestFor("satgen", cfg, sim)
 
 	writeStart := time.Now()
 	flowsPath := filepath.Join(*out, "flows.tsv")
-	ff, err := os.Create(flowsPath)
-	if err != nil {
-		log.Fatalf("satgen: %v", err)
+	if err := obs.WriteFileAtomic(flowsPath, func(w io.Writer) error {
+		return tstat.WriteFlows(w, sim.Flows)
+	}); err != nil {
+		return 0, err
 	}
-	if err := tstat.WriteFlows(ff, sim.Flows); err != nil {
-		log.Fatalf("satgen: %v", err)
-	}
-	ff.Close()
-
 	dnsPath := filepath.Join(*out, "dns.tsv")
-	df, err := os.Create(dnsPath)
-	if err != nil {
-		log.Fatalf("satgen: %v", err)
+	if err := obs.WriteFileAtomic(dnsPath, func(w io.Writer) error {
+		return tstat.WriteDNS(w, sim.DNS)
+	}); err != nil {
+		return 0, err
 	}
-	if err := tstat.WriteDNS(df, sim.DNS); err != nil {
-		log.Fatalf("satgen: %v", err)
-	}
-	df.Close()
-
 	metaPath := filepath.Join(*out, "meta.tsv")
-	mf, err := os.Create(metaPath)
-	if err != nil {
-		log.Fatalf("satgen: %v", err)
+	if err := obs.WriteFileAtomic(metaPath, func(w io.Writer) error {
+		return netsim.WriteMeta(w, sim.Meta)
+	}); err != nil {
+		return 0, err
 	}
-	if err := netsim.WriteMeta(mf, sim.Meta); err != nil {
-		log.Fatalf("satgen: %v", err)
-	}
-	mf.Close()
-
 	prefixPath := filepath.Join(*out, "prefixes.tsv")
-	pxf, err := os.Create(prefixPath)
-	if err != nil {
-		log.Fatalf("satgen: %v", err)
+	if err := obs.WriteFileAtomic(prefixPath, func(w io.Writer) error {
+		return netsim.WritePrefixes(w, sim.CountryPrefixes)
+	}); err != nil {
+		return 0, err
 	}
-	if err := netsim.WritePrefixes(pxf, sim.CountryPrefixes); err != nil {
-		log.Fatalf("satgen: %v", err)
-	}
-	pxf.Close()
 
 	fmt.Printf("wrote %s (%d flows), %s (%d DNS transactions), %s, %s\n",
 		flowsPath, len(sim.Flows), dnsPath, len(sim.DNS), metaPath, prefixPath)
@@ -148,15 +191,14 @@ func main() {
 
 	if *pcapFlows > 0 {
 		pcapPath := filepath.Join(*out, "sample.pcap")
-		pf, err := os.Create(pcapPath)
-		if err != nil {
-			log.Fatalf("satgen: %v", err)
+		var st pcapgen.Stats
+		if err := obs.WriteFileAtomic(pcapPath, func(w io.Writer) error {
+			var werr error
+			st, werr = pcapgen.Write(w, pcapgen.Options{Flows: *pcapFlows, Seed: *seed, Epoch: sim.Epoch})
+			return werr
+		}); err != nil {
+			return 0, err
 		}
-		st, err := pcapgen.Write(pf, pcapgen.Options{Flows: *pcapFlows, Seed: *seed, Epoch: sim.Epoch})
-		if err != nil {
-			log.Fatalf("satgen: %v", err)
-		}
-		pf.Close()
 		fmt.Printf("wrote %s (%s)\n", pcapPath, st.Describe())
 		outputs = append(outputs, pcapPath)
 	}
@@ -165,32 +207,47 @@ func main() {
 	if tracer != nil {
 		traced := tracer.Len()
 		if err := tracer.Close(); err != nil {
-			log.Fatalf("satgen: trace: %v", err)
+			return 0, fmt.Errorf("trace: %w", err)
 		}
-		traceFile.Close()
+		if err := traceTmp.Sync(); err != nil {
+			return 0, fmt.Errorf("trace: %w", err)
+		}
+		if err := traceTmp.Close(); err != nil {
+			return 0, fmt.Errorf("trace: %w", err)
+		}
+		if err := os.Chmod(traceTmp.Name(), 0o644); err != nil {
+			return 0, fmt.Errorf("trace: %w", err)
+		}
+		if err := os.Rename(traceTmp.Name(), *traceOut); err != nil {
+			return 0, fmt.Errorf("trace: %w", err)
+		}
 		fmt.Printf("wrote %s (%d traced flows, 1 in %d)\n", *traceOut, traced, tracer.SampleN())
 		manifest.AddTrace(*traceOut, tracer.SampleN())
 	}
 
 	if *metricsOut != "" {
-		mff, err := os.Create(*metricsOut)
-		if err != nil {
-			log.Fatalf("satgen: %v", err)
+		if err := obs.WriteFileAtomic(*metricsOut, func(w io.Writer) error {
+			return obs.Default.WriteJSON(w)
+		}); err != nil {
+			return 0, fmt.Errorf("metrics dump: %w", err)
 		}
-		if err := obs.Default.WriteJSON(mff); err != nil {
-			log.Fatalf("satgen: metrics dump: %v", err)
-		}
-		mff.Close()
 		outputs = append(outputs, *metricsOut)
 	}
 
 	for _, p := range outputs {
 		if err := manifest.AddOutput(p); err != nil {
-			log.Fatalf("satgen: %v", err)
+			return 0, err
 		}
 	}
 	if err := manifest.Write(*out); err != nil {
-		log.Fatalf("satgen: %v", err)
+		return 0, err
 	}
 	fmt.Printf("wrote %s\n", filepath.Join(*out, obs.ManifestName))
+
+	if st := sim.Stats.Status(); st != netsim.StatusOK {
+		fmt.Fprintf(os.Stderr, "satgen: run %s: %d/%d customers salvaged, %d errors\n",
+			st, sim.Stats.CustomersDone, *customers, len(sim.Stats.Errors))
+		return 2, nil
+	}
+	return 0, nil
 }

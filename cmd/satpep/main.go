@@ -5,6 +5,8 @@
 // emulated satellite — and prints the handshake and transfer timings the
 // paper's §2.1 architecture is designed to improve.
 //
+// Exit codes: 0 on success, 1 on error.
+//
 // Usage:
 //
 //	satpep [-size 2097152] [-listen 127.0.0.1:0] [-metrics FILE]
@@ -14,7 +16,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"os"
 	"time"
@@ -34,6 +35,15 @@ var (
 )
 
 func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "satpep:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run() (int, error) {
 	size := flag.Int("size", 2<<20, "payload bytes to download")
 	listen := flag.String("listen", "127.0.0.1:0", "CPE proxy listen address")
 	metricsOut := flag.String("metrics", "", "write a JSON metrics dump here on exit")
@@ -51,7 +61,7 @@ func main() {
 	// Origin server on the "internet" side of the gateway.
 	origin, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		log.Fatal(err)
+		return 0, err
 	}
 	go func() {
 		for {
@@ -75,14 +85,17 @@ func main() {
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatal(err)
+		return 0, err
 	}
 	go cpe.ServeListener(ln, origin.Addr().String())
 
 	fmt.Printf("origin at %s, CPE proxy at %s, satellite RTT ≈ %v\n\n",
 		origin.Addr(), ln.Addr(), 2*linkemu.GEO().Delay)
 
-	hs, total := fetch(ln.Addr().String(), *size)
+	hs, total, err := fetch(ln.Addr().String(), *size)
+	if err != nil {
+		return 0, err
+	}
 	mHandshake.SetDuration(hs)
 	mDownload.SetDuration(total)
 	fmt.Println("through the PEP (RFC 3135 split TCP):")
@@ -106,33 +119,31 @@ func main() {
 	gw.Close()
 
 	if *metricsOut != "" {
-		out, err := os.Create(*metricsOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer out.Close()
-		if err := obs.Default.WriteJSON(out); err != nil {
-			log.Fatalf("satpep: metrics dump: %v", err)
+		if err := obs.WriteFileAtomic(*metricsOut, func(w io.Writer) error {
+			return obs.Default.WriteJSON(w)
+		}); err != nil {
+			return 0, fmt.Errorf("metrics dump: %w", err)
 		}
 		fmt.Printf("metrics written to %s\n", *metricsOut)
 	}
+	return 0, nil
 }
 
-func fetch(addr string, want int) (handshake, total time.Duration) {
+func fetch(addr string, want int) (handshake, total time.Duration, err error) {
 	start := time.Now()
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		log.Fatal(err)
+		return 0, 0, err
 	}
 	handshake = time.Since(start)
 	defer conn.Close()
 	n, err := io.Copy(io.Discard, conn)
 	if err != nil {
-		log.Fatal(err)
+		return 0, 0, err
 	}
 	if int(n) != want {
-		log.Fatalf("downloaded %d bytes, want %d", n, want)
+		return 0, 0, fmt.Errorf("downloaded %d bytes, want %d", n, want)
 	}
 	total = time.Since(start)
-	return handshake, total
+	return handshake, total, nil
 }

@@ -2,6 +2,11 @@
 // every packet is decoded, flows are tracked, DPI names the servers, RTT
 // estimators run, and the resulting flow/DNS logs are written as TSV.
 //
+// Undecodable packets are skipped and counted, not fatal — a damaged
+// capture still yields the flows it can. Exit codes: 0 on success, 1 on
+// error, 2 when packets had to be skipped (logs were salvaged from a
+// partially decodable capture).
+//
 // Usage:
 //
 //	satprobe -in capture.pcap [-flows flows.tsv] [-dns dns.tsv] [-metrics FILE]
@@ -12,7 +17,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"time"
 
@@ -22,6 +26,15 @@ import (
 )
 
 func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "satprobe:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run() (int, error) {
 	in := flag.String("in", "", "pcap capture to replay (required)")
 	flowsOut := flag.String("flows", "", "write flow log TSV here (default: stdout summary only)")
 	dnsOut := flag.String("dns", "", "write DNS log TSV here")
@@ -33,20 +46,20 @@ func main() {
 	obs.Default.Reset()
 	if *in == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 0, fmt.Errorf("-in is required")
 	}
 
 	f, err := os.Open(*in)
 	if err != nil {
-		log.Fatalf("satprobe: %v", err)
+		return 0, err
 	}
 	defer f.Close()
 	rd, err := pcapio.NewReader(f)
 	if err != nil {
-		log.Fatalf("satprobe: %v", err)
+		return 0, err
 	}
 	if rd.LinkType() != pcapio.LinkTypeRaw {
-		log.Fatalf("satprobe: capture link type %d, need LINKTYPE_RAW (%d)", rd.LinkType(), pcapio.LinkTypeRaw)
+		return 0, fmt.Errorf("capture link type %d, need LINKTYPE_RAW (%d)", rd.LinkType(), pcapio.LinkTypeRaw)
 	}
 
 	tr := tstat.NewTracker(tstat.Config{})
@@ -58,7 +71,7 @@ func main() {
 			break
 		}
 		if err != nil {
-			log.Fatalf("satprobe: reading capture: %v", err)
+			return 0, fmt.Errorf("reading capture: %w", err)
 		}
 		if epoch.IsZero() {
 			epoch = ts
@@ -87,36 +100,33 @@ func main() {
 	fmt.Printf("  DPI named %d/%d flows\n", withDomain, len(flows))
 
 	if *flowsOut != "" {
-		out, err := os.Create(*flowsOut)
-		if err != nil {
-			log.Fatalf("satprobe: %v", err)
-		}
-		defer out.Close()
-		if err := tstat.WriteFlows(out, flows); err != nil {
-			log.Fatalf("satprobe: %v", err)
+		if err := obs.WriteFileAtomic(*flowsOut, func(w io.Writer) error {
+			return tstat.WriteFlows(w, flows)
+		}); err != nil {
+			return 0, err
 		}
 		fmt.Printf("flow log written to %s\n", *flowsOut)
 	}
 	if *dnsOut != "" {
-		out, err := os.Create(*dnsOut)
-		if err != nil {
-			log.Fatalf("satprobe: %v", err)
-		}
-		defer out.Close()
-		if err := tstat.WriteDNS(out, dns); err != nil {
-			log.Fatalf("satprobe: %v", err)
+		if err := obs.WriteFileAtomic(*dnsOut, func(w io.Writer) error {
+			return tstat.WriteDNS(w, dns)
+		}); err != nil {
+			return 0, err
 		}
 		fmt.Printf("DNS log written to %s\n", *dnsOut)
 	}
 	if *metricsOut != "" {
-		out, err := os.Create(*metricsOut)
-		if err != nil {
-			log.Fatalf("satprobe: %v", err)
-		}
-		defer out.Close()
-		if err := obs.Default.WriteJSON(out); err != nil {
-			log.Fatalf("satprobe: metrics dump: %v", err)
+		if err := obs.WriteFileAtomic(*metricsOut, func(w io.Writer) error {
+			return obs.Default.WriteJSON(w)
+		}); err != nil {
+			return 0, fmt.Errorf("metrics dump: %w", err)
 		}
 		fmt.Printf("metrics written to %s\n", *metricsOut)
 	}
+
+	if badPackets > 0 {
+		fmt.Fprintf(os.Stderr, "satprobe: skipped %d undecodable packets\n", badPackets)
+		return 2, nil
+	}
+	return 0, nil
 }

@@ -3,31 +3,46 @@
 // anonymized flow/DNS logs and the ERRANT emulation profiles.
 //
 // Simulated runs write a manifest.json next to their outputs (config,
-// seed, version, per-stage timings, output digests); -metrics dumps the
-// full metrics registry, -progress streams a live status line to stderr,
-// -trace records per-flow latency span trees for sampled flows, and
+// seed, version, per-stage timings, output digests, run status);
+// -metrics dumps the full metrics registry, -progress streams a live
+// status line to stderr, -trace records per-flow latency span trees for
+// sampled flows, -faults plays back a deterministic fault schedule, and
 // -debug-addr serves /metrics, /progress and /debug/pprof live (see
 // OBSERVABILITY.md).
+//
+// Replay (-from) tolerates corrupt log lines by default — they are
+// skipped, counted (netsim_rows_skipped_total) and reported, the salvage
+// path for logs out of an interrupted run. -strict restores
+// fail-on-first-error.
+//
+// Exit codes: 0 on success, 1 on error, 2 when the analysis ran on
+// incomplete data (degraded/interrupted simulation, or skipped rows in
+// replay).
 //
 // Usage:
 //
 //	satreport [-customers 400] [-days 2] [-seed 1] [-parallelism 0]
-//	          [-logs DIR] [-errant] [-metrics FILE] [-progress]
+//	          [-faults FILE|PRESET] [-logs DIR] [-from DIR] [-strict]
+//	          [-errant] [-metrics FILE] [-progress]
 //	          [-trace FILE] [-trace-sample 100]
 //	          [-debug-addr :6060] [-debug-linger 0s]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"satwatch"
 	"satwatch/internal/analytics"
 	"satwatch/internal/errant"
+	"satwatch/internal/faults"
 	"satwatch/internal/netsim"
 	"satwatch/internal/obs"
 	"satwatch/internal/trace"
@@ -35,13 +50,24 @@ import (
 )
 
 func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "satreport:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run() (int, error) {
 	customers := flag.Int("customers", 400, "population size")
 	days := flag.Int("days", 2, "observation window in days")
 	seed := flag.Uint64("seed", 1, "deterministic run seed")
 	parallelism := flag.Int("parallelism", 0, "simulation workers, both passes (0 = GOMAXPROCS); output is identical at any value")
 	intentCacheMB := flag.Int("intent-cache-mb", 0, "pass-A intent cache budget in MiB (0 = 512, negative disables)")
+	faultsArg := flag.String("faults", "", "fault schedule: a JSON file or a preset ("+strings.Join(faults.PresetNames(), ", ")+")")
 	logsDir := flag.String("logs", "", "directory to write flows.tsv and dns.tsv into")
 	fromDir := flag.String("from", "", "re-analyze saved logs (flows.tsv/dns.tsv/meta.tsv/prefixes.tsv) instead of simulating")
+	strict := flag.Bool("strict", false, "fail on the first corrupt log line in -from replay instead of skipping it")
 	errantOut := flag.Bool("errant", false, "also print ERRANT-style emulation profiles")
 	metricsOut := flag.String("metrics", "", "write a JSON metrics dump to this file after the run")
 	progress := flag.Bool("progress", false, "print a live progress line to stderr every 2s")
@@ -56,6 +82,19 @@ func main() {
 	obs.Default.Reset()
 	start := time.Now()
 
+	sched, err := faults.Load(*faultsArg, *days, *seed)
+	if err != nil {
+		return 0, err
+	}
+
+	// First SIGINT cancels the run gracefully; the second kills.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
 	if *debugAddr != "" {
 		bound, stopDebug, err := obs.StartDebugServer(*debugAddr, obs.Default, func() any {
 			p := netsim.CurrentProgress()
@@ -63,7 +102,7 @@ func main() {
 			return p
 		})
 		if err != nil {
-			log.Fatalf("satreport: %v", err)
+			return 0, err
 		}
 		fmt.Fprintf(os.Stderr, "debug server on http://%s\n", bound)
 		defer func() {
@@ -76,22 +115,26 @@ func main() {
 	}
 
 	if *progress {
-		stop := obs.StartProgress(os.Stderr, 2*time.Second, netsim.ProgressLine)
-		defer stop()
+		stopProgress := obs.StartProgress(os.Stderr, 2*time.Second, netsim.ProgressLine)
+		defer stopProgress()
 	}
 
 	var tracer *trace.Tracer
-	var traceFile *os.File
+	var traceTmp *os.File
 	if *traceOut != "" {
 		if *fromDir != "" {
-			log.Fatalf("satreport: -trace requires a simulated run, not -from")
+			return 0, fmt.Errorf("-trace requires a simulated run, not -from")
 		}
-		var err error
-		traceFile, err = os.Create(*traceOut)
+		dir, base := filepath.Split(*traceOut)
+		if dir == "" {
+			dir = "."
+		}
+		traceTmp, err = os.CreateTemp(dir, "."+base+".tmp*")
 		if err != nil {
-			log.Fatalf("satreport: %v", err)
+			return 0, err
 		}
-		tracer = trace.New(traceFile, *traceSample)
+		defer os.Remove(traceTmp.Name())
+		tracer = trace.New(traceTmp, *traceSample)
 	}
 
 	p := satwatch.New(
@@ -101,16 +144,17 @@ func main() {
 		satwatch.WithParallelism(*parallelism),
 		satwatch.WithIntentCacheBytes(int64(*intentCacheMB)<<20),
 		satwatch.WithTracer(tracer),
+		satwatch.WithFaults(sched),
 	)
 	var res *satwatch.Results
-	var err error
+	skipped := 0
 	if *fromDir != "" {
-		res, err = replay(p, *fromDir, *days)
+		res, skipped, err = replay(p, *fromDir, *days, *strict)
 	} else {
-		res, err = p.Run()
+		res, err = p.RunContext(ctx)
 	}
 	if err != nil {
-		log.Fatalf("satreport: %v", err)
+		return 0, err
 	}
 	fmt.Print(res.RenderAll())
 	fmt.Printf("— %d flows, %d DNS transactions, %d customers, %v —\n",
@@ -124,10 +168,10 @@ func main() {
 	var outputs []string
 	if *logsDir != "" {
 		if err := os.MkdirAll(*logsDir, 0o755); err != nil {
-			log.Fatalf("satreport: %v", err)
+			return 0, err
 		}
 		if err := writeLogs(*logsDir, res); err != nil {
-			log.Fatalf("satreport: %v", err)
+			return 0, err
 		}
 		fmt.Printf("logs written to %s\n", *logsDir)
 		for _, name := range []string{"flows.tsv", "dns.tsv", "meta.tsv", "prefixes.tsv"} {
@@ -136,23 +180,31 @@ func main() {
 	}
 
 	if *metricsOut != "" {
-		mf, err := os.Create(*metricsOut)
-		if err != nil {
-			log.Fatalf("satreport: %v", err)
+		if err := obs.WriteFileAtomic(*metricsOut, func(w io.Writer) error {
+			return obs.Default.WriteJSON(w)
+		}); err != nil {
+			return 0, fmt.Errorf("metrics dump: %w", err)
 		}
-		if err := obs.Default.WriteJSON(mf); err != nil {
-			log.Fatalf("satreport: metrics dump: %v", err)
-		}
-		mf.Close()
 		outputs = append(outputs, *metricsOut)
 	}
 
 	if tracer != nil {
 		traced := tracer.Len()
 		if err := tracer.Close(); err != nil {
-			log.Fatalf("satreport: trace: %v", err)
+			return 0, fmt.Errorf("trace: %w", err)
 		}
-		traceFile.Close()
+		if err := traceTmp.Sync(); err != nil {
+			return 0, fmt.Errorf("trace: %w", err)
+		}
+		if err := traceTmp.Close(); err != nil {
+			return 0, fmt.Errorf("trace: %w", err)
+		}
+		if err := os.Chmod(traceTmp.Name(), 0o644); err != nil {
+			return 0, fmt.Errorf("trace: %w", err)
+		}
+		if err := os.Rename(traceTmp.Name(), *traceOut); err != nil {
+			return 0, fmt.Errorf("trace: %w", err)
+		}
 		fmt.Printf("wrote %s (%d traced flows, 1 in %d)\n", *traceOut, traced, tracer.SampleN())
 	}
 
@@ -167,7 +219,7 @@ func main() {
 		}
 		for _, path := range outputs {
 			if err := manifest.AddOutput(path); err != nil {
-				log.Fatalf("satreport: %v", err)
+				return 0, err
 			}
 		}
 		dir := *logsDir
@@ -175,83 +227,109 @@ func main() {
 			dir = "."
 		}
 		if err := manifest.Write(dir); err != nil {
-			log.Fatalf("satreport: %v", err)
+			return 0, err
 		}
 		fmt.Printf("wrote %s\n", filepath.Join(dir, obs.ManifestName))
 	}
+
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "satreport: skipped %d corrupt log lines (use -strict to fail instead)\n", skipped)
+		return 2, nil
+	}
+	if *fromDir == "" {
+		if st := res.Output.Stats.Status(); st != netsim.StatusOK {
+			fmt.Fprintf(os.Stderr, "satreport: run %s: %d/%d customers salvaged, %d errors\n",
+				st, res.Output.Stats.CustomersDone, *customers, len(res.Output.Stats.Errors))
+			return 2, nil
+		}
+	}
+	return 0, nil
 }
 
 // replay rebuilds the analysis from logs previously written by satgen or
 // satreport -logs: the paper's offline pipeline (probe writes at the
 // ground station, the cluster analyzes later). Figure 8b needs the
 // simulator's live beam-load statistics and is empty in replay mode.
-func replay(p *satwatch.Pipeline, dir string, days int) (*satwatch.Results, error) {
+// Unless strict, corrupt lines are skipped and counted — the salvage
+// path for logs out of an interrupted run.
+func replay(p *satwatch.Pipeline, dir string, days int, strict bool) (*satwatch.Results, int, error) {
 	out := &netsim.Output{}
+	skipped := 0
 	ff, err := os.Open(filepath.Join(dir, "flows.tsv"))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer ff.Close()
-	if out.Flows, err = tstat.ReadFlows(ff); err != nil {
-		return nil, err
+	if strict {
+		out.Flows, err = tstat.ReadFlows(ff)
+	} else {
+		var st tstat.ReadStats
+		out.Flows, st, err = tstat.ReadFlowsTolerant(ff)
+		skipped += st.Skipped
+	}
+	if err != nil {
+		return nil, 0, err
 	}
 	df, err := os.Open(filepath.Join(dir, "dns.tsv"))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer df.Close()
-	if out.DNS, err = tstat.ReadDNS(df); err != nil {
-		return nil, err
+	if strict {
+		out.DNS, err = tstat.ReadDNS(df)
+	} else {
+		var st tstat.ReadStats
+		out.DNS, st, err = tstat.ReadDNSTolerant(df)
+		skipped += st.Skipped
+	}
+	if err != nil {
+		return nil, 0, err
 	}
 	mf, err := os.Open(filepath.Join(dir, "meta.tsv"))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer mf.Close()
-	if out.Meta, err = netsim.ReadMeta(mf); err != nil {
-		return nil, err
+	if strict {
+		out.Meta, err = netsim.ReadMeta(mf)
+	} else {
+		var st tstat.ReadStats
+		out.Meta, st, err = netsim.ReadMetaTolerant(mf)
+		skipped += st.Skipped
+	}
+	if err != nil {
+		return nil, 0, err
 	}
 	pf, err := os.Open(filepath.Join(dir, "prefixes.tsv"))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer pf.Close()
 	if out.CountryPrefixes, err = netsim.ReadPrefixes(pf); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
+	netsim.CountSkippedRows(skipped)
 	ds := analytics.NewDataset(out, days)
-	return p.Analyze(out, ds), nil
+	return p.Analyze(out, ds), skipped, nil
 }
 
 func writeLogs(dir string, res *satwatch.Results) error {
-	ff, err := os.Create(filepath.Join(dir, "flows.tsv"))
-	if err != nil {
+	if err := obs.WriteFileAtomic(filepath.Join(dir, "flows.tsv"), func(w io.Writer) error {
+		return tstat.WriteFlows(w, res.Output.Flows)
+	}); err != nil {
 		return err
 	}
-	defer ff.Close()
-	if err := tstat.WriteFlows(ff, res.Output.Flows); err != nil {
+	if err := obs.WriteFileAtomic(filepath.Join(dir, "dns.tsv"), func(w io.Writer) error {
+		return tstat.WriteDNS(w, res.Output.DNS)
+	}); err != nil {
 		return err
 	}
-	df, err := os.Create(filepath.Join(dir, "dns.tsv"))
-	if err != nil {
+	if err := obs.WriteFileAtomic(filepath.Join(dir, "meta.tsv"), func(w io.Writer) error {
+		return netsim.WriteMeta(w, res.Output.Meta)
+	}); err != nil {
 		return err
 	}
-	defer df.Close()
-	if err := tstat.WriteDNS(df, res.Output.DNS); err != nil {
-		return err
-	}
-	mf, err := os.Create(filepath.Join(dir, "meta.tsv"))
-	if err != nil {
-		return err
-	}
-	defer mf.Close()
-	if err := netsim.WriteMeta(mf, res.Output.Meta); err != nil {
-		return err
-	}
-	pf, err := os.Create(filepath.Join(dir, "prefixes.tsv"))
-	if err != nil {
-		return err
-	}
-	defer pf.Close()
-	return netsim.WritePrefixes(pf, res.Output.CountryPrefixes)
+	return obs.WriteFileAtomic(filepath.Join(dir, "prefixes.tsv"), func(w io.Writer) error {
+		return netsim.WritePrefixes(w, res.Output.CountryPrefixes)
+	})
 }

@@ -2,6 +2,11 @@
 // -trace: per-flow latency waterfalls ("explain this flow's 550 ms") and
 // top-K rankings of the slowest flows, overall or by component.
 //
+// Corrupt JSONL lines — the tail of a trace cut short by a kill — are
+// skipped and counted by default; -strict fails on the first one
+// instead. Exit codes: 0 on success, 1 on error, 2 when lines were
+// skipped (the rendering ran on salvaged, incomplete data).
+//
 // Usage:
 //
 //	sattrace -in trace.jsonl                    # top 10 slowest, with waterfalls
@@ -14,7 +19,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strings"
 
@@ -22,21 +26,31 @@ import (
 )
 
 func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sattrace:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run() (int, error) {
 	in := flag.String("in", "", "trace JSONL file written by satgen/satreport -trace (required)")
 	top := flag.Int("top", 10, "show the K slowest flows")
 	by := flag.String("by", "", "rank by this component's span time (e.g. pep.setup) instead of total RTT")
 	flowID := flag.String("flow", "", "render a single flow's waterfall by id (c<customer>-d<day>-f<index>)")
 	summary := flag.Bool("summary", false, "print only the ranking table, no waterfalls")
 	spans := flag.Bool("spans", false, "list every span name the pipeline records and exit")
+	strict := flag.Bool("strict", false, "fail on the first corrupt trace line instead of skipping it")
 	flag.Parse()
 
 	if *spans {
 		fmt.Println(strings.Join(trace.SpanNames(), "\n"))
-		return
+		return 0, nil
 	}
 	if *in == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 0, fmt.Errorf("-in is required")
 	}
 	if *by != "" {
 		known := false
@@ -47,26 +61,33 @@ func main() {
 			}
 		}
 		if !known {
-			log.Fatalf("sattrace: unknown component %q (see -spans)", *by)
+			return 0, fmt.Errorf("unknown component %q (see -spans)", *by)
 		}
 	}
 
-	flows, err := trace.ReadFile(*in)
+	var flows []*trace.Flow
+	var st trace.ReadStats
+	var err error
+	if *strict {
+		flows, err = trace.ReadFile(*in)
+	} else {
+		flows, st, err = trace.ReadFileTolerant(*in)
+	}
 	if err != nil {
-		log.Fatalf("sattrace: %v", err)
+		return 0, err
 	}
 	if len(flows) == 0 {
 		fmt.Println("no traced flows (sampling selected none — lower -trace-sample)")
-		return
+		return exitSkipped(st.Skipped), nil
 	}
 
 	if *flowID != "" {
 		f, ok := trace.ByID(flows, *flowID)
 		if !ok {
-			log.Fatalf("sattrace: flow %s not in %s (%d flows)", *flowID, *in, len(flows))
+			return 0, fmt.Errorf("flow %s not in %s (%d flows)", *flowID, *in, len(flows))
 		}
 		fmt.Print(trace.Waterfall(f))
-		return
+		return exitSkipped(st.Skipped), nil
 	}
 
 	ranked := trace.TopK(flows, *by, *top)
@@ -76,11 +97,21 @@ func main() {
 	}
 	fmt.Printf("%d traced flows in %s · top %d by %s\n\n", len(flows), *in, len(ranked), what)
 	fmt.Print(trace.Summary(ranked, *by))
-	if *summary {
-		return
+	if !*summary {
+		for _, f := range ranked {
+			fmt.Println()
+			fmt.Print(trace.Waterfall(f))
+		}
 	}
-	for _, f := range ranked {
-		fmt.Println()
-		fmt.Print(trace.Waterfall(f))
+	return exitSkipped(st.Skipped), nil
+}
+
+// exitSkipped maps a skipped-line count to the process exit code: 2
+// flags output rendered from salvaged, incomplete data.
+func exitSkipped(skipped int) int {
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "sattrace: skipped %d corrupt trace lines (use -strict to fail instead)\n", skipped)
+		return 2
 	}
+	return 0
 }

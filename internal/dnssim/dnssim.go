@@ -26,6 +26,8 @@ var (
 		"Resolutions sampled through the resolver model.", "")
 	mCacheMisses = obs.NewCounter("dnssim_cache_misses_total",
 		"Resolutions where the resolver missed its cache and recursed to authoritatives.", "")
+	mOutageQueries = obs.NewCounter("dnssim_outage_queries_total",
+		"DNS queries sent into a resolver outage window (initial tries and retries).", "")
 )
 
 // ResolverID names one of the tracked resolvers (the Figure 10 rows).
@@ -183,6 +185,21 @@ func AdoptionShare(country geo.CountryCode, id ResolverID) float64 {
 		return m[id]
 	}
 	return 0
+}
+
+// RetryBackoff is the stub-resolver retry schedule the simulator uses
+// when a resolver outage (internal/faults) swallows a query: retry
+// after 1 s, again 3 s later, then give up — a compressed version of
+// the common client timeout ladder.
+var RetryBackoff = []time.Duration{time.Second, 3 * time.Second}
+
+// CountOutageQueries feeds dnssim_outage_queries_total from the
+// simulator's fault path: n queries (initial tries plus retries) were
+// sent into a resolver outage window.
+func CountOutageQueries(n int) {
+	if n > 0 {
+		mOutageQueries.Add(int64(n))
+	}
 }
 
 // SampleResponseTime draws the resolution time observed at the ground

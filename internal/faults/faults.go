@@ -1,0 +1,404 @@
+// Package faults models the degraded conditions the paper's vantage
+// point actually observes — rain fade on the Ka-band forward link, beam
+// congestion collapse, ground-station switchovers, PEP saturation, DNS
+// resolver failures — as a deterministic, seeded schedule of timed
+// events the simulator consults per flow.
+//
+// A schedule is pure data: every query is a pure function of (event
+// list, simulated time, beam), never of scheduling or worker identity,
+// so fault injection preserves the simulator's bit-for-bit determinism
+// at any worker count. Schedules come from a named preset, from the
+// seeded generator (Spec), or from a JSON file, and are recorded in the
+// run manifest so a degraded run can be reproduced exactly.
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"satwatch/internal/dist"
+	"satwatch/internal/dnssim"
+	"satwatch/internal/geo"
+	"satwatch/internal/obs"
+)
+
+// Exported metrics (see OBSERVABILITY.md).
+var mActive = obs.NewGauge("faults_active",
+	"Fault events in the schedule injected into the current run (0 = clear sky).", "")
+
+// RecordActive publishes the injected schedule's size to the
+// faults_active gauge; nil means a clear-sky run.
+func RecordActive(s *Schedule) { mActive.Set(float64(s.Len())) }
+
+// Kind names one fault event type.
+type Kind string
+
+const (
+	// RainFront is a rain-fade front crossing a beam: fade intensity
+	// ramps linearly from zero at Start to Peak at the window midpoint
+	// and back to zero at End (phy turns intensity into link margin
+	// loss, ACM down-switching and residual frame errors).
+	RainFront Kind = "rain_front"
+	// BeamOutage takes a beam fully down: flows starting inside the
+	// window see a dead uplink — SYN retransmissions, then silence.
+	BeamOutage Kind = "beam_outage"
+	// GatewaySwitch is a ground-station switchover at Start: every flow
+	// alive at that instant is cut (mass resets at the old gateway), and
+	// flows starting during the re-route window [Start, End] pay RTTStep
+	// of extra ground RTT through the detour.
+	GatewaySwitch Kind = "gateway_switch"
+	// PEPOverload saturates the PEP: new flows in the window either
+	// queue at utilization Peak or fall off split-TCP entirely, paying
+	// end-to-end GEO handshakes.
+	PEPOverload Kind = "pep_overload"
+	// DNSOutage takes a resolver down: queries in the window are
+	// retried on the stub-resolver backoff schedule and answered only
+	// if the outage clears before the client gives up.
+	DNSOutage Kind = "dns_outage"
+)
+
+// kinds is every valid Kind, for validation.
+var kinds = map[Kind]bool{
+	RainFront: true, BeamOutage: true, GatewaySwitch: true,
+	PEPOverload: true, DNSOutage: true,
+}
+
+// Event is one scheduled fault. Times are offsets from the simulation
+// epoch (UTC midnight of day 0), serialized as nanoseconds.
+type Event struct {
+	Kind Kind `json:"kind"`
+	// Start and End bound the event window; a GatewaySwitch cuts flows
+	// at Start and detours new flows until End.
+	Start time.Duration `json:"start_ns"`
+	End   time.Duration `json:"end_ns"`
+	// Beam is the affected beam ID; -1 hits every beam. Ignored by
+	// gateway_switch and dns_outage, which are gateway-wide.
+	Beam int `json:"beam"`
+	// Peak is the event's intensity: rain-fade depth in [0,1] for
+	// rain_front, forced PEP utilization for pep_overload.
+	Peak float64 `json:"peak,omitempty"`
+	// RTTStep is the extra ground RTT of a gateway_switch detour.
+	RTTStep time.Duration `json:"rtt_step_ns,omitempty"`
+	// Resolver is the dns_outage target (a dnssim.ResolverID string);
+	// empty hits every resolver.
+	Resolver string `json:"resolver,omitempty"`
+}
+
+// window reports whether t falls inside [Start, End).
+func (e *Event) window(t time.Duration) bool { return t >= e.Start && t < e.End }
+
+// hits reports whether the event applies to the given beam.
+func (e *Event) hits(beam int) bool { return e.Beam < 0 || e.Beam == beam }
+
+// Schedule is an immutable, queryable fault timeline. The zero value
+// and a nil *Schedule are both valid clear-sky schedules: every query
+// returns "no fault".
+type Schedule struct {
+	// Name identifies the preset or file the schedule came from.
+	Name string `json:"name"`
+	// Seed is the generator seed, zero for hand-written schedules.
+	Seed uint64 `json:"seed,omitempty"`
+	// Events is the timeline, sorted by (Start, Kind, Beam, End).
+	Events []Event `json:"events"`
+}
+
+// Len returns the number of scheduled events; 0 for nil.
+func (s *Schedule) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.Events)
+}
+
+// Rain returns the rain-fade intensity a flow starting at t on the
+// given beam experiences: the strongest active front's triangular ramp
+// (0 at the window edges, Peak at the midpoint).
+func (s *Schedule) Rain(t time.Duration, beam int) float64 {
+	if s == nil {
+		return 0
+	}
+	depth := 0.0
+	for i := range s.Events {
+		e := &s.Events[i]
+		if e.Kind != RainFront || !e.hits(beam) || !e.window(t) || e.End <= e.Start {
+			continue
+		}
+		mid := e.Start + (e.End-e.Start)/2
+		var frac float64
+		if t < mid {
+			frac = float64(t-e.Start) / float64(mid-e.Start)
+		} else {
+			frac = float64(e.End-t) / float64(e.End-mid)
+		}
+		if d := e.Peak * frac; d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
+
+// BeamDown reports whether the beam is in a full outage at t.
+func (s *Schedule) BeamDown(t time.Duration, beam int) bool {
+	if s == nil {
+		return false
+	}
+	for i := range s.Events {
+		e := &s.Events[i]
+		if e.Kind == BeamOutage && e.hits(beam) && e.window(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// PEPOverloadRho returns the forced PEP utilization for a flow starting
+// at t on the given beam, and whether an overload window is active.
+func (s *Schedule) PEPOverloadRho(t time.Duration, beam int) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	rho, active := 0.0, false
+	for i := range s.Events {
+		e := &s.Events[i]
+		if e.Kind != PEPOverload || !e.hits(beam) || !e.window(t) {
+			continue
+		}
+		active = true
+		peak := e.Peak
+		if peak <= 0 {
+			peak = 0.97
+		}
+		if peak > rho {
+			rho = peak
+		}
+	}
+	return rho, active
+}
+
+// GatewayRTTExtra returns the extra ground RTT a flow starting at t
+// pays while a gateway switchover is re-routing traffic.
+func (s *Schedule) GatewayRTTExtra(t time.Duration) time.Duration {
+	if s == nil {
+		return 0
+	}
+	var extra time.Duration
+	for i := range s.Events {
+		e := &s.Events[i]
+		if e.Kind == GatewaySwitch && e.window(t) && e.RTTStep > extra {
+			extra = e.RTTStep
+		}
+	}
+	return extra
+}
+
+// NextGatewaySwitch returns the instant of the first gateway switchover
+// strictly after t: a flow alive at that instant is cut by the old
+// gateway's teardown.
+func (s *Schedule) NextGatewaySwitch(t time.Duration) (time.Duration, bool) {
+	if s == nil {
+		return 0, false
+	}
+	var next time.Duration
+	found := false
+	for i := range s.Events {
+		e := &s.Events[i]
+		if e.Kind == GatewaySwitch && e.Start > t && (!found || e.Start < next) {
+			next, found = e.Start, true
+		}
+	}
+	return next, found
+}
+
+// ResolverDown reports whether the named resolver is unreachable at t.
+func (s *Schedule) ResolverDown(t time.Duration, resolver string) bool {
+	if s == nil {
+		return false
+	}
+	for i := range s.Events {
+		e := &s.Events[i]
+		if e.Kind != DNSOutage || !e.window(t) {
+			continue
+		}
+		if e.Resolver == "" || e.Resolver == resolver {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the schedule is well-formed: known kinds, ordered
+// non-empty windows, intensities in range.
+func (s *Schedule) Validate() error {
+	if s == nil {
+		return nil
+	}
+	for i := range s.Events {
+		e := &s.Events[i]
+		if !kinds[e.Kind] {
+			return fmt.Errorf("faults: event %d: unknown kind %q", i, e.Kind)
+		}
+		if e.Start < 0 || e.End <= e.Start {
+			return fmt.Errorf("faults: event %d (%s): window [%v, %v) is empty or negative", i, e.Kind, e.Start, e.End)
+		}
+		if e.Peak < 0 || e.Peak > 1 {
+			return fmt.Errorf("faults: event %d (%s): peak %v outside [0,1]", i, e.Kind, e.Peak)
+		}
+		if e.RTTStep < 0 {
+			return fmt.Errorf("faults: event %d (%s): negative rtt step", i, e.Kind)
+		}
+	}
+	return nil
+}
+
+// sortEvents puts events in the canonical order recorded in manifests.
+func sortEvents(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := &evs[i], &evs[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Beam != b.Beam {
+			return a.Beam < b.Beam
+		}
+		return a.End < b.End
+	})
+}
+
+// Spec parameterizes the seeded schedule generator: how many events of
+// each kind to scatter over a Days-long window.
+type Spec struct {
+	Name            string
+	Seed            uint64
+	Days            int
+	RainFronts      int
+	BeamOutages     int
+	GatewaySwitches int
+	PEPOverloads    int
+	DNSOutages      int
+}
+
+// Generate scatters the spec's events over the observation window using
+// the spec's seed: identical specs produce identical schedules.
+func (sp Spec) Generate() *Schedule {
+	days := sp.Days
+	if days <= 0 {
+		days = 1
+	}
+	window := time.Duration(days) * 24 * time.Hour
+	beams := geo.Beams()
+	resolvers := dnssim.Resolvers()
+	r := dist.NewRand(sp.Seed).Fork("faults")
+
+	// place draws a window of the given duration range inside the run.
+	place := func(minDur, maxDur time.Duration) (time.Duration, time.Duration) {
+		dur := minDur + time.Duration(r.IntN(int(maxDur-minDur)+1))
+		start := time.Duration(r.IntN(int(window - dur)))
+		return start, start + dur
+	}
+
+	var evs []Event
+	for i := 0; i < sp.RainFronts; i++ {
+		start, end := place(time.Hour, 3*time.Hour)
+		evs = append(evs, Event{Kind: RainFront, Beam: beams[r.IntN(len(beams))].ID,
+			Start: start, End: end, Peak: 0.5 + 0.5*r.Float64()})
+	}
+	for i := 0; i < sp.BeamOutages; i++ {
+		start, end := place(10*time.Minute, 40*time.Minute)
+		evs = append(evs, Event{Kind: BeamOutage, Beam: beams[r.IntN(len(beams))].ID,
+			Start: start, End: end})
+	}
+	for i := 0; i < sp.GatewaySwitches; i++ {
+		start, end := place(5*time.Minute, 15*time.Minute)
+		evs = append(evs, Event{Kind: GatewaySwitch, Beam: -1, Start: start, End: end,
+			RTTStep: time.Duration(20+r.IntN(41)) * time.Millisecond})
+	}
+	for i := 0; i < sp.PEPOverloads; i++ {
+		start, end := place(time.Hour, 2*time.Hour)
+		evs = append(evs, Event{Kind: PEPOverload, Beam: beams[r.IntN(len(beams))].ID,
+			Start: start, End: end, Peak: 0.95 + 0.03*r.Float64()})
+	}
+	for i := 0; i < sp.DNSOutages; i++ {
+		start, end := place(5*time.Minute, 20*time.Minute)
+		evs = append(evs, Event{Kind: DNSOutage, Beam: -1, Start: start, End: end,
+			Resolver: string(resolvers[r.IntN(len(resolvers))].ID)})
+	}
+	sortEvents(evs)
+	return &Schedule{Name: sp.Name, Seed: sp.Seed, Events: evs}
+}
+
+// presets maps preset names to per-day event counts. "rainfront" is the
+// acceptance scenario: weather plus PEP collapse; "stress" layers every
+// kind for chaos testing.
+var presets = map[string]func(days int) Spec{
+	"rainfront": func(d int) Spec { return Spec{RainFronts: 3 * d, PEPOverloads: 2 * d} },
+	"outage":    func(d int) Spec { return Spec{BeamOutages: 3 * d, GatewaySwitches: 1} },
+	"dns":       func(d int) Spec { return Spec{DNSOutages: 3 * d} },
+	"stress": func(d int) Spec {
+		return Spec{RainFronts: 3 * d, BeamOutages: 2 * d, GatewaySwitches: 1,
+			PEPOverloads: 2 * d, DNSOutages: 2 * d}
+	},
+}
+
+// PresetNames lists the built-in preset names, sorted.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset generates a named preset schedule scaled to the run's length
+// and seeded by the run's seed, so -faults PRESET stays reproducible.
+func Preset(name string, days int, seed uint64) (*Schedule, error) {
+	f, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("faults: unknown preset %q (have: %s)", name, strings.Join(PresetNames(), ", "))
+	}
+	if days <= 0 {
+		days = 1
+	}
+	sp := f(days)
+	sp.Name, sp.Seed, sp.Days = name, seed, days
+	return sp.Generate(), nil
+}
+
+// Load resolves a -faults argument: a path to a JSON schedule file if
+// one exists there, else a preset name. Empty means no faults (nil).
+func Load(arg string, days int, seed uint64) (*Schedule, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	if _, err := os.Stat(arg); err == nil {
+		return LoadFile(arg)
+	}
+	return Preset(arg, days, seed)
+}
+
+// LoadFile parses and validates a JSON schedule file.
+func LoadFile(path string) (*Schedule, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("faults: %w", err)
+	}
+	var s Schedule
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("faults: parse %s: %w", path, err)
+	}
+	if s.Name == "" {
+		s.Name = path
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	sortEvents(s.Events)
+	return &s, nil
+}

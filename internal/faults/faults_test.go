@@ -1,0 +1,215 @@
+package faults
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestNilScheduleIsClearSky(t *testing.T) {
+	var s *Schedule
+	if s.Len() != 0 || s.Rain(time.Hour, 3) != 0 || s.BeamDown(0, 0) ||
+		s.GatewayRTTExtra(0) != 0 || s.ResolverDown(0, "Google") {
+		t.Fatal("nil schedule reported a fault")
+	}
+	if _, ok := s.PEPOverloadRho(0, 0); ok {
+		t.Fatal("nil schedule reported PEP overload")
+	}
+	if _, ok := s.NextGatewaySwitch(0); ok {
+		t.Fatal("nil schedule reported a gateway switch")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRainFrontRamp(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: RainFront, Beam: 2, Start: 1 * time.Hour, End: 3 * time.Hour, Peak: 0.8},
+	}}
+	if got := s.Rain(2*time.Hour, 2); got != 0.8 {
+		t.Fatalf("midpoint rain = %v, want peak 0.8", got)
+	}
+	if got := s.Rain(90*time.Minute, 2); got < 0.39 || got > 0.41 {
+		t.Fatalf("quarter-point rain = %v, want ~0.4", got)
+	}
+	if got := s.Rain(1*time.Hour, 2); got != 0 {
+		t.Fatalf("window-edge rain = %v, want 0 (ramp starts at zero)", got)
+	}
+	if got := s.Rain(3*time.Hour, 2); got != 0 {
+		t.Fatalf("rain past the window = %v, want 0", got)
+	}
+	if got := s.Rain(2*time.Hour, 5); got != 0 {
+		t.Fatalf("rain on another beam = %v, want 0", got)
+	}
+}
+
+func TestRainAllBeams(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: RainFront, Beam: -1, Start: 0, End: 2 * time.Hour, Peak: 1},
+	}}
+	for _, beam := range []int{0, 7, 20} {
+		if got := s.Rain(time.Hour, beam); got != 1 {
+			t.Fatalf("beam %d rain = %v, want 1 at midpoint of an all-beam front", beam, got)
+		}
+	}
+}
+
+func TestBeamOutageAndOverlappingFronts(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: BeamOutage, Beam: 4, Start: time.Hour, End: 2 * time.Hour},
+		{Kind: RainFront, Beam: 4, Start: 0, End: 4 * time.Hour, Peak: 0.4},
+		{Kind: RainFront, Beam: 4, Start: time.Hour, End: 3 * time.Hour, Peak: 1},
+	}}
+	if !s.BeamDown(90*time.Minute, 4) {
+		t.Fatal("beam 4 should be down mid-window")
+	}
+	if s.BeamDown(30*time.Minute, 4) || s.BeamDown(90*time.Minute, 5) {
+		t.Fatal("outage leaked outside its window or beam")
+	}
+	// Overlapping fronts: the strongest instantaneous depth wins.
+	if got := s.Rain(2*time.Hour, 4); got != 1 {
+		t.Fatalf("overlapping fronts rain = %v, want the stronger front's peak 1", got)
+	}
+}
+
+func TestGatewaySwitchQueries(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: GatewaySwitch, Beam: -1, Start: 2 * time.Hour, End: 2*time.Hour + 10*time.Minute, RTTStep: 40 * time.Millisecond},
+		{Kind: GatewaySwitch, Beam: -1, Start: 6 * time.Hour, End: 6*time.Hour + 5*time.Minute, RTTStep: 25 * time.Millisecond},
+	}}
+	if got := s.GatewayRTTExtra(2*time.Hour + 5*time.Minute); got != 40*time.Millisecond {
+		t.Fatalf("detour RTT = %v, want 40ms", got)
+	}
+	if got := s.GatewayRTTExtra(3 * time.Hour); got != 0 {
+		t.Fatalf("RTT step after the re-route window = %v, want 0", got)
+	}
+	next, ok := s.NextGatewaySwitch(time.Hour)
+	if !ok || next != 2*time.Hour {
+		t.Fatalf("next switch after 1h = %v/%v, want 2h", next, ok)
+	}
+	next, ok = s.NextGatewaySwitch(2 * time.Hour)
+	if !ok || next != 6*time.Hour {
+		t.Fatalf("next switch after 2h = %v/%v, want 6h (strictly after)", next, ok)
+	}
+	if _, ok := s.NextGatewaySwitch(7 * time.Hour); ok {
+		t.Fatal("no switch should remain after 7h")
+	}
+}
+
+func TestPEPOverloadAndResolverDown(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: PEPOverload, Beam: 3, Start: time.Hour, End: 2 * time.Hour, Peak: 0.96},
+		{Kind: PEPOverload, Beam: 3, Start: time.Hour, End: 90 * time.Minute}, // Peak 0 → default
+		{Kind: DNSOutage, Beam: -1, Start: 0, End: time.Hour, Resolver: "Google"},
+		{Kind: DNSOutage, Beam: -1, Start: 5 * time.Hour, End: 6 * time.Hour},
+	}}
+	rho, ok := s.PEPOverloadRho(80*time.Minute, 3)
+	if !ok || rho != 0.97 {
+		t.Fatalf("overload rho = %v/%v, want the 0.97 default winning over 0.96", rho, ok)
+	}
+	if _, ok := s.PEPOverloadRho(80*time.Minute, 4); ok {
+		t.Fatal("overload leaked to another beam")
+	}
+	if !s.ResolverDown(30*time.Minute, "Google") || s.ResolverDown(30*time.Minute, "CloudFlare") {
+		t.Fatal("targeted resolver outage hit the wrong resolver")
+	}
+	if !s.ResolverDown(5*time.Hour+time.Minute, "CloudFlare") {
+		t.Fatal("untargeted outage should hit every resolver")
+	}
+}
+
+func TestGenerateDeterministicAndValid(t *testing.T) {
+	sp := Spec{Name: "t", Seed: 42, Days: 2, RainFronts: 5, BeamOutages: 3,
+		GatewaySwitches: 2, PEPOverloads: 4, DNSOutages: 3}
+	a, b := sp.Generate(), sp.Generate()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal specs generated different schedules")
+	}
+	if a.Len() != 17 {
+		t.Fatalf("generated %d events, want 17", a.Len())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	window := 2 * 24 * time.Hour
+	for i, e := range a.Events {
+		if e.End > window {
+			t.Fatalf("event %d ends at %v, past the %v window", i, e.End, window)
+		}
+	}
+	sp.Seed = 43
+	if reflect.DeepEqual(a, sp.Generate()) {
+		t.Fatal("different seeds generated identical schedules")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		s, err := Preset(name, 1, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Len() == 0 {
+			t.Fatalf("preset %q is empty", name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("preset %q: %v", name, err)
+		}
+	}
+	if _, err := Preset("nope", 1, 7); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	// The acceptance scenario: rain fronts plus PEP collapse.
+	s, _ := Preset("rainfront", 1, 7)
+	byKind := map[Kind]int{}
+	for _, e := range s.Events {
+		byKind[e.Kind]++
+	}
+	if byKind[RainFront] == 0 || byKind[PEPOverload] == 0 {
+		t.Fatalf("rainfront preset kinds = %v, want rain fronts and PEP overloads", byKind)
+	}
+}
+
+func TestLoadFileRoundTripAndValidation(t *testing.T) {
+	dir := t.TempDir()
+	orig, err := Preset("stress", 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "sched.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatal("schedule changed across a JSON round trip")
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"name":"x","events":[{"kind":"rain_front","start_ns":10,"end_ns":5}]}`), 0o644)
+	if _, err := LoadFile(bad); err == nil {
+		t.Fatal("empty-window event accepted")
+	}
+	os.WriteFile(bad, []byte(`{"events":[{"kind":"volcano","start_ns":0,"end_ns":5}]}`), 0o644)
+	if _, err := LoadFile(bad); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+
+	if s, err := Load("", 1, 1); err != nil || s != nil {
+		t.Fatal("empty -faults arg must mean no schedule")
+	}
+	if _, err := Load("no-such-preset-or-file", 1, 1); err == nil {
+		t.Fatal("bogus -faults arg accepted")
+	}
+}

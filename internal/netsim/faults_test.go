@@ -1,0 +1,382 @@
+package netsim
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"satwatch/internal/faults"
+	"satwatch/internal/obs"
+	"satwatch/internal/tstat"
+)
+
+// testSchedule builds a hand-written all-beam schedule with disjoint,
+// known windows so every assertion below can be tied to one event.
+func testSchedule() *faults.Schedule {
+	return &faults.Schedule{
+		Name: "test",
+		Events: []faults.Event{
+			// The PEP overload sits in the quiet small hours so the forced
+			// saturation is visible over the low ambient utilization.
+			{Kind: faults.PEPOverload, Beam: -1, Start: 2 * time.Hour, End: 4 * time.Hour, Peak: 0.97},
+			{Kind: faults.DNSOutage, Beam: -1, Start: 12 * time.Hour, End: 12*time.Hour + 30*time.Minute},
+			{Kind: faults.RainFront, Beam: -1, Start: 14 * time.Hour, End: 16 * time.Hour, Peak: 0.9},
+			{Kind: faults.BeamOutage, Beam: -1, Start: 20 * time.Hour, End: 21 * time.Hour},
+			{Kind: faults.GatewaySwitch, Beam: -1, Start: 22 * time.Hour,
+				End: 23 * time.Hour, RTTStep: 40 * time.Millisecond},
+		},
+	}
+}
+
+// isDead spots a flow that got nothing back from a dead uplink. DNS
+// exchanges (server port 53) are excluded: an unanswered query during a
+// resolver outage is also downstream-silent, by design.
+func isDead(f *tstat.FlowRecord) bool {
+	return f.PktsDown == 0 && f.BytesDown == 0 && f.SPort != 53
+}
+
+// handshakeAckGap returns the SYN-ACK → final-ACK gap of a TLS flow's
+// TCP handshake (First10 indices 1 and 2): milliseconds through the PEP,
+// a full GEO round trip when the flow bypassed it.
+func handshakeAckGap(f *tstat.FlowRecord) (time.Duration, bool) {
+	if f.SatRTT == 0 || len(f.First10) < 3 {
+		return 0, false
+	}
+	return f.First10[2] - f.First10[1], true
+}
+
+func inWindow(t, lo, hi time.Duration) bool { return t >= lo && t < hi }
+
+// meanSatRTT averages the TLS handshake RTT estimate over flows starting
+// inside [lo, hi).
+func meanSatRTT(flows []tstat.FlowRecord, lo, hi time.Duration) (time.Duration, int) {
+	var sum time.Duration
+	n := 0
+	for i := range flows {
+		f := &flows[i]
+		if f.SatRTT > 0 && inWindow(f.Start, lo, hi) {
+			sum += f.SatRTT
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / time.Duration(n), n
+}
+
+// meanGroundRTT averages the data→ACK ground RTT estimate over flows
+// starting inside [lo, hi) that collected at least one sample.
+func meanGroundRTT(flows []tstat.FlowRecord, lo, hi time.Duration) (time.Duration, int) {
+	var sum time.Duration
+	n := 0
+	for i := range flows {
+		f := &flows[i]
+		if f.GroundRTT.Samples > 0 && inWindow(f.Start, lo, hi) {
+			sum += f.GroundRTT.Avg
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / time.Duration(n), n
+}
+
+func sumPktsDown(flows []tstat.FlowRecord, lo, hi time.Duration) int64 {
+	var sum int64
+	for i := range flows {
+		if inWindow(flows[i].Start, lo, hi) {
+			sum += flows[i].PktsDown
+		}
+	}
+	return sum
+}
+
+func metricValue(t *testing.T, name string) float64 {
+	t.Helper()
+	s, ok := obs.Default.Get(name)
+	if !ok {
+		t.Fatalf("metric %s not registered", name)
+	}
+	return s.Value
+}
+
+// TestFaultEffectsConfinedToWindows is the PR's acceptance scenario: each
+// scheduled event visibly degrades the flows starting inside its window —
+// dead uplinks, bypassed handshakes paying end-to-end GEO RTTs, rain
+// retransmissions, switchover resets — and leaves the rest of the day
+// looking like the clear-sky run.
+func TestFaultEffectsConfinedToWindows(t *testing.T) {
+	cfg := Config{Customers: 40, Days: 1, Seed: 4242}
+
+	obs.Default.Reset()
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sched := testSchedule()
+	if err := sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	obs.Default.Reset()
+	cfg.Faults = sched
+	fault, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := fault.Stats.Status(); st != StatusOK {
+		t.Fatalf("fault injection alone must not degrade the run status, got %q (errors: %v)", st, fault.Stats.Errors)
+	}
+	// Faults shape flows rather than dropping them; the only records that
+	// legitimately disappear are the DNS exchanges dead-beam flows never
+	// attempt, so the counts stay within a couple of percent.
+	if diff := len(base.Flows) - len(fault.Flows); diff < 0 || diff > len(base.Flows)/50 {
+		t.Fatalf("fault run has %d flows, clear-sky run %d: beyond the dead-beam DNS deficit",
+			len(fault.Flows), len(base.Flows))
+	}
+
+	// Fault wiring publishes its activity through the obs registry.
+	if got := metricValue(t, "faults_active"); got != float64(len(sched.Events)) {
+		t.Errorf("faults_active = %v, want %d", got, len(sched.Events))
+	}
+	for _, m := range []string{"netsim_flows_degraded_total", "pep_bypassed_flows_total", "dnssim_outage_queries_total"} {
+		if metricValue(t, m) == 0 {
+			t.Errorf("%s = 0, want > 0 with an active schedule", m)
+		}
+	}
+
+	// Clear sky: the probe never logs a flow with zero downstream traffic,
+	// and every TLS handshake completes its final ACK within milliseconds
+	// of the SYN-ACK (the PEP answers locally).
+	for i := range base.Flows {
+		f := &base.Flows[i]
+		if isDead(f) {
+			t.Fatalf("clear-sky run logged a dead flow (%s:%d start %v)", f.Client, f.CPort, f.Start)
+		}
+		if g, ok := handshakeAckGap(f); ok && g > 400*time.Millisecond {
+			t.Fatalf("clear-sky handshake ACK gap %v exceeds the bypass detection threshold", g)
+		}
+	}
+
+	const margin = 15 * time.Minute
+
+	// Beam outage [20h, 21h): flows starting inside the window die on a
+	// dead uplink (SYN train or lone datagrams, nothing back), dead flows
+	// appear nowhere else.
+	deadIn, deadOut := 0, 0
+	for i := range fault.Flows {
+		f := &fault.Flows[i]
+		if !isDead(f) {
+			continue
+		}
+		if inWindow(f.Start, 20*time.Hour-margin, 21*time.Hour+margin) {
+			deadIn++
+		} else {
+			deadOut++
+			t.Errorf("dead flow outside the beam-outage window at %v", f.Start)
+		}
+	}
+	if deadIn < 5 {
+		t.Errorf("beam outage produced %d dead flows, want >= 5", deadIn)
+	}
+	for i := range fault.Flows {
+		f := &fault.Flows[i]
+		if inWindow(f.Start, 20*time.Hour+margin, 21*time.Hour-margin) && !isDead(f) {
+			t.Errorf("flow deep inside the beam outage survived (%s:%d start %v, %d pkts down)",
+				f.Client, f.CPort, f.Start, f.PktsDown)
+		}
+	}
+
+	// PEP overload [2h, 4h): bypassed flows complete their handshake end
+	// to end, so the final ACK trails the SYN-ACK by a full GEO round trip
+	// instead of the PEP's local millisecond turnaround; no flow outside
+	// the window does.
+	bypassIn := 0
+	for i := range fault.Flows {
+		f := &fault.Flows[i]
+		g, ok := handshakeAckGap(f)
+		if !ok || g <= 400*time.Millisecond {
+			continue
+		}
+		if inWindow(f.Start, 2*time.Hour-margin, 4*time.Hour+margin) {
+			bypassIn++
+		} else {
+			t.Errorf("GEO-sized handshake ACK gap %v outside the PEP overload window at %v", g, f.Start)
+		}
+	}
+	if bypassIn < 5 {
+		t.Errorf("PEP overload produced %d bypassed flows with GEO-sized handshake gaps, want >= 5", bypassIn)
+	}
+	// Queued (non-bypassed) flows pay the saturated PEP's setup sojourn,
+	// which the probe sees as an elevated handshake RTT estimate. Bypassed
+	// flows skip the PEP queue entirely, so they are excluded from the
+	// comparison (their signal is the ACK gap above).
+	baseMean, bn := meanSatRTT(base.Flows, 2*time.Hour+margin, 4*time.Hour-margin)
+	var queuedSum time.Duration
+	qn := 0
+	for i := range fault.Flows {
+		f := &fault.Flows[i]
+		if f.SatRTT == 0 || !inWindow(f.Start, 2*time.Hour+margin, 4*time.Hour-margin) {
+			continue
+		}
+		if g, ok := handshakeAckGap(f); ok && g > 400*time.Millisecond {
+			continue // bypassed
+		}
+		queuedSum += f.SatRTT
+		qn++
+	}
+	if bn == 0 || qn == 0 {
+		t.Fatalf("no TLS flows inside the overload window (base %d, queued fault %d)", bn, qn)
+	}
+	if queuedMean := queuedSum / time.Duration(qn); queuedMean < baseMean+200*time.Millisecond {
+		t.Errorf("overload-window mean queued handshake RTT %v vs clear-sky %v: want >= +200ms", queuedMean, baseMean)
+	}
+
+	// Rain front [14h, 16h): frame loss retransmits download segments, so
+	// the window's downstream packet count strictly exceeds clear sky's.
+	baseRain := sumPktsDown(base.Flows, 14*time.Hour+margin, 16*time.Hour-margin)
+	faultRain := sumPktsDown(fault.Flows, 14*time.Hour+margin, 16*time.Hour-margin)
+	if faultRain <= baseRain {
+		t.Errorf("rain window pkts down %d (fault) vs %d (clear sky): retransmissions missing", faultRain, baseRain)
+	}
+
+	// Gateway switchover [22h, 23h): flows routed through the backup
+	// ground station pay the detour's RTT step, visible as a shift in the
+	// window's mean data→ACK ground RTT. (The mass reset at the switch
+	// instant is real but unassertable at this scale: laptop-scale flows
+	// are seconds long, so almost none are alive at any given instant.)
+	baseG, bgn := meanGroundRTT(base.Flows, 22*time.Hour+margin, 23*time.Hour-margin)
+	faultG, fgn := meanGroundRTT(fault.Flows, 22*time.Hour+margin, 23*time.Hour-margin)
+	if bgn == 0 || fgn == 0 {
+		t.Fatalf("no RTT-sampled flows inside the switchover window (base %d, fault %d)", bgn, fgn)
+	}
+	if faultG < baseG+20*time.Millisecond {
+		t.Errorf("switchover-window mean ground RTT %v vs clear-sky %v: want >= +20ms (RTTStep 40ms)", faultG, baseG)
+	}
+}
+
+// TestFaultParallelismInvariance extends the headline determinism
+// contract to degraded runs: a seeded fault schedule must still produce
+// byte-identical outputs at any worker count.
+func TestFaultParallelismInvariance(t *testing.T) {
+	sched, err := faults.Preset("stress", 1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAt := func(par int) (flows, dns, meta []byte) {
+		out, err := Run(Config{Customers: 30, Days: 1, Seed: 99, Parallelism: par, Faults: sched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return serialize(t, out)
+	}
+	bf, bd, bm := runAt(1)
+	if len(bf) == 0 {
+		t.Fatal("empty serialized output at parallelism 1")
+	}
+	for _, par := range []int{2, 4} {
+		f, d, m := runAt(par)
+		if !bytes.Equal(bf, f) {
+			t.Errorf("fault-run flow log differs between parallelism 1 and %d", par)
+		}
+		if !bytes.Equal(bd, d) {
+			t.Errorf("fault-run DNS log differs between parallelism 1 and %d", par)
+		}
+		if !bytes.Equal(bm, m) {
+			t.Errorf("fault-run metadata differs between parallelism 1 and %d", par)
+		}
+	}
+}
+
+// TestClearSkyScheduleMatchesNil pins the zero-cost property: an empty
+// schedule consumes no random draws, so its output is byte-identical to a
+// run with no schedule at all.
+func TestClearSkyScheduleMatchesNil(t *testing.T) {
+	a, err := Run(Config{Customers: 20, Days: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Customers: 20, Days: 1, Seed: 5, Faults: &faults.Schedule{Name: "empty"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	af, ad, am := serialize(t, a)
+	bf, bd, bm := serialize(t, b)
+	if !bytes.Equal(af, bf) || !bytes.Equal(ad, bd) || !bytes.Equal(am, bm) {
+		t.Fatal("an empty fault schedule changed the output")
+	}
+}
+
+// TestWorkerPanicRecovery: a panic while synthesizing one customer must
+// not crash the run — the customer is dropped with an error naming it,
+// everyone else's flows survive, and the run reports itself degraded.
+func TestWorkerPanicRecovery(t *testing.T) {
+	testHookSynthCustomer = func(id int) {
+		if id%7 == 2 {
+			panic("boom")
+		}
+	}
+	defer func() { testHookSynthCustomer = nil }()
+
+	const n = 20
+	out, err := Run(Config{Customers: n, Days: 1, Seed: 11, Parallelism: 4})
+	if err != nil {
+		t.Fatalf("a worker panic must be recovered, not returned: %v", err)
+	}
+	if st := out.Stats.Status(); st != StatusDegraded {
+		t.Fatalf("status = %q, want %q", st, StatusDegraded)
+	}
+	if len(out.Stats.Errors) == 0 {
+		t.Fatal("degraded run reported no errors")
+	}
+	for _, e := range out.Stats.Errors {
+		if !strings.Contains(e, "panic: boom") || !strings.Contains(e, "customer") {
+			t.Errorf("error %q does not carry the panic and customer context", e)
+		}
+	}
+	if out.Stats.CustomersDone+len(out.Stats.Errors) != n {
+		t.Errorf("done %d + failed %d != %d customers", out.Stats.CustomersDone, len(out.Stats.Errors), n)
+	}
+	if out.Stats.CustomersDone == 0 || len(out.Flows) == 0 {
+		t.Fatal("no customers salvaged from the degraded run")
+	}
+
+	// The manifest carries the salvage story.
+	m := ManifestFor("test", Config{Customers: n, Days: 1, Seed: 11}, out)
+	if m.Status != StatusDegraded || len(m.Errors) == 0 {
+		t.Errorf("manifest status %q with %d errors, want degraded with errors", m.Status, len(m.Errors))
+	}
+}
+
+// TestInterruptedRunIsPartial: cancelling the context between the passes
+// stops workers at customer boundaries and yields a parseable partial
+// output instead of an error.
+func TestInterruptedRunIsPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	testHookAfterPassA = cancel
+	defer func() { testHookAfterPassA = nil }()
+
+	out, err := RunContext(ctx, Config{Customers: 20, Days: 1, Seed: 13, Parallelism: 4})
+	if err != nil {
+		t.Fatalf("interruption during pass B must salvage, not fail: %v", err)
+	}
+	if !out.Stats.Interrupted {
+		t.Fatal("Stats.Interrupted not set")
+	}
+	if st := out.Stats.Status(); st != StatusPartial {
+		t.Fatalf("status = %q, want %q", st, StatusPartial)
+	}
+	if out.Stats.CustomersDone >= 20 {
+		t.Fatalf("interrupted run completed all %d customers", out.Stats.CustomersDone)
+	}
+	// Whatever was salvaged must serialize cleanly.
+	f, d, m := serialize(t, out)
+	if len(f) == 0 || len(d) == 0 || len(m) == 0 {
+		t.Fatal("salvaged output did not serialize")
+	}
+}

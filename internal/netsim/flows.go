@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"fmt"
 	"net/netip"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"satwatch/internal/geo"
 	"satwatch/internal/mac"
 	"satwatch/internal/packet"
+	"satwatch/internal/pepmodel"
 	"satwatch/internal/phy"
 	"satwatch/internal/shaper"
 	"satwatch/internal/tcpmodel"
@@ -45,6 +47,30 @@ type synthesizer struct {
 	chCache  map[string][]byte // ClientHello bytes per SNI
 	shBytes  []byte            // ServerHello + Certificate + HelloDone
 	ckeBytes []byte            // ClientKeyExchange + CCS + Finished
+
+	// Per-flow fault state, reset at the top of flow() (each synthesizer
+	// is single-goroutine). cutoff > 0 marks a gateway switchover during
+	// the flow's lifetime: events at or past it are suppressed and the
+	// first suppressed TCP event becomes a single RST. retxP is the
+	// rain-driven per-lead-segment retransmission probability.
+	cutoff time.Duration
+	cutRST bool
+	retxP  float64
+}
+
+// observe delivers one event to the tracker unless a gateway switchover
+// cut the flow first: the old gateway tears its proxied connections
+// down, so the probe sees a reset at the switch instant and nothing
+// after (the paper's mass flow resets on ground-station maintenance).
+func (s *synthesizer) observe(tuple packet.FiveTuple, ev tstat.SegmentEvent) {
+	if s.cutoff > 0 && ev.T >= s.cutoff {
+		if !s.cutRST && tuple.Proto == packet.ProtoTCP {
+			s.cutRST = true
+			s.tracker.Observe(tuple, tstat.SegmentEvent{T: s.cutoff, Flags: packet.FlagRST, Packets: 1, WireLen: hdrLen})
+		}
+		return
+	}
+	s.tracker.Observe(tuple, ev)
 }
 
 const mss = tcpmodel.MSS
@@ -52,9 +78,9 @@ const mss = tcpmodel.MSS
 // headers per wire packet (IP+TCP), for WireLen accounting.
 const hdrLen = 40
 
-func (s *synthesizer) init() {
+func (s *synthesizer) init() error {
 	if s.ports != nil {
-		return
+		return nil
 	}
 	s.ports = map[int]*portAlloc{}
 	s.chCache = map[string][]byte{}
@@ -65,42 +91,43 @@ func (s *synthesizer) init() {
 	}
 	sh, err := (&packet.ServerHello{Version: packet.TLSVersion12, CipherSuite: 0xc02f}).Encode()
 	if err != nil {
-		panic(err)
+		return fmt.Errorf("encode ServerHello: %w", err)
 	}
 	hs := append(sh, packet.OpaqueHandshake(packet.TLSHandshakeCertificate, 2800)...)
 	hs = append(hs, packet.OpaqueHandshake(packet.TLSHandshakeServerHelloDone, 0)...)
 	rec, err := (&packet.TLSRecord{Type: packet.TLSRecordHandshake, Version: packet.TLSVersion12, Payload: hs}).Encode()
 	if err != nil {
-		panic(err)
+		return fmt.Errorf("encode server handshake record: %w", err)
 	}
 	s.shBytes = rec
 
 	cke := packet.OpaqueHandshake(packet.TLSHandshakeClientKeyExchange, 66)
 	rec1, err := (&packet.TLSRecord{Type: packet.TLSRecordHandshake, Version: packet.TLSVersion12, Payload: cke}).Encode()
 	if err != nil {
-		panic(err)
+		return fmt.Errorf("encode ClientKeyExchange record: %w", err)
 	}
 	ccs, err := (&packet.TLSRecord{Type: packet.TLSRecordChangeCipherSpec, Version: packet.TLSVersion12, Payload: []byte{1}}).Encode()
 	if err != nil {
-		panic(err)
+		return fmt.Errorf("encode ChangeCipherSpec record: %w", err)
 	}
 	s.ckeBytes = append(rec1, ccs...)
+	return nil
 }
 
-func (s *synthesizer) clientHello(sni string) []byte {
+func (s *synthesizer) clientHello(sni string) ([]byte, error) {
 	if b, ok := s.chCache[sni]; ok {
-		return b
+		return b, nil
 	}
 	hs, err := (&packet.ClientHello{Version: packet.TLSVersion12, ServerName: sni}).Encode()
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("encode ClientHello %q: %w", sni, err)
 	}
 	rec, err := (&packet.TLSRecord{Type: packet.TLSRecordHandshake, Version: packet.TLSVersion12, Payload: hs}).Encode()
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("encode ClientHello record %q: %w", sni, err)
 	}
 	s.chCache[sni] = rec
-	return rec
+	return rec, nil
 }
 
 // portAlloc hands out a customer's ephemeral source ports.
@@ -159,6 +186,14 @@ type pathParams struct {
 	satRTT    time.Duration // prop + MAC + PEP, the satellite segment
 	bneckBps  float64       // delivery bottleneck toward the customer
 	upBps     float64
+	// bypass marks a flow that fell off split-TCP during a PEP overload
+	// window: its handshake legs and download RTT cross the satellite.
+	bypass bool
+	// retxP is the per-lead-segment retransmission probability induced
+	// by rain-driven frame loss (0 in clear sky).
+	retxP float64
+	// degraded marks the flow as shaped by at least one fault event.
+	degraded bool
 }
 
 func (s *synthesizer) samplePath(fi *workload.FlowIntent, region cdn.Region, class shaper.Class, r *dist.Rand, fl *trace.Flow) pathParams {
@@ -185,6 +220,13 @@ func (s *synthesizer) samplePath(fi *workload.FlowIntent, region cdn.Region, cla
 		// without the hairpin through Italy.
 		p.groundRTT = time.Duration(dist.LogNormalFromMedian(float64(35*time.Millisecond), 0.2).Sample(r))
 	}
+	sched := s.cfg.Faults
+	if extra := sched.GatewayRTTExtra(fi.Start); extra > 0 {
+		// A gateway switchover is re-routing traffic through the backup
+		// ground station: the detour adds a fixed RTT step.
+		p.degraded = true
+		p.groundRTT += extra
+	}
 	if fl != nil {
 		fl.Span(trace.SpanGroundRTT, trace.SegGround, p.groundRTT, trace.Attrs{"region": string(region)})
 	}
@@ -194,6 +236,27 @@ func (s *synthesizer) samplePath(fi *workload.FlowIntent, region cdn.Region, cla
 	rain := 0.0
 	if r.Bool(0.08) {
 		rain = 0.6 + 0.4*r.Float64()
+	}
+	if front := sched.Rain(fi.Start, c.Beam); front > 0 {
+		// A scheduled rain front is crossing the beam: the front's fade
+		// depth overrides ambient weather, frames start failing (ARQ
+		// repairs inflate the satellite RTT and retransmit segments),
+		// and the degraded spectral efficiency makes the same offered
+		// load fill a larger share of the beam.
+		p.degraded = true
+		if front > rain {
+			rain = front
+		}
+		p.retxP = 8 * ch.FrameErrorRate(rain)
+		if p.retxP > 0.3 {
+			p.retxP = 0.3
+		}
+		if cf := ch.CapacityFactor(rain); cf > 0 && cf < 1 {
+			util /= cf
+			if util > 0.98 {
+				util = 0.98
+			}
+		}
 	}
 	fer := ch.FrameErrorRate(rain)
 	prop := s.propRTT[c.Country.Code]
@@ -207,12 +270,24 @@ func (s *synthesizer) samplePath(fi *workload.FlowIntent, region cdn.Region, cla
 		fl.SetAttr("fer", fer)
 		fl.SetAttr("rho", rho)
 	}
+	if orho, ok := sched.PEPOverloadRho(fi.Start, c.Beam); ok {
+		// PEP overload window: most new flows fall off split-TCP and
+		// pay end-to-end GEO handshakes; the rest queue at the forced
+		// saturation utilization (§6.1's multi-second setup sojourns).
+		p.degraded = true
+		if r.Bool(0.6) {
+			p.bypass = true
+			pepmodel.CountBypass()
+		} else if orho > rho {
+			rho = orho
+		}
+	}
 	sat := prop
 	if !s.cfg.DisableMAC {
 		sat += s.mac.SampleUplinkTraced(util, fer, r, fl)
 		sat += s.mac.SampleDownlinkTraced(util, fer, r, fl)
 	}
-	if !s.cfg.DisablePEP {
+	if !s.cfg.DisablePEP && !p.bypass {
 		sat += s.cfg.PEP.SetupDelayTraced(rho, r, fl)
 	}
 	p.satRTT = sat
@@ -259,10 +334,29 @@ func (s *synthesizer) samplePath(fi *workload.FlowIntent, region cdn.Region, cla
 }
 
 // flow synthesizes one intent into tracker events, recording the sampled
-// flow's latency decomposition on fl (nil fl records nothing).
-func (s *synthesizer) flow(fi *workload.FlowIntent, r *dist.Rand, fl *trace.Flow) {
-	s.init()
+// flow's latency decomposition on fl (nil fl records nothing). Errors
+// are serialization failures carrying the flow's context; the caller
+// drops the customer and keeps the run alive.
+func (s *synthesizer) flow(fi *workload.FlowIntent, r *dist.Rand, fl *trace.Flow) error {
+	if err := s.init(); err != nil {
+		return err
+	}
 	c := fi.Customer
+
+	// Reset per-flow fault state, then resolve the flow's fate against
+	// the schedule. All decisions are pure functions of (schedule, flow
+	// start, beam) plus the flow's own forked random stream, so fault
+	// runs stay byte-identical at any worker count.
+	s.cutoff, s.cutRST, s.retxP = 0, false, 0
+	sched := s.cfg.Faults
+	if ts, ok := sched.NextGatewaySwitch(fi.Start); ok {
+		s.cutoff = ts
+	}
+	if sched.BeamDown(fi.Start, c.Beam) {
+		s.failedFlow(fi, r, fl)
+		mFlowsDegraded.Inc()
+		return nil
+	}
 
 	// Server selection.
 	var region cdn.Region
@@ -300,6 +394,13 @@ func (s *synthesizer) flow(fi *workload.FlowIntent, r *dist.Rand, fl *trace.Flow
 			fi.Proto.String(), fi.Domain, fi.Start)
 	}
 	path := s.samplePath(fi, region, class, r, fl)
+	if path.degraded {
+		mFlowsDegraded.Inc()
+		if fl != nil {
+			fl.SetAttr("faulted", true)
+		}
+	}
+	s.retxP = path.retxP
 	client := packet.Endpoint{Addr: c.Addr, Port: s.nextPort(c.ID, fi.Start)}
 	server := packet.Endpoint{Addr: serverAddr, Port: serverPort}
 
@@ -329,13 +430,69 @@ func (s *synthesizer) flow(fi *workload.FlowIntent, r *dist.Rand, fl *trace.Flow
 	var end time.Duration
 	switch fi.Proto {
 	case cdn.AppHTTPS, cdn.AppHTTP, cdn.AppTCPOther:
-		end = s.tcpFlow(fi, client, server, path, r)
+		var err error
+		end, err = s.tcpFlow(fi, client, server, path, r)
+		if err != nil {
+			return err
+		}
 	case cdn.AppQUIC:
 		end = s.quicFlow(fi, client, server, path, r)
 	case cdn.AppRTP:
 		end = s.rtpFlow(fi, client, server, path, r)
 	default:
 		end = s.udpFlow(fi, client, server, path, r)
+	}
+	s.holdPort(c.ID, client.Port, end)
+	return nil
+}
+
+// failedFlow synthesizes the vantage-point view of a flow started into a
+// dead beam: the client's attempts leave the terminal but nothing comes
+// back, so the probe logs an unanswered SYN train (or a couple of lone
+// datagrams) with zero downstream bytes.
+func (s *synthesizer) failedFlow(fi *workload.FlowIntent, r *dist.Rand, fl *trace.Flow) {
+	c := fi.Customer
+	var serverAddr netip.Addr
+	var serverPort uint16
+	if fi.Entry.Domain != "" {
+		// Resolution is cached or stale; region choice is moot for a flow
+		// that never leaves the beam, so pin the first candidate server.
+		serverAddr = cdn.ServerAddr(fi.Entry.Domain, cdn.RegionEurope, 0)
+		serverPort = 443
+	} else {
+		serverAddr = fi.OpaqueServer
+		serverPort = 443
+	}
+	client := packet.Endpoint{Addr: c.Addr, Port: s.nextPort(c.ID, fi.Start)}
+	server := packet.Endpoint{Addr: serverAddr, Port: serverPort}
+
+	isTCP := false
+	switch fi.Proto {
+	case cdn.AppHTTPS, cdn.AppHTTP, cdn.AppTCPOther:
+		isTCP = true
+	}
+	if fl != nil {
+		fl.SetMeta(c.Beam, string(c.Country.Code), hourOf(fi.Start)%24,
+			fi.Proto.String(), fi.Domain, fi.Start)
+		fl.SetAttr("fault", "beam_outage")
+		fl.SetAttr("faulted", true)
+		defer fl.Finish()
+	}
+	end := fi.Start
+	if isTCP {
+		tuple := packet.FiveTuple{Proto: packet.ProtoTCP, Src: client, Dst: server}
+		// SYN plus the kernel's first two retries (1 s, then 3 s backoff).
+		for _, off := range []time.Duration{0, time.Second, 3 * time.Second} {
+			s.observe(tuple, tstat.SegmentEvent{T: fi.Start + off, Flags: packet.FlagSYN, Packets: 1, WireLen: hdrLen + 12})
+			end = fi.Start + off
+		}
+	} else {
+		tuple := packet.FiveTuple{Proto: packet.ProtoUDP, Src: client, Dst: server}
+		sz := 64 + r.IntN(400)
+		for _, off := range []time.Duration{0, 2 * time.Second} {
+			s.observe(tuple, tstat.SegmentEvent{T: fi.Start + off, Payload: sz, WireLen: sz + 28, Packets: 1})
+			end = fi.Start + off
+		}
 	}
 	s.holdPort(c.ID, client.Port, end)
 }
@@ -368,32 +525,67 @@ func (s *synthesizer) dnsTransaction(fi *workload.FlowIntent, c *workload.Custom
 	cp := packet.Endpoint{Addr: c.Addr, Port: s.nextPort(c.ID, tq)}
 	rp := packet.Endpoint{Addr: resolver.Addr, Port: 53}
 	c2r := packet.FiveTuple{Proto: packet.ProtoUDP, Src: cp, Dst: rp}
-	s.tracker.Observe(c2r, tstat.SegmentEvent{T: tq, Payload: len(qb), WireLen: len(qb) + 28, Packets: 1, AppData: qb})
-	s.tracker.Observe(c2r.Reverse(), tstat.SegmentEvent{T: tq + respTime, Payload: len(rb), WireLen: len(rb) + 28, Packets: 1, AppData: rb})
+
+	if s.cfg.Faults.ResolverDown(tq, string(resolver.ID)) {
+		// Resolver outage: the stub resolver fires its query and walks the
+		// retry ladder; a retry is answered only once the resolver is back.
+		end := tq
+		outage := 0
+		attempts := []time.Duration{tq}
+		for _, backoff := range dnssim.RetryBackoff {
+			attempts = append(attempts, attempts[len(attempts)-1]+backoff)
+		}
+		for _, ta := range attempts {
+			if !s.cfg.Faults.ResolverDown(ta, string(resolver.ID)) {
+				s.observe(c2r, tstat.SegmentEvent{T: ta, Payload: len(qb), WireLen: len(qb) + 28, Packets: 1, AppData: qb})
+				s.observe(c2r.Reverse(), tstat.SegmentEvent{T: ta + respTime, Payload: len(rb), WireLen: len(rb) + 28, Packets: 1, AppData: rb})
+				end = ta + respTime
+				break
+			}
+			s.observe(c2r, tstat.SegmentEvent{T: ta, Payload: len(qb), WireLen: len(qb) + 28, Packets: 1, AppData: qb})
+			outage++
+			end = ta
+		}
+		dnssim.CountOutageQueries(outage)
+		s.holdPort(c.ID, cp.Port, end)
+		return
+	}
+
+	s.observe(c2r, tstat.SegmentEvent{T: tq, Payload: len(qb), WireLen: len(qb) + 28, Packets: 1, AppData: qb})
+	s.observe(c2r.Reverse(), tstat.SegmentEvent{T: tq + respTime, Payload: len(rb), WireLen: len(rb) + 28, Packets: 1, AppData: rb})
 	s.holdPort(c.ID, cp.Port, tq+respTime)
 }
 
 // tcpFlow synthesizes the PEP-side TCP conversation and returns the time
 // of its last event.
-func (s *synthesizer) tcpFlow(fi *workload.FlowIntent, client, server packet.Endpoint, path pathParams, r *dist.Rand) time.Duration {
+func (s *synthesizer) tcpFlow(fi *workload.FlowIntent, client, server packet.Endpoint, path pathParams, r *dist.Rand) (time.Duration, error) {
 	c2s := packet.FiveTuple{Proto: packet.ProtoTCP, Src: client, Dst: server}
 	s2c := c2s.Reverse()
 	g := path.groundRTT
 	ms := time.Millisecond
-	obs := func(tuple packet.FiveTuple, ev tstat.SegmentEvent) { s.tracker.Observe(tuple, ev) }
+	obs := func(tuple packet.FiveTuple, ev tstat.SegmentEvent) { s.observe(tuple, ev) }
 
 	t := fi.Start
 	seq := uint32(1)
-	// Handshake (ground-station PEP ↔ server).
+	// Handshake (ground-station PEP ↔ server). A bypassed flow's final
+	// handshake ACK comes from the real client across the satellite: the
+	// probe's handshake RTT jumps from the ground leg to the GEO leg.
+	ackGap := ms
+	if path.bypass {
+		ackGap = path.satRTT
+	}
 	obs(c2s, tstat.SegmentEvent{T: t, Flags: packet.FlagSYN, Packets: 1, WireLen: hdrLen + 12})
 	obs(s2c, tstat.SegmentEvent{T: t + g, Flags: packet.FlagSYN | packet.FlagACK, Ack: 1, Packets: 1, WireLen: hdrLen + 12})
-	obs(c2s, tstat.SegmentEvent{T: t + g + ms, Flags: packet.FlagACK, Ack: 1, Packets: 1, WireLen: hdrLen})
+	obs(c2s, tstat.SegmentEvent{T: t + g + ackGap, Flags: packet.FlagACK, Ack: 1, Packets: 1, WireLen: hdrLen})
 
-	dataStart := t + g + 2*ms
+	dataStart := t + g + ackGap + ms
 	switch fi.Proto {
 	case cdn.AppHTTPS:
-		ch := s.clientHello(fi.Domain)
-		tCH := t + g + 2*ms
+		ch, err := s.clientHello(fi.Domain)
+		if err != nil {
+			return 0, err
+		}
+		tCH := t + g + ackGap + ms
 		obs(c2s, tstat.SegmentEvent{T: tCH, Flags: packet.FlagACK | packet.FlagPSH, Seq: seq, Payload: len(ch), WireLen: hdrLen + len(ch), Packets: 1, AppData: ch})
 		seq += uint32(len(ch))
 		obs(s2c, tstat.SegmentEvent{T: tCH + g, Flags: packet.FlagACK, Ack: seq, Packets: 1, WireLen: hdrLen})
@@ -408,21 +600,29 @@ func (s *synthesizer) tcpFlow(fi *workload.FlowIntent, client, server packet.End
 		dataStart = tCKE + g + ms
 	case cdn.AppHTTP:
 		req := (&packet.HTTPRequest{Method: "GET", Target: "/", Headers: []packet.HTTPHeader{{Name: "Host", Value: fi.Domain}}}).Encode()
-		tReq := t + g + 2*ms
+		tReq := t + g + ackGap + ms
 		obs(c2s, tstat.SegmentEvent{T: tReq, Flags: packet.FlagACK | packet.FlagPSH, Seq: seq, Payload: len(req), WireLen: hdrLen + len(req), Packets: 1, AppData: req})
 		seq += uint32(len(req))
 		obs(s2c, tstat.SegmentEvent{T: tReq + g, Flags: packet.FlagACK, Ack: seq, Packets: 1, WireLen: hdrLen})
 		dataStart = tReq + g + ms
 	default: // opaque TCP: first client payload right after the handshake
 		first := 64 + r.IntN(400)
-		obs(c2s, tstat.SegmentEvent{T: t + g + 2*ms, Flags: packet.FlagACK | packet.FlagPSH, Seq: seq, Payload: first, WireLen: hdrLen + first, Packets: 1, AppData: []byte{0x16, 0x99, 0x01}})
+		obs(c2s, tstat.SegmentEvent{T: t + g + ackGap + ms, Flags: packet.FlagACK | packet.FlagPSH, Seq: seq, Payload: first, WireLen: hdrLen + first, Packets: 1, AppData: []byte{0x16, 0x99, 0x01}})
 		seq += uint32(first)
-		obs(s2c, tstat.SegmentEvent{T: t + g + 2*ms + g, Flags: packet.FlagACK, Ack: seq, Packets: 1, WireLen: hdrLen})
-		dataStart = t + 2*g + 3*ms
+		obs(s2c, tstat.SegmentEvent{T: t + g + ackGap + ms + g, Flags: packet.FlagACK, Ack: seq, Packets: 1, WireLen: hdrLen})
+		dataStart = t + 2*g + ackGap + 2*ms
 	}
 
-	// Download phase.
-	tl := tcpmodel.Compute(fi.Down, tcpmodel.Params{RTT: g, BottleneckBps: path.bneckBps, InitialWindow: 10, PEPBuffer: s.cfg.PEP.PerUserBuffer})
+	// Download phase. A bypassed flow's congestion control runs end to
+	// end: slow start clocks on the full GEO RTT with no PEP buffer
+	// absorbing it (the exact overhead split-TCP exists to hide).
+	dlRTT := g
+	pepBuf := s.cfg.PEP.PerUserBuffer
+	if path.bypass {
+		dlRTT = g + path.satRTT
+		pepBuf = 0
+	}
+	tl := tcpmodel.Compute(fi.Down, tcpmodel.Params{RTT: dlRTT, BottleneckBps: path.bneckBps, InitialWindow: 10, PEPBuffer: pepBuf})
 	durData := tl.LastData - tl.FirstData
 	const maxDur = 4 * time.Hour
 	if durData > maxDur {
@@ -445,7 +645,7 @@ func (s *synthesizer) tcpFlow(fi *workload.FlowIntent, client, server packet.End
 	// Teardown.
 	obs(c2s, tstat.SegmentEvent{T: endData + 2*ms, Flags: packet.FlagFIN | packet.FlagACK, Seq: seq, Packets: 1, WireLen: hdrLen})
 	obs(s2c, tstat.SegmentEvent{T: endData + 2*ms + g, Flags: packet.FlagFIN | packet.FlagACK, Ack: seq + 1, Packets: 1, WireLen: hdrLen})
-	return endData + 2*ms + g
+	return endData + 2*ms + g, nil
 }
 
 // emitDownload spreads the server→client bytes over the transfer window:
@@ -455,7 +655,7 @@ func (s *synthesizer) emitDownload(c2s, s2c packet.FiveTuple, start time.Duratio
 	if bytes <= 0 {
 		return start
 	}
-	obs := func(tuple packet.FiveTuple, ev tstat.SegmentEvent) { s.tracker.Observe(tuple, ev) }
+	obs := func(tuple packet.FiveTuple, ev tstat.SegmentEvent) { s.observe(tuple, ev) }
 	segs := (bytes + mss - 1) / mss
 	lead := segs
 	if lead > 6 {
@@ -471,6 +671,12 @@ func (s *synthesizer) emitDownload(c2s, s2c packet.FiveTuple, start time.Duratio
 			n = bytes - sent
 		}
 		obs(s2c, tstat.SegmentEvent{T: tv, Flags: packet.FlagACK, Seq: srvSeq, Payload: int(n), WireLen: hdrLen + int(n), Packets: 1})
+		if s.retxP > 0 && r.Bool(s.retxP) {
+			// Rain-window frame loss: the lead segment is repaired by a
+			// retransmission the probe sees as a duplicate (same Seq),
+			// inflating the flow's packet and byte counts.
+			obs(s2c, tstat.SegmentEvent{T: tv + 40*time.Millisecond, Flags: packet.FlagACK, Seq: srvSeq, Payload: int(n), WireLen: hdrLen + int(n), Packets: 1})
+		}
 		srvSeq += uint32(n)
 		sent += n
 		tv += leadGap
@@ -509,7 +715,7 @@ func (s *synthesizer) emitDownload(c2s, s2c packet.FiveTuple, start time.Duratio
 // emitUpload spreads client→server bytes over the upload window; server
 // ACKs arrive a ground RTT later, feeding the probe's RTT estimator.
 func (s *synthesizer) emitUpload(c2s, s2c packet.FiveTuple, start time.Duration, dur time.Duration, bytes int64, seq *uint32, g time.Duration) time.Duration {
-	obs := func(tuple packet.FiveTuple, ev tstat.SegmentEvent) { s.tracker.Observe(tuple, ev) }
+	obs := func(tuple packet.FiveTuple, ev tstat.SegmentEvent) { s.observe(tuple, ev) }
 	bursts := int64(6)
 	if bytes/mss < bursts {
 		bursts = bytes/mss + 1
@@ -540,7 +746,7 @@ func (s *synthesizer) emitUpload(c2s, s2c packet.FiveTuple, start time.Duration,
 func (s *synthesizer) quicFlow(fi *workload.FlowIntent, client, server packet.Endpoint, path pathParams, r *dist.Rand) time.Duration {
 	c2s := packet.FiveTuple{Proto: packet.ProtoUDP, Src: client, Dst: server}
 	s2c := c2s.Reverse()
-	obs := func(tuple packet.FiveTuple, ev tstat.SegmentEvent) { s.tracker.Observe(tuple, ev) }
+	obs := func(tuple packet.FiveTuple, ev tstat.SegmentEvent) { s.observe(tuple, ev) }
 
 	hs, err := (&packet.ClientHello{Version: packet.TLSVersion12, ServerName: fi.Domain}).Encode()
 	if err != nil {
@@ -585,7 +791,7 @@ func (s *synthesizer) rtpFlow(fi *workload.FlowIntent, client, server packet.End
 	}
 	probe := append(rtp, make([]byte, 148)...)
 	// First packet carries DPI-visible RTP bytes.
-	s.tracker.Observe(c2s, tstat.SegmentEvent{T: fi.Start, Payload: len(probe), WireLen: len(probe) + 28, Packets: 1, AppData: probe})
+	s.observe(c2s, tstat.SegmentEvent{T: fi.Start, Payload: len(probe), WireLen: len(probe) + 28, Packets: 1, AppData: probe})
 	const rateBps = 80_000.0 / 8
 	dur := time.Duration(float64(fi.Down) / rateBps * float64(time.Second))
 	if dur > time.Hour {
@@ -603,7 +809,7 @@ func (s *synthesizer) udpFlow(fi *workload.FlowIntent, client, server packet.End
 	s2c := c2s.Reverse()
 	first := make([]byte, 64)
 	first[0] = 0x01 // neither QUIC long header nor RTP v2
-	s.tracker.Observe(c2s, tstat.SegmentEvent{T: fi.Start, Payload: len(first), WireLen: len(first) + 28, Packets: 1, AppData: first})
+	s.observe(c2s, tstat.SegmentEvent{T: fi.Start, Payload: len(first), WireLen: len(first) + 28, Packets: 1, AppData: first})
 	dur := time.Duration(30+r.IntN(300)) * time.Second
 	s.emitDatagramBurst(s2c, fi.Start+path.groundRTT, dur, fi.Down, 5)
 	s.emitDatagramBurst(c2s, fi.Start+20*time.Millisecond, dur, fi.Up, 4)
@@ -631,7 +837,7 @@ func (s *synthesizer) emitDatagramBurst(dir packet.FiveTuple, start time.Duratio
 			continue
 		}
 		pkts := int((sz + dgram - 1) / dgram)
-		s.tracker.Observe(dir, tstat.SegmentEvent{T: tv, Payload: int(sz), WireLen: int(sz) + pkts*28, Packets: pkts})
+		s.observe(dir, tstat.SegmentEvent{T: tv, Payload: int(sz), WireLen: int(sz) + pkts*28, Packets: pkts})
 		tv += gap
 	}
 }

@@ -15,6 +15,11 @@ func ManifestFor(tool string, cfg Config, out *Output) *obs.Manifest {
 	m := obs.NewManifest(tool, cfg.Seed)
 	m.Config = cfg.withDefaults()
 	m.Parallelism = out.Stats.Workers
+	m.Status = out.Stats.Status()
+	m.Errors = out.Stats.Errors
+	if cfg.Faults != nil {
+		m.Faults = cfg.Faults
+	}
 	m.AddTiming("pass_a", out.Stats.PassA)
 	m.AddTiming("mac_prebuild", out.Stats.MACPrebuild)
 	m.AddTiming("pass_b", out.Stats.PassB)

@@ -11,6 +11,7 @@ import (
 
 	"satwatch/internal/dnssim"
 	"satwatch/internal/geo"
+	"satwatch/internal/tstat"
 	"satwatch/internal/workload"
 )
 
@@ -46,11 +47,50 @@ func WriteMeta(w io.Writer, meta map[netip.Addr]CustomerMeta) error {
 	return bw.Flush()
 }
 
-// ReadMeta parses a TSV written by WriteMeta.
-func ReadMeta(r io.Reader) (map[netip.Addr]CustomerMeta, error) {
+// parseMetaLine parses one data line of the customer metadata TSV.
+func parseMetaLine(text string) (netip.Addr, CustomerMeta, error) {
+	var m CustomerMeta
+	f := strings.Split(text, "\t")
+	if len(f) != 7 {
+		return netip.Addr{}, m, fmt.Errorf("%d fields, want 7", len(f))
+	}
+	addr, err := netip.ParseAddr(f[0])
+	if err != nil {
+		return netip.Addr{}, m, err
+	}
+	beam, err := strconv.Atoi(f[2])
+	if err != nil {
+		return netip.Addr{}, m, err
+	}
+	typ, err := strconv.Atoi(f[3])
+	if err != nil {
+		return netip.Addr{}, m, err
+	}
+	plan, err := strconv.ParseFloat(f[4], 64)
+	if err != nil {
+		return netip.Addr{}, m, err
+	}
+	mux, err := strconv.Atoi(f[5])
+	if err != nil {
+		return netip.Addr{}, m, err
+	}
+	m = CustomerMeta{
+		Country:   geo.CountryCode(f[1]),
+		Beam:      beam,
+		Type:      workload.CustomerType(typ),
+		PlanMbs:   plan,
+		Multiplex: mux,
+		Resolver:  dnssim.ResolverID(f[6]),
+	}
+	return addr, m, nil
+}
+
+// readMeta is the shared scanner behind ReadMeta/ReadMetaTolerant.
+func readMeta(r io.Reader, strict bool) (map[netip.Addr]CustomerMeta, tstat.ReadStats, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	out := map[netip.Addr]CustomerMeta{}
+	var st tstat.ReadStats
 	first := true
 	line := 0
 	for sc.Scan() {
@@ -59,47 +99,38 @@ func ReadMeta(r io.Reader) (map[netip.Addr]CustomerMeta, error) {
 		if first {
 			first = false
 			if text != metaHeader {
-				return nil, fmt.Errorf("netsim: meta line 1: unexpected header")
+				return nil, st, fmt.Errorf("netsim: meta line 1: unexpected header")
 			}
 			continue
 		}
 		if text == "" {
 			continue
 		}
-		f := strings.Split(text, "\t")
-		if len(f) != 7 {
-			return nil, fmt.Errorf("netsim: meta line %d: %d fields", line, len(f))
-		}
-		addr, err := netip.ParseAddr(f[0])
+		addr, m, err := parseMetaLine(text)
 		if err != nil {
-			return nil, fmt.Errorf("netsim: meta line %d: %w", line, err)
+			if strict {
+				return nil, st, fmt.Errorf("netsim: meta line %d: %w", line, err)
+			}
+			st.Skipped++
+			continue
 		}
-		beam, err := strconv.Atoi(f[2])
-		if err != nil {
-			return nil, fmt.Errorf("netsim: meta line %d: %w", line, err)
-		}
-		typ, err := strconv.Atoi(f[3])
-		if err != nil {
-			return nil, fmt.Errorf("netsim: meta line %d: %w", line, err)
-		}
-		plan, err := strconv.ParseFloat(f[4], 64)
-		if err != nil {
-			return nil, fmt.Errorf("netsim: meta line %d: %w", line, err)
-		}
-		mux, err := strconv.Atoi(f[5])
-		if err != nil {
-			return nil, fmt.Errorf("netsim: meta line %d: %w", line, err)
-		}
-		out[addr] = CustomerMeta{
-			Country:   geo.CountryCode(f[1]),
-			Beam:      beam,
-			Type:      workload.CustomerType(typ),
-			PlanMbs:   plan,
-			Multiplex: mux,
-			Resolver:  dnssim.ResolverID(f[6]),
-		}
+		st.Lines++
+		out[addr] = m
 	}
-	return out, sc.Err()
+	return out, st, sc.Err()
+}
+
+// ReadMeta parses a TSV written by WriteMeta, failing on the first
+// corrupt line.
+func ReadMeta(r io.Reader) (map[netip.Addr]CustomerMeta, error) {
+	out, _, err := readMeta(r, true)
+	return out, err
+}
+
+// ReadMetaTolerant parses a TSV written by WriteMeta, skipping and
+// counting corrupt lines.
+func ReadMetaTolerant(r io.Reader) (map[netip.Addr]CustomerMeta, tstat.ReadStats, error) {
+	return readMeta(r, false)
 }
 
 // WritePrefixes writes the anonymized country-prefix table as TSV.

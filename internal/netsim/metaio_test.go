@@ -56,6 +56,30 @@ func TestMetaRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestMetaTolerantSkipsAndCounts(t *testing.T) {
+	in := map[netip.Addr]CustomerMeta{
+		netip.MustParseAddr("77.1.2.3"): {Country: "CD", Beam: 2, Type: workload.Residential, PlanMbs: 10, Multiplex: 1, Resolver: "Google"},
+		netip.MustParseAddr("77.1.2.4"): {Country: "ES", Beam: 11, Type: workload.Residential, PlanMbs: 50, Multiplex: 1, Resolver: "Operator-EU"},
+	}
+	var buf bytes.Buffer
+	if err := WriteMeta(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(buf.String(), "\n")
+	damaged := lines[0] + lines[1] + "not-an-ip\tCD\t1\t0\t10\t1\tGoogle\n" + lines[2][:len(lines[2])/2] + "\n"
+	out, st, err := ReadMetaTolerant(strings.NewReader(damaged))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || st.Lines != 1 || st.Skipped != 2 {
+		t.Fatalf("salvage: %d rows, stats %+v, want 1 row / 1 line / 2 skipped", len(out), st)
+	}
+	// Tolerance covers damaged rows, not foreign files.
+	if _, _, err := ReadMetaTolerant(strings.NewReader("alpha\tbeta\n1\t2\n")); err == nil {
+		t.Fatal("tolerant meta read accepted a foreign header")
+	}
+}
+
 func TestPrefixRoundTrip(t *testing.T) {
 	in := map[netip.Prefix]geo.CountryCode{
 		netip.MustParsePrefix("77.16.0.0/16"): "CD",

@@ -24,9 +24,11 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,6 +36,7 @@ import (
 	"satwatch/internal/cryptopan"
 	"satwatch/internal/dist"
 	"satwatch/internal/dnssim"
+	"satwatch/internal/faults"
 	"satwatch/internal/geo"
 	"satwatch/internal/mac"
 	"satwatch/internal/obs"
@@ -71,6 +74,43 @@ var (
 		"Customer-days dropped from the intent cache by the byte budget (regenerated in pass B).", "")
 	mIntentCacheBytes = obs.NewGauge("netsim_intent_cache_bytes",
 		"Peak bytes admitted to the pass-A intent cache in the last run.", "bytes")
+	mFlowsDegraded = obs.NewCounter("netsim_flows_degraded_total",
+		"Flows shaped or killed by at least one scheduled fault event (internal/faults).", "")
+	mRowsSkipped = obs.NewCounter("netsim_rows_skipped_total",
+		"Corrupt input rows skipped (and counted) by tolerant readers across the toolchain.", "")
+	mWorkerRecoveries = obs.NewCounter("netsim_worker_recoveries_total",
+		"Worker panics recovered into per-customer errors instead of crashing the run.", "")
+	mCustomersSalvaged = obs.NewCounter("netsim_customers_salvaged_total",
+		"Customers whose logs were salvaged from a degraded or interrupted run.", "")
+)
+
+// CountSkippedRows feeds netsim_rows_skipped_total from the tolerant
+// readers in the CLIs (the metric lives here so every tool shares one
+// name for "input rows dropped instead of aborting").
+func CountSkippedRows(n int) {
+	if n > 0 {
+		mRowsSkipped.Add(int64(n))
+	}
+}
+
+// Test hooks (nil outside tests). testHookSynthCustomer runs at the top
+// of every customer synthesis; testHookAfterPassA runs once between the
+// passes. They let tests inject panics and cancellations at exact points.
+var (
+	testHookSynthCustomer func(customerID int)
+	testHookAfterPassA    func()
+)
+
+// Run status values, surfaced through RunStats.Status and the manifest.
+const (
+	// StatusOK: every customer synthesized, no errors.
+	StatusOK = "ok"
+	// StatusDegraded: the run completed but dropped customers (recovered
+	// panics or serialization errors); outputs are valid but incomplete.
+	StatusDegraded = "degraded"
+	// StatusPartial: the run was interrupted; outputs hold whatever the
+	// workers finished flushing.
+	StatusPartial = "partial"
 )
 
 // defaultIntentCacheBytes bounds the pass-A→pass-B intent cache when the
@@ -128,6 +168,13 @@ type Config struct {
 	// ForceOperatorDNS makes every customer use the operator resolver
 	// (§6.4's proposed fix).
 	ForceOperatorDNS bool
+
+	// Faults, when non-nil, is the deterministic fault schedule the run
+	// plays back (rain fronts, beam outages, gateway switchovers, PEP
+	// overloads, resolver outages — internal/faults). Nil means clear
+	// skies: the output is byte-identical to a run without fault support.
+	// Recorded in the manifest under its own key, not the config dump.
+	Faults *faults.Schedule `json:"-"`
 }
 
 // DefaultConfig returns a laptop-scale run: 400 customers over 2 days.
@@ -197,6 +244,27 @@ type RunStats struct {
 	// cache byte budget was exhausted.
 	IntentCacheHits   int
 	IntentCacheSpills int
+	// Errors collects the per-customer failures (recovered panics,
+	// serialization errors) of a degraded run, sorted for determinism.
+	Errors []string
+	// CustomersDone counts customers fully synthesized in pass B.
+	CustomersDone int
+	// Interrupted is set when the run's context was cancelled and the
+	// outputs hold only what the workers had finished.
+	Interrupted bool
+}
+
+// Status folds the run outcome into the manifest status field: "partial"
+// when interrupted, "degraded" when customers were dropped, "ok" otherwise.
+func (s RunStats) Status() string {
+	switch {
+	case s.Interrupted:
+		return StatusPartial
+	case len(s.Errors) > 0:
+		return StatusDegraded
+	default:
+		return StatusOK
+	}
 }
 
 // Flows returns the total flow intents synthesized across workers.
@@ -266,11 +334,92 @@ type passAShard struct {
 	cacheBytes int64
 	hits       int
 	spills     int
+	// errs collects recovered pass-A panics; failed marks the local
+	// slots they poisoned so pass B never regenerates them (which would
+	// just re-trigger the panic).
+	errs   []string
+	failed map[int]bool
 }
 
-// Run executes the simulation.
+// generateDaySafe is GenerateDay with a panic fence: one bad customer-day
+// becomes an error carrying its coordinates instead of a dead worker.
+func generateDaySafe(c *workload.Customer, day int, r *dist.Rand) (intents []workload.FlowIntent, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("netsim: generate customer %d day %d: panic: %v", c.ID, day, p)
+		}
+	}()
+	return workload.GenerateDay(c, day, r), nil
+}
+
+// workerOut is one pass-B worker's private output.
+type workerOut struct {
+	flows   []tstat.FlowRecord
+	dns     []tstat.DNSRecord
+	intents int
+	errs    []string
+	done    int
+}
+
+// synthCustomer synthesizes one customer's full observation window,
+// recovering panics from the model stack into an error naming the
+// customer and day; the worker drops that customer and keeps going.
+func synthCustomer(syn *synthesizer, sh *passAShard, root *dist.Rand, cfg Config, c *workload.Customer, local int, out *workerOut) (err error) {
+	day := -1
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("netsim: synthesize customer %d day %d: panic: %v", c.ID, day, p)
+		}
+	}()
+	if testHookSynthCustomer != nil {
+		testHookSynthCustomer(c.ID)
+	}
+	for day = 0; day < cfg.Days; day++ {
+		slot := local*cfg.Days + day
+		if sh.failed[slot] {
+			continue
+		}
+		intents := sh.cache[slot]
+		if intents != nil {
+			sh.cache[slot] = nil // consumed; release for GC
+			sh.hits++
+		} else {
+			r := root.ForkN("day", uint64(c.ID)*1024+uint64(day))
+			var gerr error
+			intents, gerr = generateDaySafe(c, day, r)
+			if gerr != nil {
+				return gerr
+			}
+		}
+		sr := root.ForkN("synth", uint64(c.ID)*1024+uint64(day))
+		for i := range intents {
+			// cfg.Trace.Start is nil-safe: with tracing off (or the
+			// flow unsampled) fl is nil and every downstream recording
+			// call is a pointer check.
+			fl := cfg.Trace.Start(c.ID, day, i)
+			if ferr := syn.flow(&intents[i], sr, fl); ferr != nil {
+				return fmt.Errorf("netsim: customer %d day %d flow %d: %w", c.ID, day, i, ferr)
+			}
+		}
+		out.intents += len(intents)
+		mFlows.Add(int64(len(intents)))
+	}
+	return nil
+}
+
+// Run executes the simulation to completion (no cancellation).
 func Run(cfg Config) (*Output, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the simulation under ctx. Cancellation during pass
+// B stops every worker at its next customer boundary and returns the
+// flows the workers had finished, with Stats.Interrupted set (manifest
+// status "partial"); cancellation during pass A — before any flow exists
+// — fails the run outright.
+func RunContext(ctx context.Context, cfg Config) (*Output, error) {
 	cfg = cfg.withDefaults()
+	faults.RecordActive(cfg.Faults)
 	root := dist.NewRand(cfg.Seed)
 	startA := time.Now()
 	mCustomersTotal.Set(float64(cfg.Customers))
@@ -327,10 +476,22 @@ func Run(cfg Config) (*Output, error) {
 			sh.cache = make([][]workload.FlowIntent, nLocal*cfg.Days)
 			local := 0
 			for ci := w; ci < len(customers); ci += workers {
+				if ctx.Err() != nil {
+					return
+				}
 				c := customers[ci]
 				for day := 0; day < cfg.Days; day++ {
 					r := root.ForkN("day", uint64(c.ID)*1024+uint64(day))
-					intents := workload.GenerateDay(c, day, r)
+					intents, gerr := generateDaySafe(c, day, r)
+					if gerr != nil {
+						mWorkerRecoveries.Inc()
+						sh.errs = append(sh.errs, gerr.Error())
+						if sh.failed == nil {
+							sh.failed = map[int]bool{}
+						}
+						sh.failed[local*cfg.Days+day] = true
+						continue
+					}
 					bb, sb := sh.bytes[c.Beam], sh.setups[c.Beam]
 					var size int64
 					for i := range intents {
@@ -356,6 +517,10 @@ func Run(cfg Config) (*Output, error) {
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// No flow exists yet; there is nothing to salvage.
+		return nil, fmt.Errorf("netsim: interrupted during workload generation: %w", err)
+	}
 
 	var cachedBytes int64
 	for w := range shards {
@@ -400,6 +565,10 @@ func Run(cfg Config) (*Output, error) {
 	passA := time.Since(startA)
 	mPassA.SetDuration(passA)
 
+	if testHookAfterPassA != nil {
+		testHookAfterPassA()
+	}
+
 	// --- MAC grid pre-build ----------------------------------------------
 	// Build every (util, FER) access-delay cell in parallel before fanning
 	// out, so no pass-B worker ever stalls on a lazy micro-simulation (the
@@ -433,12 +602,11 @@ func Run(cfg Config) (*Output, error) {
 	// workers because 5-tuples are per-customer. Each worker sorts its
 	// own log into the canonical total order, and the sorted runs are
 	// k-way merged afterwards, making the output independent of
-	// scheduling and worker count.
-	type workerOut struct {
-		flows   []tstat.FlowRecord
-		dns     []tstat.DNSRecord
-		intents int
-	}
+	// scheduling and worker count. A customer whose synthesis panics is
+	// dropped with a recovered error; a cancelled context stops every
+	// worker at its next customer boundary — either way the remaining
+	// customers' logs are flushed, sorted, and merged as usual.
+	var interrupted atomic.Bool
 	outs := make([]workerOut, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -455,30 +623,19 @@ func Run(cfg Config) (*Output, error) {
 			sh := &shards[w]
 			local := 0
 			for ci := w; ci < len(customers); ci += workers {
+				if ctx.Err() != nil {
+					interrupted.Store(true)
+					break
+				}
 				c := customers[ci]
-				for day := 0; day < cfg.Days; day++ {
-					slot := local*cfg.Days + day
-					intents := sh.cache[slot]
-					if intents != nil {
-						sh.cache[slot] = nil // consumed; release for GC
-						sh.hits++
-					} else {
-						r := root.ForkN("day", uint64(c.ID)*1024+uint64(day))
-						intents = workload.GenerateDay(c, day, r)
-					}
-					sr := root.ForkN("synth", uint64(c.ID)*1024+uint64(day))
-					for i := range intents {
-						// cfg.Trace.Start is nil-safe: with tracing off
-						// (or the flow unsampled) fl is nil and every
-						// downstream recording call is a pointer check.
-						fl := cfg.Trace.Start(c.ID, day, i)
-						syn.flow(&intents[i], sr, fl)
-					}
-					outs[w].intents += len(intents)
-					mFlows.Add(int64(len(intents)))
+				if err := synthCustomer(syn, sh, root, cfg, c, local, &outs[w]); err != nil {
+					mWorkerRecoveries.Inc()
+					outs[w].errs = append(outs[w].errs, err.Error())
+				} else {
+					outs[w].done++
+					mCustomersDone.Inc()
 				}
 				local++
-				mCustomersDone.Inc()
 			}
 			outs[w].flows, outs[w].dns = tracker.Flush()
 			tstat.SortFlows(outs[w].flows)
@@ -491,14 +648,22 @@ func Run(cfg Config) (*Output, error) {
 	stats := RunStats{
 		PassA: passA, PassB: passB, MACPrebuild: prebuild,
 		Workers: workers, WorkerFlows: make([]int, workers),
+		Interrupted: interrupted.Load(),
 	}
 	for w := range outs {
 		stats.WorkerFlows[w] = outs[w].intents
 		stats.IntentCacheHits += shards[w].hits
 		stats.IntentCacheSpills += shards[w].spills
+		stats.Errors = append(stats.Errors, shards[w].errs...)
+		stats.Errors = append(stats.Errors, outs[w].errs...)
+		stats.CustomersDone += outs[w].done
 		if secs := passB.Seconds(); secs > 0 {
 			mWorkerRate.Observe(float64(outs[w].intents) / secs)
 		}
+	}
+	sort.Strings(stats.Errors)
+	if stats.Status() != StatusOK {
+		mCustomersSalvaged.Add(int64(stats.CustomersDone))
 	}
 	mIntentCacheHits.Add(int64(stats.IntentCacheHits))
 	mIntentCacheSpills.Add(int64(stats.IntentCacheSpills))

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file through a same-directory temp file and a
+// rename, so a crash or kill mid-write leaves either the previous file
+// or nothing — never a truncated output. The temp file is fsynced before
+// the rename; write is handed a buffered-enough *os.File directly.
+func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("obs: atomic write %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("obs: atomic write %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("obs: atomic write %s: sync: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("obs: atomic write %s: close: %w", path, err)
+	}
+	if err = os.Chmod(tmp.Name(), 0o644); err != nil {
+		return fmt.Errorf("obs: atomic write %s: chmod: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("obs: atomic write %s: rename: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func tempLeftovers(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tmps []string
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			tmps = append(tmps, e.Name())
+		}
+	}
+	return tmps
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.tsv")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "col\nval\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "col\nval\n" {
+		t.Fatalf("content = %q", got)
+	}
+	if tmps := tempLeftovers(t, dir); len(tmps) != 0 {
+		t.Fatalf("temp files left behind: %v", tmps)
+	}
+
+	// Overwrite keeps the old file intact until the rename lands.
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "v2\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v2\n" {
+		t.Fatalf("overwrite content = %q", got)
+	}
+}
+
+func TestWriteFileAtomicErrorLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.tsv")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "half a row")
+		return fmt.Errorf("boom")
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("write error not surfaced: %v", err)
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Fatalf("failed write left %s behind", path)
+	}
+	if tmps := tempLeftovers(t, dir); len(tmps) != 0 {
+		t.Fatalf("temp files left behind: %v", tmps)
+	}
+
+	// A failed overwrite must not clobber the existing file.
+	if err := os.WriteFile(path, []byte("keep\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		return fmt.Errorf("boom again")
+	}); err == nil {
+		t.Fatal("expected error")
+	}
+	if got, _ := os.ReadFile(path); string(got) != "keep\n" {
+		t.Fatalf("failed overwrite clobbered file: %q", got)
+	}
+}

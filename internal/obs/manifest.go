@@ -34,6 +34,15 @@ type Manifest struct {
 	Parallelism int `json:"parallelism,omitempty"`
 	// Config is the full simulation configuration, marshaled as-is.
 	Config any `json:"config,omitempty"`
+	// Status is the run outcome: "ok", "degraded" (completed but dropped
+	// work, see Errors), or "partial" (interrupted before completion). A
+	// missing Status on an old manifest means "ok".
+	Status string `json:"status,omitempty"`
+	// Faults is the active fault schedule of the run, marshaled as-is;
+	// absent for clear-sky runs.
+	Faults any `json:"faults,omitempty"`
+	// Errors lists what a degraded run dropped, one line each.
+	Errors []string `json:"errors,omitempty"`
 	// TimingsSeconds maps stage name to wall seconds (e.g. "pass_a",
 	// "pass_b", "analyze").
 	TimingsSeconds map[string]float64 `json:"timings_seconds"`
@@ -109,13 +118,18 @@ func (m *Manifest) AddTrace(path string, sampleN int) {
 	m.Trace.SHA256 = "sha256:" + hex.EncodeToString(h.Sum(nil))
 }
 
-// Write serializes the manifest as dir/manifest.json.
+// Write serializes the manifest as dir/manifest.json, atomically: a
+// reader never sees a half-written manifest, even if the writer dies
+// mid-call.
 func (m *Manifest) Write(dir string) error {
 	b, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("obs: manifest marshal: %w", err)
 	}
-	return os.WriteFile(filepath.Join(dir, ManifestName), append(b, '\n'), 0o644)
+	return WriteFileAtomic(filepath.Join(dir, ManifestName), func(w io.Writer) error {
+		_, err := w.Write(append(b, '\n'))
+		return err
+	})
 }
 
 // ReadManifest parses dir/manifest.json.

@@ -245,6 +245,45 @@ func TestManifestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestManifestStatusFaultsErrorsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManifest("testtool", 7)
+	m.Status = "degraded"
+	m.Faults = map[string]any{"preset": "stress", "events": 5}
+	m.Errors = []string{"customer 12: panic: boom", "customer 19: panic: boom"}
+	if err := m.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != "degraded" {
+		t.Fatalf("status lost: %q", got.Status)
+	}
+	if len(got.Errors) != 2 || !strings.Contains(got.Errors[0], "panic: boom") {
+		t.Fatalf("errors lost: %v", got.Errors)
+	}
+	f, ok := got.Faults.(map[string]any)
+	if !ok || f["preset"] != "stress" {
+		t.Fatalf("faults lost: %#v", got.Faults)
+	}
+
+	// A clear-sky OK manifest omits all three fields from the JSON.
+	clear := NewManifest("testtool", 7)
+	clear.Status = "ok"
+	if err := clear.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "faults") || strings.Contains(string(raw), "errors") {
+		t.Fatalf("clear-sky manifest carries fault fields:\n%s", raw)
+	}
+}
+
 func TestETAAndRate(t *testing.T) {
 	if got := ETA(0, 100, time.Second); got != "ETA --" {
 		t.Fatalf("ETA at zero progress = %q", got)

@@ -25,7 +25,14 @@ var (
 		"Highest PEP utilization (rho) seen by any setup so far.", "ratio")
 	mSaturatedSetups = obs.NewCounter("pep_saturated_setups_total",
 		"Setups served at rho > 0.9, where sojourns reach the multi-second regime.", "")
+	mBypassed = obs.NewCounter("pep_bypassed_flows_total",
+		"Flows pushed past split-TCP by a PEP overload window, paying end-to-end GEO handshakes.", "")
 )
+
+// CountBypass records one flow that fell off split-TCP during a PEP
+// overload window (internal/faults); its handshake and slow start cross
+// the satellite end to end instead of terminating at the CPE.
+func CountBypass() { mBypassed.Inc() }
 
 // Model describes the PEP processing resources of one beam.
 type Model struct {

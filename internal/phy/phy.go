@@ -121,6 +121,19 @@ func (c Channel) FrameErrorRate(rain float64) float64 {
 	return f
 }
 
+// CapacityFactor returns the fraction of clear-sky throughput the link
+// delivers under the given rain fade: the selected ACM point's spectral
+// efficiency relative to clear sky. When a rain front crosses a beam the
+// simulator divides effective utilization by this factor — the same
+// offered load occupies a larger share of the degraded capacity.
+func (c Channel) CapacityFactor(rain float64) float64 {
+	clear := c.SpectralEfficiency(0)
+	if clear <= 0 {
+		return 1
+	}
+	return c.SpectralEfficiency(rain) / clear
+}
+
 // MeanFER returns the long-run frame error rate assuming the station spends
 // rainFraction of the time in fade conditions of intensity rainDepth and
 // clear sky otherwise. Used by the macro flow model; individual micro-sims

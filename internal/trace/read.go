@@ -11,9 +11,19 @@ import (
 	"time"
 )
 
-// Read parses a JSONL trace stream written by Tracer.Close.
-func Read(r io.Reader) ([]*Flow, error) {
+// ReadStats reports what a tolerant read consumed: the JSONL lines it
+// parsed and the corrupt lines it dropped instead of aborting on.
+type ReadStats struct {
+	Lines   int
+	Skipped int
+}
+
+// read is the shared scanner: strict mode fails on the first corrupt
+// line; tolerant mode drops it and counts it — the salvage path for a
+// trace cut short by a kill.
+func read(r io.Reader, strict bool) ([]*Flow, ReadStats, error) {
 	var flows []*Flow
+	var st ReadStats
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
 	line := 0
@@ -25,14 +35,32 @@ func Read(r io.Reader) ([]*Flow, error) {
 		}
 		var f Flow
 		if err := json.Unmarshal(b, &f); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			if strict {
+				return nil, st, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+			st.Skipped++
+			continue
 		}
+		st.Lines++
 		flows = append(flows, &f)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: read: %w", err)
+		return nil, st, fmt.Errorf("trace: read: %w", err)
 	}
-	return flows, nil
+	return flows, st, nil
+}
+
+// Read parses a JSONL trace stream written by Tracer.Close, failing on
+// the first corrupt line.
+func Read(r io.Reader) ([]*Flow, error) {
+	flows, _, err := read(r, true)
+	return flows, err
+}
+
+// ReadTolerant parses a JSONL trace stream, skipping and counting
+// corrupt lines.
+func ReadTolerant(r io.Reader) ([]*Flow, ReadStats, error) {
+	return read(r, false)
 }
 
 // ReadFile parses a JSONL trace file.
@@ -43,6 +71,17 @@ func ReadFile(path string) ([]*Flow, error) {
 	}
 	defer f.Close()
 	return Read(f)
+}
+
+// ReadFileTolerant parses a JSONL trace file, skipping and counting
+// corrupt lines.
+func ReadFileTolerant(path string) ([]*Flow, ReadStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, ReadStats{}, err
+	}
+	defer f.Close()
+	return ReadTolerant(f)
 }
 
 // ByID finds a flow by its "c<customer>-d<day>-f<index>" identity.

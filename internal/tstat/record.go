@@ -186,11 +186,72 @@ func WriteFlows(w io.Writer, recs []FlowRecord) error {
 	return bw.Flush()
 }
 
-// ReadFlows parses a TSV flow log written by WriteFlows.
-func ReadFlows(r io.Reader) ([]FlowRecord, error) {
+// ReadStats reports what a tolerant read consumed: the data lines it
+// parsed and the corrupt lines it dropped instead of aborting on.
+type ReadStats struct {
+	Lines   int
+	Skipped int
+}
+
+// parseFlowLine parses one data line of a flow TSV log.
+func parseFlowLine(text string) (FlowRecord, error) {
+	var rec FlowRecord
+	fields := strings.Split(text, "\t")
+	if len(fields) != 19 {
+		return rec, fmt.Errorf("%d fields, want 19", len(fields))
+	}
+	var err error
+	if rec.Client, err = netip.ParseAddr(fields[0]); err != nil {
+		return rec, fmt.Errorf("client: %w", err)
+	}
+	if rec.Server, err = netip.ParseAddr(fields[2]); err != nil {
+		return rec, fmt.Errorf("server: %w", err)
+	}
+	ints := make([]int64, 0, 14)
+	for _, idx := range []int{1, 3, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17} {
+		v, err := strconv.ParseInt(fields[idx], 10, 64)
+		if err != nil {
+			return rec, fmt.Errorf("field %d: %w", idx, err)
+		}
+		ints = append(ints, v)
+	}
+	rec.CPort = uint16(ints[0])
+	rec.SPort = uint16(ints[1])
+	rec.Proto = parseProtocol(fields[4])
+	rec.Domain = fields[5]
+	rec.Start = time.Duration(ints[2]) * time.Microsecond
+	rec.End = time.Duration(ints[3]) * time.Microsecond
+	rec.BytesUp, rec.BytesDown = ints[4], ints[5]
+	rec.PktsUp, rec.PktsDown = ints[6], ints[7]
+	rec.GroundRTT = RTTStats{
+		Samples: int(ints[8]),
+		Min:     time.Duration(ints[9]) * time.Microsecond,
+		Avg:     time.Duration(ints[10]) * time.Microsecond,
+		Max:     time.Duration(ints[11]) * time.Microsecond,
+		Std:     time.Duration(ints[12]) * time.Microsecond,
+	}
+	rec.SatRTT = time.Duration(ints[13]) * time.Microsecond
+	if fields[18] != "" {
+		for _, part := range strings.Split(fields[18], ",") {
+			us, err := strconv.ParseInt(part, 10, 64)
+			if err != nil {
+				return rec, fmt.Errorf("first10: %w", err)
+			}
+			rec.First10 = append(rec.First10, time.Duration(us)*time.Microsecond)
+		}
+	}
+	return rec, nil
+}
+
+// readFlows is the shared scanner: strict mode fails on the first corrupt
+// line; tolerant mode drops it and counts it in ReadStats.Skipped. The
+// header is checked in both modes — a wrong header means a wrong file,
+// not a damaged one.
+func readFlows(r io.Reader, strict bool) ([]FlowRecord, ReadStats, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var out []FlowRecord
+	var st ReadStats
 	first := true
 	line := 0
 	for sc.Scan() {
@@ -199,61 +260,38 @@ func ReadFlows(r io.Reader) ([]FlowRecord, error) {
 		if first {
 			first = false
 			if text != flowHeader {
-				return nil, fmt.Errorf("tstat: line 1: unexpected header")
+				return nil, st, fmt.Errorf("tstat: line 1: unexpected header")
 			}
 			continue
 		}
 		if text == "" {
 			continue
 		}
-		fields := strings.Split(text, "\t")
-		if len(fields) != 19 {
-			return nil, fmt.Errorf("tstat: line %d: %d fields, want 19", line, len(fields))
-		}
-		var rec FlowRecord
-		var err error
-		if rec.Client, err = netip.ParseAddr(fields[0]); err != nil {
-			return nil, fmt.Errorf("tstat: line %d: client: %w", line, err)
-		}
-		if rec.Server, err = netip.ParseAddr(fields[2]); err != nil {
-			return nil, fmt.Errorf("tstat: line %d: server: %w", line, err)
-		}
-		ints := make([]int64, 0, 14)
-		for _, idx := range []int{1, 3, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17} {
-			v, err := strconv.ParseInt(fields[idx], 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("tstat: line %d field %d: %w", line, idx, err)
+		rec, err := parseFlowLine(text)
+		if err != nil {
+			if strict {
+				return nil, st, fmt.Errorf("tstat: line %d: %w", line, err)
 			}
-			ints = append(ints, v)
+			st.Skipped++
+			continue
 		}
-		rec.CPort = uint16(ints[0])
-		rec.SPort = uint16(ints[1])
-		rec.Proto = parseProtocol(fields[4])
-		rec.Domain = fields[5]
-		rec.Start = time.Duration(ints[2]) * time.Microsecond
-		rec.End = time.Duration(ints[3]) * time.Microsecond
-		rec.BytesUp, rec.BytesDown = ints[4], ints[5]
-		rec.PktsUp, rec.PktsDown = ints[6], ints[7]
-		rec.GroundRTT = RTTStats{
-			Samples: int(ints[8]),
-			Min:     time.Duration(ints[9]) * time.Microsecond,
-			Avg:     time.Duration(ints[10]) * time.Microsecond,
-			Max:     time.Duration(ints[11]) * time.Microsecond,
-			Std:     time.Duration(ints[12]) * time.Microsecond,
-		}
-		rec.SatRTT = time.Duration(ints[13]) * time.Microsecond
-		if fields[18] != "" {
-			for _, part := range strings.Split(fields[18], ",") {
-				us, err := strconv.ParseInt(part, 10, 64)
-				if err != nil {
-					return nil, fmt.Errorf("tstat: line %d first10: %w", line, err)
-				}
-				rec.First10 = append(rec.First10, time.Duration(us)*time.Microsecond)
-			}
-		}
+		st.Lines++
 		out = append(out, rec)
 	}
-	return out, sc.Err()
+	return out, st, sc.Err()
+}
+
+// ReadFlows parses a TSV flow log written by WriteFlows, failing on the
+// first corrupt line.
+func ReadFlows(r io.Reader) ([]FlowRecord, error) {
+	recs, _, err := readFlows(r, true)
+	return recs, err
+}
+
+// ReadFlowsTolerant parses a TSV flow log, skipping corrupt lines and
+// counting them: the salvage path for logs out of an interrupted run.
+func ReadFlowsTolerant(r io.Reader) ([]FlowRecord, ReadStats, error) {
+	return readFlows(r, false)
 }
 
 const dnsHeader = "client\tresolver\tquery\trcode\tanswer\tt_us\tresp_us"
@@ -278,11 +316,50 @@ func WriteDNS(w io.Writer, recs []DNSRecord) error {
 	return bw.Flush()
 }
 
-// ReadDNS parses a TSV DNS log written by WriteDNS.
-func ReadDNS(r io.Reader) ([]DNSRecord, error) {
+// parseDNSLine parses one data line of a DNS TSV log.
+func parseDNSLine(text string) (DNSRecord, error) {
+	var rec DNSRecord
+	fields := strings.Split(text, "\t")
+	if len(fields) != 7 {
+		return rec, fmt.Errorf("%d fields, want 7", len(fields))
+	}
+	var err error
+	if rec.Client, err = netip.ParseAddr(fields[0]); err != nil {
+		return rec, err
+	}
+	if rec.Resolver, err = netip.ParseAddr(fields[1]); err != nil {
+		return rec, err
+	}
+	rec.Query = fields[2]
+	rc, err := strconv.ParseUint(fields[3], 10, 8)
+	if err != nil {
+		return rec, err
+	}
+	rec.RCode = uint8(rc)
+	if fields[4] != "" {
+		if rec.Answer, err = netip.ParseAddr(fields[4]); err != nil {
+			return rec, err
+		}
+	}
+	tus, err := strconv.ParseInt(fields[5], 10, 64)
+	if err != nil {
+		return rec, err
+	}
+	rus, err := strconv.ParseInt(fields[6], 10, 64)
+	if err != nil {
+		return rec, err
+	}
+	rec.T = time.Duration(tus) * time.Microsecond
+	rec.ResponseTime = time.Duration(rus) * time.Microsecond
+	return rec, nil
+}
+
+// readDNS is the shared scanner behind ReadDNS/ReadDNSTolerant.
+func readDNS(r io.Reader, strict bool) ([]DNSRecord, ReadStats, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var out []DNSRecord
+	var st ReadStats
 	first := true
 	line := 0
 	for sc.Scan() {
@@ -291,47 +368,36 @@ func ReadDNS(r io.Reader) ([]DNSRecord, error) {
 		if first {
 			first = false
 			if text != dnsHeader {
-				return nil, fmt.Errorf("tstat: dns line 1: unexpected header")
+				return nil, st, fmt.Errorf("tstat: dns line 1: unexpected header")
 			}
 			continue
 		}
 		if text == "" {
 			continue
 		}
-		fields := strings.Split(text, "\t")
-		if len(fields) != 7 {
-			return nil, fmt.Errorf("tstat: dns line %d: %d fields, want 7", line, len(fields))
-		}
-		var rec DNSRecord
-		var err error
-		if rec.Client, err = netip.ParseAddr(fields[0]); err != nil {
-			return nil, fmt.Errorf("tstat: dns line %d: %w", line, err)
-		}
-		if rec.Resolver, err = netip.ParseAddr(fields[1]); err != nil {
-			return nil, fmt.Errorf("tstat: dns line %d: %w", line, err)
-		}
-		rec.Query = fields[2]
-		rc, err := strconv.ParseUint(fields[3], 10, 8)
+		rec, err := parseDNSLine(text)
 		if err != nil {
-			return nil, fmt.Errorf("tstat: dns line %d: %w", line, err)
-		}
-		rec.RCode = uint8(rc)
-		if fields[4] != "" {
-			if rec.Answer, err = netip.ParseAddr(fields[4]); err != nil {
-				return nil, fmt.Errorf("tstat: dns line %d: %w", line, err)
+			if strict {
+				return nil, st, fmt.Errorf("tstat: dns line %d: %w", line, err)
 			}
+			st.Skipped++
+			continue
 		}
-		tus, err := strconv.ParseInt(fields[5], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("tstat: dns line %d: %w", line, err)
-		}
-		rus, err := strconv.ParseInt(fields[6], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("tstat: dns line %d: %w", line, err)
-		}
-		rec.T = time.Duration(tus) * time.Microsecond
-		rec.ResponseTime = time.Duration(rus) * time.Microsecond
+		st.Lines++
 		out = append(out, rec)
 	}
-	return out, sc.Err()
+	return out, st, sc.Err()
+}
+
+// ReadDNS parses a TSV DNS log written by WriteDNS, failing on the first
+// corrupt line.
+func ReadDNS(r io.Reader) ([]DNSRecord, error) {
+	recs, _, err := readDNS(r, true)
+	return recs, err
+}
+
+// ReadDNSTolerant parses a TSV DNS log, skipping and counting corrupt
+// lines.
+func ReadDNSTolerant(r io.Reader) ([]DNSRecord, ReadStats, error) {
+	return readDNS(r, false)
 }

@@ -1,0 +1,77 @@
+package tstat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// corruptFlowTSV renders two good flow rows with garbage injected between
+// them: a short row, a row with a broken integer field, and a truncated
+// row (the tail of a log cut off by a kill).
+func corruptFlowTSV(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFlows(&buf, []FlowRecord{sampleFlow(), sampleFlow()}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(buf.String(), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("unexpected TSV shape: %q", buf.String())
+	}
+	brokenInt := strings.Replace(lines[1], "\t1234\t", "\tNaN\t", 1)
+	truncated := strings.TrimSuffix(lines[2], "\n")
+	truncated = truncated[:len(truncated)/2] + "\n"
+	return lines[0] + lines[1] + "junk\tfields\n" + brokenInt + lines[2] + truncated
+}
+
+func TestReadFlowsTolerantSkipsAndCounts(t *testing.T) {
+	in := corruptFlowTSV(t)
+	flows, st, err := ReadFlowsTolerant(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 2 {
+		t.Fatalf("salvaged %d flows, want 2", len(flows))
+	}
+	if st.Lines != 2 || st.Skipped != 3 {
+		t.Fatalf("stats = %+v, want 2 lines / 3 skipped", st)
+	}
+	// Strict mode fails on the first corrupt line and names it.
+	if _, err := ReadFlows(strings.NewReader(in)); err == nil {
+		t.Fatal("strict read accepted corrupt input")
+	} else if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("strict error %q does not name line 3", err)
+	}
+}
+
+func TestReadFlowsTolerantStillRejectsWrongHeader(t *testing.T) {
+	// A wrong header means a wrong file, not a damaged one: tolerant mode
+	// must not silently skip an entire foreign TSV.
+	if _, _, err := ReadFlowsTolerant(strings.NewReader("alpha\tbeta\n1\t2\n")); err == nil {
+		t.Fatal("tolerant read accepted a foreign header")
+	}
+}
+
+func TestReadDNSTolerantSkipsAndCounts(t *testing.T) {
+	var buf bytes.Buffer
+	recs := []DNSRecord{
+		{Client: sampleFlow().Client, Resolver: sampleFlow().Server, Query: "a.example", T: 1e9},
+		{Client: sampleFlow().Client, Resolver: sampleFlow().Server, Query: "b.example", T: 2e9},
+	}
+	if err := WriteDNS(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(buf.String(), "\n")
+	in := lines[0] + lines[1] + "garbage line\n" + lines[2]
+	dns, st, err := ReadDNSTolerant(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dns) != 2 || st.Skipped != 1 {
+		t.Fatalf("salvaged %d DNS records with %d skipped, want 2 / 1", len(dns), st.Skipped)
+	}
+	if _, err := ReadDNS(strings.NewReader(in)); err == nil {
+		t.Fatal("strict DNS read accepted corrupt input")
+	}
+}

@@ -18,9 +18,11 @@
 package satwatch
 
 import (
+	"context"
 	"strings"
 
 	"satwatch/internal/analytics"
+	"satwatch/internal/faults"
 	"satwatch/internal/geo"
 	"satwatch/internal/netsim"
 	"satwatch/internal/report"
@@ -65,6 +67,11 @@ func WithIntentCacheBytes(n int64) Option {
 // internal/trace). The caller owns the tracer and must Close it after
 // Run to flush the buffered flows.
 func WithTracer(tr *trace.Tracer) Option { return func(p *Pipeline) { p.cfg.Trace = tr } }
+
+// WithFaults plays back a deterministic fault schedule during the run:
+// rain fronts, beam outages, gateway switchovers, PEP overloads and
+// resolver outages (see internal/faults). Nil restores clear skies.
+func WithFaults(s *faults.Schedule) Option { return func(p *Pipeline) { p.cfg.Faults = s } }
 
 // WithThroughputThreshold sets the Figure 11 minimum flow size in bytes.
 func WithThroughputThreshold(b int64) Option {
@@ -128,7 +135,14 @@ type Results struct {
 
 // Run executes the pipeline.
 func (p *Pipeline) Run() (*Results, error) {
-	out, err := netsim.Run(p.cfg)
+	return p.RunContext(context.Background())
+}
+
+// RunContext executes the pipeline under ctx: cancellation mid-simulation
+// yields the flows the workers had finished, analyzed as usual, with
+// Output.Stats.Interrupted set (see netsim.RunContext).
+func (p *Pipeline) RunContext(ctx context.Context) (*Results, error) {
+	out, err := netsim.RunContext(ctx, p.cfg)
 	if err != nil {
 		return nil, err
 	}
