@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"satwatch/internal/analytics"
+	"satwatch/internal/bench"
 	"satwatch/internal/dnssim"
 	"satwatch/internal/netsim"
 	"satwatch/internal/report"
@@ -412,3 +413,28 @@ func BenchmarkDatasetEnrichment(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkScenario runs matrix scenarios from the performance
+// observatory (internal/bench) through the standard Go benchmark harness,
+// so `go test -bench=Scenario` reports the same per-scenario numbers
+// satbench snapshots into BENCH_*.json.
+func benchmarkScenario(b *testing.B, name string) {
+	b.Helper()
+	sc, ok := bench.ByName(name, 42)
+	if !ok {
+		b.Fatalf("unknown scenario %q", name)
+	}
+	var res bench.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.RunScenario(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.FlowsPerSecond, "flows/s")
+	b.ReportMetric(float64(res.Mem.PeakHeapBytes)/(1<<20), "peak_heap_MB")
+}
+
+func BenchmarkScenarioSmallClearP1(b *testing.B)   { benchmarkScenario(b, "small-clear-p1") }
+func BenchmarkScenarioMediumStressP1(b *testing.B) { benchmarkScenario(b, "medium-stress-p1") }

@@ -1,0 +1,80 @@
+// Command satdiff compares two performance artifacts and flags
+// regressions, so CI (and humans) can tell whether a change made the
+// pipeline slower, hungrier, or differently-behaved. It understands three
+// schemas, auto-detected from the file contents — both files must carry
+// the same one:
+//
+//   - BENCH_*.json snapshots written by cmd/satbench
+//   - manifest.json files written next to run outputs
+//   - -metrics registry dumps from any of the CLIs
+//
+// Every numeric metric is compared against a relative tolerance
+// (-tolerance, default ±10%), overridable per metric or glob pattern via
+// a JSON tolerances file (-tolerances; a negative tolerance excludes a
+// metric). Content digests must match exactly unless -ignore-digests;
+// metrics present in only one artifact are failures unless
+// -allow-missing.
+//
+// Exit codes: 0 when everything is within tolerance, 1 on regression
+// (out-of-tolerance metric, digest mismatch, or metric-set drift), 2 on
+// error (unreadable file, schema mismatch, bad flags).
+//
+// Usage:
+//
+//	satdiff [-tolerance 0.1] [-tolerances FILE] [-allow-missing]
+//	        [-ignore-digests] [-v] OLD NEW
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"satwatch/internal/bench"
+)
+
+func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "satdiff:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run() (int, error) {
+	tolerance := flag.Float64("tolerance", 0.10, "default relative tolerance as a fraction (0.1 = ±10%; 0 = exact)")
+	tolFile := flag.String("tolerances", "", "JSON file with per-metric tolerance overrides ({\"default\": f, \"metrics\": {\"name-or-glob\": f}})")
+	allowMissing := flag.Bool("allow-missing", false, "report metrics present in only one artifact instead of failing on them")
+	ignoreDigests := flag.Bool("ignore-digests", false, "report output-digest mismatches instead of failing on them")
+	verbose := flag.Bool("v", false, "print every compared metric, not only violations")
+	flag.Parse()
+
+	if flag.NArg() != 2 {
+		flag.Usage()
+		return 0, fmt.Errorf("need exactly two artifacts to compare, got %d", flag.NArg())
+	}
+	tol, err := bench.LoadTolerances(*tolFile, *tolerance)
+	if err != nil {
+		return 0, err
+	}
+	base, err := bench.ReadArtifact(flag.Arg(0))
+	if err != nil {
+		return 0, err
+	}
+	cur, err := bench.ReadArtifact(flag.Arg(1))
+	if err != nil {
+		return 0, err
+	}
+	fmt.Printf("comparing %s artifacts: %s → %s\n", base.Kind, flag.Arg(0), flag.Arg(1))
+
+	d, err := bench.Diff(base, cur, tol, *allowMissing, *ignoreDigests)
+	if err != nil {
+		return 0, err
+	}
+	d.Render(os.Stdout, *verbose)
+	if len(d.Regressions) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -76,6 +76,7 @@ func run() (int, error) {
 	// Metrics are cleared at run start so every dump and debug endpoint
 	// reflects this run only, not process-lifetime totals.
 	obs.Default.Reset()
+	memSampler := obs.StartMemSampler(0)
 	start := time.Now()
 
 	sched, err := faults.Load(*faultsArg, *days, *seed)
@@ -239,6 +240,8 @@ func run() (int, error) {
 			return 0, err
 		}
 	}
+	mem := memSampler.Stop()
+	manifest.Mem = &mem
 	if err := manifest.Write(*out); err != nil {
 		return 0, err
 	}

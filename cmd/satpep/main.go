@@ -5,11 +5,14 @@
 // emulated satellite — and prints the handshake and transfer timings the
 // paper's §2.1 architecture is designed to improve.
 //
-// Exit codes: 0 on success, 1 on error.
+// Exit codes: 0 on success, 1 on error. -debug-addr serves /metrics,
+// /progress and /debug/pprof live during the demo (see
+// OBSERVABILITY.md).
 //
 // Usage:
 //
 //	satpep [-size 2097152] [-listen 127.0.0.1:0] [-metrics FILE]
+//	       [-debug-addr :6060] [-debug-linger 0s]
 package main
 
 import (
@@ -47,11 +50,14 @@ func run() (int, error) {
 	size := flag.Int("size", 2<<20, "payload bytes to download")
 	listen := flag.String("listen", "127.0.0.1:0", "CPE proxy listen address")
 	metricsOut := flag.String("metrics", "", "write a JSON metrics dump here on exit")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /progress and /debug/pprof on this address")
+	debugLinger := flag.Duration("debug-linger", 0, "keep the debug server up this long after the demo completes")
 	flag.Parse()
 
-	// Metrics are cleared at run start so every dump reflects this run
-	// only, not process-lifetime totals.
+	// Metrics are cleared at run start so every dump and debug endpoint
+	// reflects this run only, not process-lifetime totals.
 	obs.Default.Reset()
+	start := time.Now()
 
 	payload := make([]byte, *size)
 	for i := range payload {
@@ -82,6 +88,29 @@ func run() (int, error) {
 	cpe := pep.NewCPE(cpeSide, cfg, nil)
 	gw := pep.NewGateway(gwSide, cfg, nil, nil)
 	go gw.Serve()
+
+	if *debugAddr != "" {
+		// Progress for the /progress endpoint is the gateway's live relay
+		// counters; they are atomics, safe to read mid-transfer.
+		bound, stopDebug, err := obs.StartDebugServer(*debugAddr, obs.Default, func() any {
+			return struct {
+				Connections    int64   `json:"connections"`
+				BytesDown      int64   `json:"bytes_down"`
+				ElapsedSeconds float64 `json:"elapsed_seconds"`
+			}{gw.Stats.Connections.Load(), gw.Stats.BytesDown.Load(), time.Since(start).Seconds()}
+		})
+		if err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s\n", bound)
+		defer func() {
+			if *debugLinger > 0 {
+				fmt.Fprintf(os.Stderr, "debug server lingering %s\n", *debugLinger)
+				time.Sleep(*debugLinger)
+			}
+			stopDebug()
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -3,13 +3,16 @@
 // estimators run, and the resulting flow/DNS logs are written as TSV.
 //
 // Undecodable packets are skipped and counted, not fatal — a damaged
-// capture still yields the flows it can. Exit codes: 0 on success, 1 on
-// error, 2 when packets had to be skipped (logs were salvaged from a
-// partially decodable capture).
+// capture still yields the flows it can. -debug-addr serves /metrics,
+// /progress and /debug/pprof live during the replay (see
+// OBSERVABILITY.md). Exit codes: 0 on success, 1 on error, 2 when
+// packets had to be skipped (logs were salvaged from a partially
+// decodable capture).
 //
 // Usage:
 //
-//	satprobe -in capture.pcap [-flows flows.tsv] [-dns dns.tsv] [-metrics FILE]
+//	satprobe -in capture.pcap [-flows flows.tsv] [-dns dns.tsv]
+//	         [-metrics FILE] [-debug-addr :6060] [-debug-linger 0s]
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"satwatch/internal/obs"
@@ -39,14 +43,41 @@ func run() (int, error) {
 	flowsOut := flag.String("flows", "", "write flow log TSV here (default: stdout summary only)")
 	dnsOut := flag.String("dns", "", "write DNS log TSV here")
 	metricsOut := flag.String("metrics", "", "write a JSON metrics dump here after the replay")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /progress and /debug/pprof on this address")
+	debugLinger := flag.Duration("debug-linger", 0, "keep the debug server up this long after the replay completes")
 	flag.Parse()
 
-	// Metrics are cleared at run start so every dump reflects this run
-	// only, not process-lifetime totals.
+	// Metrics are cleared at run start so every dump and debug endpoint
+	// reflects this run only, not process-lifetime totals.
 	obs.Default.Reset()
+	start := time.Now()
 	if *in == "" {
 		flag.Usage()
 		return 0, fmt.Errorf("-in is required")
+	}
+
+	// Replay progress for the /progress endpoint; the counters are
+	// atomics because the debug server reads them mid-loop.
+	var packets, badPackets atomic.Int64
+	if *debugAddr != "" {
+		bound, stopDebug, err := obs.StartDebugServer(*debugAddr, obs.Default, func() any {
+			return struct {
+				Packets        int64   `json:"packets"`
+				BadPackets     int64   `json:"bad_packets"`
+				ElapsedSeconds float64 `json:"elapsed_seconds"`
+			}{packets.Load(), badPackets.Load(), time.Since(start).Seconds()}
+		})
+		if err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s\n", bound)
+		defer func() {
+			if *debugLinger > 0 {
+				fmt.Fprintf(os.Stderr, "debug server lingering %s\n", *debugLinger)
+				time.Sleep(*debugLinger)
+			}
+			stopDebug()
+		}()
 	}
 
 	f, err := os.Open(*in)
@@ -64,7 +95,6 @@ func run() (int, error) {
 
 	tr := tstat.NewTracker(tstat.Config{})
 	var epoch time.Time
-	packets, badPackets := 0, 0
 	for {
 		ts, data, err := rd.Next()
 		if errors.Is(err, io.EOF) {
@@ -77,15 +107,15 @@ func run() (int, error) {
 			epoch = ts
 		}
 		if err := tr.FeedPacket(ts.Sub(epoch), data); err != nil {
-			badPackets++
+			badPackets.Add(1)
 			continue
 		}
-		packets++
+		packets.Add(1)
 	}
 	flows, dns := tr.Flush()
 
 	fmt.Printf("replayed %d packets (%d undecodable): %d flows, %d DNS transactions\n",
-		packets, badPackets, len(flows), len(dns))
+		packets.Load(), badPackets.Load(), len(flows), len(dns))
 	byProto := map[tstat.Protocol]int{}
 	withDomain := 0
 	for i := range flows {
@@ -124,8 +154,8 @@ func run() (int, error) {
 		fmt.Printf("metrics written to %s\n", *metricsOut)
 	}
 
-	if badPackets > 0 {
-		fmt.Fprintf(os.Stderr, "satprobe: skipped %d undecodable packets\n", badPackets)
+	if badPackets.Load() > 0 {
+		fmt.Fprintf(os.Stderr, "satprobe: skipped %d undecodable packets\n", badPackets.Load())
 		return 2, nil
 	}
 	return 0, nil

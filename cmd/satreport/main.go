@@ -80,6 +80,7 @@ func run() (int, error) {
 	// Metrics are cleared at run start so every dump and debug endpoint
 	// reflects this run only, not process-lifetime totals.
 	obs.Default.Reset()
+	memSampler := obs.StartMemSampler(0)
 	start := time.Now()
 
 	sched, err := faults.Load(*faultsArg, *days, *seed)
@@ -222,6 +223,8 @@ func run() (int, error) {
 				return 0, err
 			}
 		}
+		mem := memSampler.Stop()
+		manifest.Mem = &mem
 		dir := *logsDir
 		if dir == "" {
 			dir = "."

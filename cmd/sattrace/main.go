@@ -4,8 +4,10 @@
 //
 // Corrupt JSONL lines — the tail of a trace cut short by a kill — are
 // skipped and counted by default; -strict fails on the first one
-// instead. Exit codes: 0 on success, 1 on error, 2 when lines were
-// skipped (the rendering ran on salvaged, incomplete data).
+// instead. -metrics dumps the metrics registry (including the
+// skipped-line counter) after rendering. Exit codes: 0 on success, 1 on
+// error, 2 when lines were skipped (the rendering ran on salvaged,
+// incomplete data).
 //
 // Usage:
 //
@@ -14,14 +16,18 @@
 //	sattrace -in trace.jsonl -by pep.setup      # slowest by PEP setup sojourn
 //	sattrace -in trace.jsonl -flow c12-d0-f3    # one flow's waterfall
 //	sattrace -in trace.jsonl -spans             # list recordable span names
+//	sattrace -in trace.jsonl -metrics FILE      # also dump the metrics registry
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"satwatch/internal/netsim"
+	"satwatch/internal/obs"
 	"satwatch/internal/trace"
 )
 
@@ -42,11 +48,16 @@ func run() (int, error) {
 	summary := flag.Bool("summary", false, "print only the ranking table, no waterfalls")
 	spans := flag.Bool("spans", false, "list every span name the pipeline records and exit")
 	strict := flag.Bool("strict", false, "fail on the first corrupt trace line instead of skipping it")
+	metricsOut := flag.String("metrics", "", "write a JSON metrics dump here after rendering")
 	flag.Parse()
+
+	// Metrics are cleared at run start so every dump reflects this run
+	// only, not process-lifetime totals.
+	obs.Default.Reset()
 
 	if *spans {
 		fmt.Println(strings.Join(trace.SpanNames(), "\n"))
-		return 0, nil
+		return finish(0, *metricsOut)
 	}
 	if *in == "" {
 		flag.Usage()
@@ -76,9 +87,12 @@ func run() (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	// The same salvage counter the replay path uses, so the -metrics dump
+	// records how much of the trace was unreadable.
+	netsim.CountSkippedRows(st.Skipped)
 	if len(flows) == 0 {
 		fmt.Println("no traced flows (sampling selected none — lower -trace-sample)")
-		return exitSkipped(st.Skipped), nil
+		return finish(exitSkipped(st.Skipped), *metricsOut)
 	}
 
 	if *flowID != "" {
@@ -87,7 +101,7 @@ func run() (int, error) {
 			return 0, fmt.Errorf("flow %s not in %s (%d flows)", *flowID, *in, len(flows))
 		}
 		fmt.Print(trace.Waterfall(f))
-		return exitSkipped(st.Skipped), nil
+		return finish(exitSkipped(st.Skipped), *metricsOut)
 	}
 
 	ranked := trace.TopK(flows, *by, *top)
@@ -103,7 +117,7 @@ func run() (int, error) {
 			fmt.Print(trace.Waterfall(f))
 		}
 	}
-	return exitSkipped(st.Skipped), nil
+	return finish(exitSkipped(st.Skipped), *metricsOut)
 }
 
 // exitSkipped maps a skipped-line count to the process exit code: 2
@@ -114,4 +128,20 @@ func exitSkipped(skipped int) int {
 		return 2
 	}
 	return 0
+}
+
+// finish dumps the metrics registry when requested, then passes the exit
+// code through. Every successful return path funnels here so the dump
+// happens regardless of rendering mode.
+func finish(code int, metricsPath string) (int, error) {
+	if metricsPath == "" {
+		return code, nil
+	}
+	if err := obs.WriteFileAtomic(metricsPath, func(w io.Writer) error {
+		return obs.Default.WriteJSON(w)
+	}); err != nil {
+		return 0, fmt.Errorf("metrics dump: %w", err)
+	}
+	fmt.Printf("metrics written to %s\n", metricsPath)
+	return code, nil
 }

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyScenario keeps runner tests fast: 8 customers, 1 day.
+func tinyScenario(name string, parallelism int, faults string) Scenario {
+	return Scenario{Name: name, Customers: 8, Days: 1, Seed: 7, Parallelism: parallelism, Faults: faults}
+}
+
+func TestMatrixShape(t *testing.T) {
+	full := Matrix(42)
+	if len(full) != 12 {
+		t.Fatalf("full matrix has %d scenarios, want 12", len(full))
+	}
+	reduced := ReducedMatrix(42)
+	if len(reduced) != 8 {
+		t.Fatalf("reduced matrix has %d scenarios, want 8", len(reduced))
+	}
+	seen := map[string]bool{}
+	for _, sc := range full {
+		if seen[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if sc.Customers <= 0 || sc.Days <= 0 {
+			t.Errorf("scenario %s has empty dimensions: %+v", sc.Name, sc)
+		}
+	}
+	for _, sc := range reduced {
+		if !seen[sc.Name] {
+			t.Errorf("reduced scenario %q not in the full matrix", sc.Name)
+		}
+		if strings.HasPrefix(sc.Name, "large-") {
+			t.Errorf("reduced matrix contains large scenario %q", sc.Name)
+		}
+	}
+	if _, ok := ByName("small-clear-p1", 42); !ok {
+		t.Error("ByName cannot find small-clear-p1")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	scs, err := Filter(Matrix(42), "small-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 4 {
+		t.Fatalf("small-* matches %d scenarios, want 4", len(scs))
+	}
+	if _, err := Filter(Matrix(42), "[bad"); err == nil {
+		t.Error("bad glob accepted")
+	}
+}
+
+func TestRunScenarioCapturesEverything(t *testing.T) {
+	res, err := RunScenario(tinyScenario("tiny", 1, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flows == 0 || res.DNS == 0 {
+		t.Fatalf("empty run: %d flows, %d dns", res.Flows, res.DNS)
+	}
+	if res.FlowsPerSecond <= 0 {
+		t.Errorf("flows/s = %v, want > 0", res.FlowsPerSecond)
+	}
+	if res.Workers != 1 {
+		t.Errorf("workers = %d, want 1", res.Workers)
+	}
+	for _, stage := range []string{"pass_a", "pass_b", "generate", "analyze"} {
+		if _, ok := res.TimingsSeconds[stage]; !ok {
+			t.Errorf("missing stage timing %q", stage)
+		}
+	}
+	for _, name := range []string{"flows.tsv", "dns.tsv", "meta.tsv", "prefixes.tsv"} {
+		if d := res.Outputs[name]; !strings.HasPrefix(d, "sha256:") {
+			t.Errorf("output %s digest = %q, want sha256:…", name, d)
+		}
+	}
+	if res.Mem.TotalAllocBytes == 0 {
+		t.Error("mem.total_alloc_bytes is zero — sampler not wired")
+	}
+	if res.Mem.PeakHeapBytes == 0 {
+		t.Error("mem.peak_heap_bytes is zero — sampler not wired")
+	}
+	var dump map[string]struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(res.Metrics, &dump); err != nil {
+		t.Fatalf("metrics snapshot is not a registry dump: %v", err)
+	}
+	if _, ok := dump["netsim_flows_total"]; !ok {
+		t.Error("metrics snapshot is missing netsim_flows_total")
+	}
+}
+
+func TestRunScenarioDeterministicAcrossParallelism(t *testing.T) {
+	serial, err := RunScenario(tinyScenario("tiny-p1", 1, "stress"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunScenario(tinyScenario("tiny-p4", 4, "stress"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range serial.Outputs {
+		if got := parallel.Outputs[name]; got != want {
+			t.Errorf("%s digest differs across parallelism: %s vs %s", name, want, got)
+		}
+	}
+	r := &Report{Schema: Schema, Kind: Kind, Scenarios: []Result{serial, parallel}}
+	groups, err := r.VerifyDigests()
+	if err != nil {
+		t.Fatalf("VerifyDigests: %v", err)
+	}
+	if groups != 1 {
+		t.Errorf("VerifyDigests counted %d groups, want 1", groups)
+	}
+
+	// A corrupted digest must be caught.
+	bad := parallel
+	bad.Outputs = map[string]string{"flows.tsv": "sha256:deadbeef"}
+	r = &Report{Schema: Schema, Kind: Kind, Scenarios: []Result{serial, bad}}
+	if _, err := r.VerifyDigests(); err == nil {
+		t.Error("VerifyDigests accepted diverging digests")
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	res, err := RunScenario(tinyScenario("tiny", 0, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Report{
+		Schema: Schema, Kind: Kind,
+		Created: time.Now().UTC(), Version: "test",
+		Env:       Environment(),
+		Scenarios: []Result{res},
+	}
+	path := filepath.Join(t.TempDir(), DefaultFileName(time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)))
+	if filepath.Base(path) != "BENCH_20260805T120000Z.json" {
+		t.Fatalf("DefaultFileName = %s", filepath.Base(path))
+	}
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Scenarios) != 1 || back.Scenarios[0].Flows != res.Flows {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Env.GoVersion == "" || back.Env.GOMAXPROCS == 0 {
+		t.Errorf("environment fingerprint incomplete: %+v", back.Env)
+	}
+	if !strings.Contains(r.Table(), "tiny") {
+		t.Error("Table does not mention the scenario")
+	}
+
+	// Wrong schema versions must be rejected.
+	r.Schema = Schema + 1
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Error("ReadReport accepted a future schema version")
+	}
+}

@@ -1,0 +1,423 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path"
+	"sort"
+	"strings"
+)
+
+// The artifact kinds satdiff auto-detects from a file's schema.
+const (
+	ArtifactBench    = "bench"    // BENCH_*.json written by satbench
+	ArtifactManifest = "manifest" // manifest.json written next to run outputs
+	ArtifactMetrics  = "metrics"  // the -metrics registry dump of the CLIs
+)
+
+// Artifact is the schema-neutral comparison view of a perf record: a flat
+// name → value map for everything numeric and a name → digest map for
+// content hashes. Flattened key shapes per kind:
+//
+//	bench:    <scenario>.wall_seconds, <scenario>.timings.<stage>,
+//	          <scenario>.flows, <scenario>.mem.<field>,
+//	          <scenario>.metrics.<metric>[.count],
+//	          digests <scenario>.outputs.<file>
+//	manifest: seed, parallelism, timings.<stage>, mem.<field>,
+//	          digests outputs.<file> and trace
+//	metrics:  <metric> (value), <metric>.count (timers/histograms)
+type Artifact struct {
+	Kind    string
+	Values  map[string]float64
+	Digests map[string]string
+}
+
+// registryDump mirrors the obs WriteJSON per-metric object.
+type registryDump map[string]struct {
+	Kind  string  `json:"kind"`
+	Value float64 `json:"value"`
+	Count *int64  `json:"count"`
+}
+
+func (a *Artifact) addRegistry(prefix string, dump registryDump) {
+	for name, m := range dump {
+		a.Values[prefix+name] = m.Value
+		if m.Count != nil {
+			a.Values[prefix+name+".count"] = float64(*m.Count)
+		}
+	}
+}
+
+// DetectArtifact parses raw JSON, recognizes which of the three schemas
+// it carries, and flattens it for comparison.
+func DetectArtifact(data []byte) (*Artifact, error) {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("bench: not a JSON object: %w", err)
+	}
+	switch {
+	case string(probe["kind"]) == `"`+Kind+`"`:
+		return flattenBench(data)
+	case probe["tool"] != nil && probe["timings_seconds"] != nil:
+		return flattenManifest(data)
+	default:
+		return flattenMetrics(data)
+	}
+}
+
+// ReadArtifact loads and detects one artifact file.
+func ReadArtifact(path string) (*Artifact, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a, err := DetectArtifact(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}
+
+func newArtifact(kind string) *Artifact {
+	return &Artifact{Kind: kind, Values: map[string]float64{}, Digests: map[string]string{}}
+}
+
+func flattenBench(data []byte) (*Artifact, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parse BENCH artifact: %w", err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("bench: BENCH schema %d, this build understands %d", r.Schema, Schema)
+	}
+	a := newArtifact(ArtifactBench)
+	for i := range r.Scenarios {
+		res := &r.Scenarios[i]
+		p := res.Scenario.Name + "."
+		a.Values[p+"wall_seconds"] = res.WallSeconds
+		a.Values[p+"flows"] = float64(res.Flows)
+		a.Values[p+"dns"] = float64(res.DNS)
+		a.Values[p+"flows_per_second"] = res.FlowsPerSecond
+		a.Values[p+"workers"] = float64(res.Workers)
+		for stage, secs := range res.TimingsSeconds {
+			a.Values[p+"timings."+stage] = secs
+		}
+		addMem(a, p+"mem.", res.Mem.HeapAllocBytes, res.Mem.TotalAllocBytes,
+			uint64(res.Mem.NumGC), res.Mem.GCPauseTotalSeconds, res.Mem.PeakHeapBytes)
+		if len(res.Metrics) > 0 {
+			var dump registryDump
+			if err := json.Unmarshal(res.Metrics, &dump); err != nil {
+				return nil, fmt.Errorf("bench: scenario %s metrics: %w", res.Scenario.Name, err)
+			}
+			a.addRegistry(p+"metrics.", dump)
+		}
+		for name, digest := range res.Outputs {
+			a.Digests[p+"outputs."+name] = digest
+		}
+	}
+	return a, nil
+}
+
+func addMem(a *Artifact, prefix string, heap, total, numGC uint64, pause float64, peak uint64) {
+	a.Values[prefix+"heap_alloc_bytes"] = float64(heap)
+	a.Values[prefix+"total_alloc_bytes"] = float64(total)
+	a.Values[prefix+"num_gc"] = float64(numGC)
+	a.Values[prefix+"gc_pause_total_seconds"] = pause
+	a.Values[prefix+"peak_heap_bytes"] = float64(peak)
+}
+
+func flattenManifest(data []byte) (*Artifact, error) {
+	var m struct {
+		Seed           uint64             `json:"seed"`
+		Parallelism    int                `json:"parallelism"`
+		TimingsSeconds map[string]float64 `json:"timings_seconds"`
+		Outputs        map[string]string  `json:"outputs"`
+		Mem            *struct {
+			HeapAllocBytes      uint64  `json:"heap_alloc_bytes"`
+			TotalAllocBytes     uint64  `json:"total_alloc_bytes"`
+			NumGC               uint32  `json:"num_gc"`
+			GCPauseTotalSeconds float64 `json:"gc_pause_total_seconds"`
+			PeakHeapBytes       uint64  `json:"peak_heap_bytes"`
+		} `json:"mem"`
+		Trace *struct {
+			SHA256 string `json:"sha256"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("bench: parse manifest: %w", err)
+	}
+	a := newArtifact(ArtifactManifest)
+	a.Values["seed"] = float64(m.Seed)
+	a.Values["parallelism"] = float64(m.Parallelism)
+	for stage, secs := range m.TimingsSeconds {
+		a.Values["timings."+stage] = secs
+	}
+	if m.Mem != nil {
+		addMem(a, "mem.", m.Mem.HeapAllocBytes, m.Mem.TotalAllocBytes,
+			uint64(m.Mem.NumGC), m.Mem.GCPauseTotalSeconds, m.Mem.PeakHeapBytes)
+	}
+	for name, digest := range m.Outputs {
+		a.Digests["outputs."+name] = digest
+	}
+	if m.Trace != nil && m.Trace.SHA256 != "" {
+		a.Digests["trace"] = m.Trace.SHA256
+	}
+	return a, nil
+}
+
+func flattenMetrics(data []byte) (*Artifact, error) {
+	var dump registryDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		return nil, fmt.Errorf("bench: parse metrics dump: %w", err)
+	}
+	for name, m := range dump {
+		switch m.Kind {
+		case "counter", "gauge", "timer", "histogram":
+		default:
+			return nil, fmt.Errorf("bench: not a metrics dump: metric %q has kind %q", name, m.Kind)
+		}
+	}
+	if len(dump) == 0 {
+		return nil, fmt.Errorf("bench: not a recognized artifact (empty object)")
+	}
+	a := newArtifact(ArtifactMetrics)
+	a.addRegistry("", dump)
+	return a, nil
+}
+
+// Tolerances maps metric names to the allowed relative change.
+// A tolerance is a fraction (0.5 allows ±50%); 0 demands exact equality
+// and a negative value excludes the metric from comparison. Metrics
+// resolves by exact name first, then by path.Match glob — the longest
+// matching pattern wins (ties break lexicographically).
+type Tolerances struct {
+	Default float64            `json:"default"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// For resolves the tolerance for one metric name.
+func (t Tolerances) For(name string) float64 {
+	if v, ok := t.Metrics[name]; ok {
+		return v
+	}
+	best := ""
+	for pat := range t.Metrics {
+		ok, err := path.Match(pat, name)
+		if err != nil || !ok {
+			continue
+		}
+		if len(pat) > len(best) || (len(pat) == len(best) && pat < best) {
+			best = pat
+		}
+	}
+	if best != "" {
+		return t.Metrics[best]
+	}
+	return t.Default
+}
+
+// LoadTolerances reads a tolerance-override JSON file
+// ({"default": 0.1, "metrics": {"<name-or-glob>": <fraction>}}).
+// fallback is the -tolerance flag value, used when the file omits
+// "default" (or when file is empty).
+func LoadTolerances(file string, fallback float64) (Tolerances, error) {
+	t := Tolerances{Default: fallback}
+	if file == "" {
+		return t, nil
+	}
+	b, err := os.ReadFile(file)
+	if err != nil {
+		return t, err
+	}
+	var raw struct {
+		Default *float64           `json:"default"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return t, fmt.Errorf("bench: parse tolerances %s: %w", file, err)
+	}
+	if raw.Default != nil {
+		t.Default = *raw.Default
+	}
+	t.Metrics = raw.Metrics
+	// Validate patterns eagerly so a typo in the file fails the diff as
+	// an error, not as a silently-ignored override.
+	for pat := range t.Metrics {
+		if _, err := path.Match(pat, ""); err != nil {
+			return t, fmt.Errorf("bench: tolerances %s: bad pattern %q: %w", file, pat, err)
+		}
+	}
+	return t, nil
+}
+
+// DiffRow is one compared metric.
+type DiffRow struct {
+	Name      string
+	Old, New  float64
+	AbsDelta  float64
+	PctDelta  float64 // +Inf when Old == 0 and New != 0
+	Tolerance float64
+	Breach    bool
+	Ignored   bool
+}
+
+// DigestRow is one compared content digest.
+type DigestRow struct {
+	Name     string
+	Old, New string
+	Match    bool
+}
+
+// DiffReport is the outcome of comparing two artifacts.
+type DiffReport struct {
+	Rows    []DiffRow
+	Digests []DigestRow
+	// OnlyOld / OnlyNew list keys (values or digests) present in exactly
+	// one artifact — metric-set drift.
+	OnlyOld, OnlyNew []string
+	// Regressions names every failure: out-of-tolerance metrics, digest
+	// mismatches, and (unless allowed) set drift.
+	Regressions []string
+}
+
+// Diff compares the artifact cur against the baseline base (both must be
+// the same kind). allowMissing downgrades metric-set drift from
+// regression to report-only; ignoreDigests does the same for content
+// digests.
+func Diff(base, cur *Artifact, tol Tolerances, allowMissing, ignoreDigests bool) (*DiffReport, error) {
+	if base.Kind != cur.Kind {
+		return nil, fmt.Errorf("bench: artifact kinds differ: %s vs %s", base.Kind, cur.Kind)
+	}
+	d := &DiffReport{}
+
+	names := make([]string, 0, len(base.Values))
+	for name := range base.Values {
+		if _, ok := cur.Values[name]; ok {
+			names = append(names, name)
+		} else {
+			d.OnlyOld = append(d.OnlyOld, name)
+		}
+	}
+	for name := range cur.Values {
+		if _, ok := base.Values[name]; !ok {
+			d.OnlyNew = append(d.OnlyNew, name)
+		}
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		row := DiffRow{Name: name, Old: base.Values[name], New: cur.Values[name], Tolerance: tol.For(name)}
+		row.AbsDelta = row.New - row.Old
+		switch {
+		case row.Old == 0 && row.New == 0:
+			row.PctDelta = 0
+		case row.Old == 0:
+			row.PctDelta = math.Inf(sign(row.New))
+		default:
+			row.PctDelta = 100 * row.AbsDelta / math.Abs(row.Old)
+		}
+		if row.Tolerance < 0 {
+			row.Ignored = true
+		} else if row.Old == 0 {
+			row.Breach = row.New != 0
+		} else {
+			row.Breach = math.Abs(row.AbsDelta) > row.Tolerance*math.Abs(row.Old)
+		}
+		if row.Breach {
+			d.Regressions = append(d.Regressions, name)
+		}
+		d.Rows = append(d.Rows, row)
+	}
+
+	dnames := make([]string, 0, len(base.Digests))
+	for name := range base.Digests {
+		if _, ok := cur.Digests[name]; ok {
+			dnames = append(dnames, name)
+		} else {
+			d.OnlyOld = append(d.OnlyOld, name)
+		}
+	}
+	for name := range cur.Digests {
+		if _, ok := base.Digests[name]; !ok {
+			d.OnlyNew = append(d.OnlyNew, name)
+		}
+	}
+	sort.Strings(dnames)
+	for _, name := range dnames {
+		row := DigestRow{Name: name, Old: base.Digests[name], New: cur.Digests[name]}
+		row.Match = row.Old == row.New
+		if !row.Match && !ignoreDigests {
+			d.Regressions = append(d.Regressions, name)
+		}
+		d.Digests = append(d.Digests, row)
+	}
+
+	sort.Strings(d.OnlyOld)
+	sort.Strings(d.OnlyNew)
+	if !allowMissing {
+		d.Regressions = append(d.Regressions, d.OnlyOld...)
+		d.Regressions = append(d.Regressions, d.OnlyNew...)
+	}
+	return d, nil
+}
+
+func sign(v float64) int {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+// Render writes the diff outcome: regressions (and drift and digest
+// mismatches) always; every compared row when verbose.
+func (d *DiffReport) Render(w io.Writer, verbose bool) {
+	printed := 0
+	for _, row := range d.Rows {
+		if !verbose && !row.Breach {
+			continue
+		}
+		mark := "  "
+		switch {
+		case row.Ignored:
+			mark = "--"
+		case row.Breach:
+			mark = "!!"
+		}
+		pct := fmt.Sprintf("%+.1f%%", row.PctDelta)
+		if math.IsInf(row.PctDelta, 0) {
+			pct = "new≠0"
+		}
+		fmt.Fprintf(w, "%s %-58s %14.6g → %-14.6g Δ%+.6g (%s, tol ±%.0f%%)\n",
+			mark, row.Name, row.Old, row.New, row.AbsDelta, pct, row.Tolerance*100)
+		printed++
+	}
+	for _, row := range d.Digests {
+		if !verbose && row.Match {
+			continue
+		}
+		mark := "  "
+		if !row.Match {
+			mark = "!!"
+		}
+		fmt.Fprintf(w, "%s %-58s %s → %s\n", mark, row.Name, shortDigest(row.Old), shortDigest(row.New))
+		printed++
+	}
+	for _, name := range d.OnlyOld {
+		fmt.Fprintf(w, "-- only in OLD: %s\n", name)
+	}
+	for _, name := range d.OnlyNew {
+		fmt.Fprintf(w, "++ only in NEW: %s\n", name)
+	}
+	fmt.Fprintf(w, "%d metrics and %d digests compared, %d regressions",
+		len(d.Rows), len(d.Digests), len(d.Regressions))
+	if len(d.OnlyOld)+len(d.OnlyNew) > 0 {
+		fmt.Fprintf(w, ", %d keys drifted", len(d.OnlyOld)+len(d.OnlyNew))
+	}
+	fmt.Fprintln(w)
+	if len(d.Regressions) > 0 {
+		fmt.Fprintf(w, "regressed: %s\n", strings.Join(d.Regressions, ", "))
+	}
+}

@@ -1,0 +1,355 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"satwatch/internal/obs"
+)
+
+// fixtureReport builds a minimal but schema-complete BENCH report without
+// running the pipeline.
+func fixtureReport(t *testing.T) *Report {
+	t.Helper()
+	metrics := json.RawMessage(`{
+		"netsim_flows_total": {"kind": "counter", "help": "h", "unit": "flows", "value": 1000},
+		"netsim_pass_b_seconds": {"kind": "timer", "help": "h", "unit": "seconds", "value": 0.5, "count": 1}
+	}`)
+	return &Report{
+		Schema: Schema, Kind: Kind,
+		Created: time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC),
+		Version: "test", Env: Environment(),
+		Scenarios: []Result{{
+			Scenario:       Scenario{Name: "small-clear-p1", Customers: 20, Days: 1, Seed: 42, Parallelism: 1},
+			WallSeconds:    2.0,
+			TimingsSeconds: map[string]float64{"pass_a": 0.5, "pass_b": 1.0},
+			Flows:          1000, DNS: 400, FlowsPerSecond: 500, Workers: 1,
+			Mem:     obs.MemInfo{HeapAllocBytes: 1 << 20, TotalAllocBytes: 1 << 24, NumGC: 3, GCPauseTotalSeconds: 0.001, PeakHeapBytes: 1 << 21},
+			Outputs: map[string]string{"flows.tsv": "sha256:aaaa", "dns.tsv": "sha256:bbbb"},
+			Metrics: metrics,
+		}},
+	}
+}
+
+func marshalToFile(t *testing.T, name string, v any) string {
+	t.Helper()
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDetectArtifactAllThreeSchemas(t *testing.T) {
+	// bench
+	benchPath := marshalToFile(t, "BENCH_x.json", fixtureReport(t))
+	a, err := ReadArtifact(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kind != ArtifactBench {
+		t.Errorf("BENCH file detected as %q", a.Kind)
+	}
+	for _, key := range []string{
+		"small-clear-p1.wall_seconds",
+		"small-clear-p1.timings.pass_b",
+		"small-clear-p1.flows",
+		"small-clear-p1.mem.peak_heap_bytes",
+		"small-clear-p1.metrics.netsim_flows_total",
+		"small-clear-p1.metrics.netsim_pass_b_seconds.count",
+	} {
+		if _, ok := a.Values[key]; !ok {
+			t.Errorf("bench flatten is missing %q", key)
+		}
+	}
+	if a.Digests["small-clear-p1.outputs.flows.tsv"] != "sha256:aaaa" {
+		t.Errorf("bench flatten lost the output digest: %v", a.Digests)
+	}
+
+	// manifest
+	m := obs.NewManifest("satgen", 42)
+	m.Parallelism = 2
+	m.AddTiming("pass_a", 500*time.Millisecond)
+	m.Outputs["flows.tsv"] = "sha256:cccc"
+	m.Mem = &obs.MemInfo{TotalAllocBytes: 1 << 20, PeakHeapBytes: 1 << 19}
+	m.Trace = &obs.TraceInfo{File: "t.jsonl", SHA256: "sha256:dddd", Sample: 1}
+	manifestPath := marshalToFile(t, "manifest.json", m)
+	a, err = ReadArtifact(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kind != ArtifactManifest {
+		t.Errorf("manifest detected as %q", a.Kind)
+	}
+	for _, key := range []string{"seed", "parallelism", "timings.pass_a", "mem.total_alloc_bytes"} {
+		if _, ok := a.Values[key]; !ok {
+			t.Errorf("manifest flatten is missing %q", key)
+		}
+	}
+	if a.Digests["outputs.flows.tsv"] != "sha256:cccc" || a.Digests["trace"] != "sha256:dddd" {
+		t.Errorf("manifest flatten lost digests: %v", a.Digests)
+	}
+
+	// metrics dump, produced by the real registry serializer
+	reg := obs.NewRegistry()
+	reg.Counter("netsim_flows_total", "h", "flows").Add(7)
+	reg.Timer("netsim_pass_b_seconds", "h").Observe(250 * time.Millisecond)
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	metricsPath := filepath.Join(t.TempDir(), "metrics.json")
+	if err := os.WriteFile(metricsPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err = ReadArtifact(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kind != ArtifactMetrics {
+		t.Errorf("metrics dump detected as %q", a.Kind)
+	}
+	if a.Values["netsim_flows_total"] != 7 {
+		t.Errorf("metrics flatten lost the counter: %v", a.Values)
+	}
+	if a.Values["netsim_pass_b_seconds.count"] != 1 {
+		t.Errorf("metrics flatten lost the timer count: %v", a.Values)
+	}
+
+	// junk is rejected, not misdetected
+	if _, err := DetectArtifact([]byte(`{"foo": {"bar": 1}}`)); err == nil {
+		t.Error("junk JSON detected as an artifact")
+	}
+	if _, err := DetectArtifact([]byte(`{}`)); err == nil {
+		t.Error("empty object detected as an artifact")
+	}
+}
+
+func TestDiffIdenticalFilesIsClean(t *testing.T) {
+	p := marshalToFile(t, "BENCH_x.json", fixtureReport(t))
+	a, err := ReadArtifact(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadArtifact(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Diff(a, b, Tolerances{Default: 0}, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Regressions) != 0 {
+		t.Fatalf("identical artifacts produced regressions: %v", d.Regressions)
+	}
+}
+
+func TestDiffFlagsInjectedTimingRegression(t *testing.T) {
+	base := fixtureReport(t)
+	regressed := fixtureReport(t)
+	// Inject a 50% pass_b slowdown; the ±10% default must flag it by name.
+	regressed.Scenarios[0].TimingsSeconds["pass_b"] *= 1.5
+	regressed.Scenarios[0].WallSeconds += 0.5
+
+	ab, err := DetectArtifact(mustJSON(t, base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := DetectArtifact(mustJSON(t, regressed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Diff(ab, ar, Tolerances{Default: 0.10}, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Regressions) == 0 {
+		t.Fatal("50% timing regression not flagged")
+	}
+	if !contains(d.Regressions, "small-clear-p1.timings.pass_b") {
+		t.Errorf("regressions do not name the offending metric: %v", d.Regressions)
+	}
+	var out bytes.Buffer
+	d.Render(&out, false)
+	if !strings.Contains(out.String(), "small-clear-p1.timings.pass_b") {
+		t.Errorf("render does not name the offending metric:\n%s", out.String())
+	}
+
+	// A generous tolerance absorbs it.
+	d, err = Diff(ab, ar, Tolerances{Default: 0.60}, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Regressions) != 0 {
+		t.Errorf("60%% tolerance still flagged: %v", d.Regressions)
+	}
+}
+
+func TestDiffDigestMismatchAndDrift(t *testing.T) {
+	base := fixtureReport(t)
+	cur := fixtureReport(t)
+	cur.Scenarios[0].Outputs["flows.tsv"] = "sha256:eeee"
+	delete(cur.Scenarios[0].TimingsSeconds, "pass_a")
+
+	ab, _ := DetectArtifact(mustJSON(t, base))
+	ac, _ := DetectArtifact(mustJSON(t, cur))
+
+	// Even with an infinite numeric tolerance, digest mismatch and key
+	// drift are regressions by default.
+	d, err := Diff(ab, ac, Tolerances{Default: 1e9}, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(d.Regressions, "small-clear-p1.outputs.flows.tsv") {
+		t.Errorf("digest mismatch not flagged: %v", d.Regressions)
+	}
+	if !contains(d.Regressions, "small-clear-p1.timings.pass_a") {
+		t.Errorf("dropped metric not flagged as drift: %v", d.Regressions)
+	}
+	if !contains(d.OnlyOld, "small-clear-p1.timings.pass_a") {
+		t.Errorf("dropped metric not in OnlyOld: %v", d.OnlyOld)
+	}
+
+	// Both downgrades together make it clean.
+	d, err = Diff(ab, ac, Tolerances{Default: 1e9}, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Regressions) != 0 {
+		t.Errorf("allow-missing + ignore-digests still flagged: %v", d.Regressions)
+	}
+
+	// Mixed artifact kinds refuse to compare.
+	m := obs.NewManifest("satgen", 1)
+	am, _ := DetectArtifact(mustJSON(t, m))
+	if _, err := Diff(ab, am, Tolerances{}, false, false); err == nil {
+		t.Error("bench vs manifest compared without error")
+	}
+}
+
+func TestTolerancesResolution(t *testing.T) {
+	tol := Tolerances{
+		Default: 0.10,
+		Metrics: map[string]float64{
+			"*.timings.*":          0.50,
+			"*.timings.pass_b":     0.20, // longer pattern wins over *.timings.*
+			"small-clear-p1.flows": 0,    // exact match wins over any glob
+			"*.workers":            -1,   // negative = excluded
+			"small-*.dns":          0.30,
+		},
+	}
+	cases := []struct {
+		name string
+		want float64
+	}{
+		{"small-clear-p1.flows", 0},
+		{"small-clear-p1.timings.pass_b", 0.20},
+		{"small-clear-p1.timings.pass_a", 0.50},
+		{"small-clear-p1.workers", -1},
+		{"small-clear-p1.dns", 0.30},
+		{"unmatched.metric.name", 0.10},
+	}
+	for _, c := range cases {
+		if got := tol.For(c.name); got != c.want {
+			t.Errorf("For(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+
+	// Excluded metrics never regress, even on wild changes.
+	base := &Artifact{Kind: ArtifactMetrics, Values: map[string]float64{"netsim_workers": 1}, Digests: map[string]string{}}
+	cur := &Artifact{Kind: ArtifactMetrics, Values: map[string]float64{"netsim_workers": 8}, Digests: map[string]string{}}
+	d, err := Diff(base, cur, Tolerances{Default: 0, Metrics: map[string]float64{"netsim_workers": -1}}, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Regressions) != 0 {
+		t.Errorf("excluded metric regressed: %v", d.Regressions)
+	}
+	if !d.Rows[0].Ignored {
+		t.Error("excluded metric row not marked Ignored")
+	}
+
+	// Zero tolerance means exact: 0→nonzero is a breach.
+	base.Values["new_metric"] = 0
+	cur.Values["new_metric"] = 0.001
+	d, err = Diff(base, cur, Tolerances{Default: 0.5, Metrics: map[string]float64{"netsim_workers": -1}}, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(d.Regressions, "new_metric") {
+		t.Errorf("0→nonzero not flagged: %v", d.Regressions)
+	}
+}
+
+func TestLoadTolerancesFile(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "tol.json")
+	if err := os.WriteFile(p, []byte(`{"default": 0.25, "metrics": {"*.flows": 0}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tol, err := LoadTolerances(p, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tol.Default != 0.25 {
+		t.Errorf("file default %v did not override flag fallback", tol.Default)
+	}
+	if tol.For("x.flows") != 0 {
+		t.Errorf("glob from file not applied: %v", tol.For("x.flows"))
+	}
+
+	// File without a default keeps the flag fallback.
+	if err := os.WriteFile(p, []byte(`{"metrics": {"a": 0.5}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tol, err = LoadTolerances(p, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tol.Default != 0.10 {
+		t.Errorf("flag fallback lost: %v", tol.Default)
+	}
+
+	// Bad glob patterns fail eagerly.
+	if err := os.WriteFile(p, []byte(`{"metrics": {"[bad": 0.5}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTolerances(p, 0.10); err == nil {
+		t.Error("bad pattern accepted")
+	}
+
+	// Missing file is an error (distinct from empty name = defaults).
+	if _, err := LoadTolerances(filepath.Join(t.TempDir(), "nope.json"), 0.10); err == nil {
+		t.Error("missing tolerances file accepted")
+	}
+	tol, err = LoadTolerances("", 0.42)
+	if err != nil || tol.Default != 0.42 {
+		t.Errorf("empty file name should mean flag defaults: %v %v", tol, err)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

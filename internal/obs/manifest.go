@@ -48,6 +48,10 @@ type Manifest struct {
 	TimingsSeconds map[string]float64 `json:"timings_seconds"`
 	// Outputs maps output file base name to "sha256:<hex>" digests.
 	Outputs map[string]string `json:"outputs"`
+	// Mem is the run's memory footprint (heap, allocation and GC deltas,
+	// sampled peak heap); absent on manifests from older builds and on
+	// the early status-partial manifest written before simulation.
+	Mem *MemInfo `json:"mem,omitempty"`
 	// Trace records the flow-trace output when the run had -trace set.
 	Trace *TraceInfo `json:"trace,omitempty"`
 }

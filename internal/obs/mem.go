@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MemInfo is a run's memory footprint, recorded in the manifest `mem`
+// block and per scenario in BENCH files. HeapAllocBytes is the live heap
+// at capture time; TotalAllocBytes, NumGC and GCPauseTotalSeconds are
+// deltas over the sampled window; PeakHeapBytes is the highest live heap
+// a sampler observed during the window (0 when no sampler ran).
+type MemInfo struct {
+	HeapAllocBytes      uint64  `json:"heap_alloc_bytes"`
+	TotalAllocBytes     uint64  `json:"total_alloc_bytes"`
+	NumGC               uint32  `json:"num_gc"`
+	GCPauseTotalSeconds float64 `json:"gc_pause_total_seconds"`
+	PeakHeapBytes       uint64  `json:"peak_heap_bytes,omitempty"`
+}
+
+// MemSampler watches runtime memory over a run: it records the MemStats
+// baseline at StartMemSampler, samples the live heap on a background
+// goroutine to catch the peak, and reports the deltas at Stop.
+type MemSampler struct {
+	start runtime.MemStats
+	peak  atomic.Uint64
+	done  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+	info  MemInfo
+}
+
+// StartMemSampler begins sampling the live heap every interval
+// (default 10 ms when interval <= 0). Call Stop to end sampling and
+// collect the MemInfo.
+func StartMemSampler(interval time.Duration) *MemSampler {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	s := &MemSampler{done: make(chan struct{})}
+	runtime.ReadMemStats(&s.start)
+	s.peak.Store(s.start.HeapAlloc)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.done:
+				return
+			case <-t.C:
+				var m runtime.MemStats
+				runtime.ReadMemStats(&m)
+				s.raisePeak(m.HeapAlloc)
+			}
+		}
+	}()
+	return s
+}
+
+func (s *MemSampler) raisePeak(v uint64) {
+	for {
+		old := s.peak.Load()
+		if v <= old || s.peak.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Stop terminates the sampling goroutine and returns the window's
+// MemInfo. Safe to call more than once; later calls return the same
+// snapshot.
+func (s *MemSampler) Stop() MemInfo {
+	s.once.Do(func() {
+		close(s.done)
+		s.wg.Wait()
+		var end runtime.MemStats
+		runtime.ReadMemStats(&end)
+		s.raisePeak(end.HeapAlloc)
+		s.info = MemInfo{
+			HeapAllocBytes:      end.HeapAlloc,
+			TotalAllocBytes:     end.TotalAlloc - s.start.TotalAlloc,
+			NumGC:               end.NumGC - s.start.NumGC,
+			GCPauseTotalSeconds: time.Duration(end.PauseTotalNs - s.start.PauseTotalNs).Seconds(),
+			PeakHeapBytes:       s.peak.Load(),
+		}
+	})
+	return s.info
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFormatRate(t *testing.T) {
+	cases := []struct {
+		events  int64
+		elapsed time.Duration
+		want    string
+	}{
+		{1000, 0, "0/s"},                 // zero elapsed: no division by zero
+		{1000, -time.Second, "0/s"},      // negative elapsed (clock skew) is clamped too
+		{0, time.Second, "0/s"},          // zero events
+		{500, time.Second, "500/s"},      // plain range
+		{999, time.Second, "999/s"},      // just below the k threshold
+		{4100, time.Second, "4.1k/s"},    // k range
+		{2500000, time.Second, "2.5M/s"}, // M range
+		{1000, 2 * time.Second, "500/s"}, // rate, not count
+	}
+	for _, c := range cases {
+		if got := FormatRate(c.events, c.elapsed); got != c.want {
+			t.Errorf("FormatRate(%d, %v) = %q, want %q", c.events, c.elapsed, got, c.want)
+		}
+	}
+}
+
+func TestETA(t *testing.T) {
+	cases := []struct {
+		name        string
+		done, total int64
+		elapsed     time.Duration
+		want        string
+	}{
+		{"zero total", 5, 0, time.Second, "ETA --"},
+		{"negative total", 5, -1, time.Second, "ETA --"},
+		{"nothing done", 0, 100, time.Second, "ETA --"},
+		{"negative done", -3, 100, time.Second, "ETA --"},
+		{"below one percent", 1, 1000, time.Minute, "ETA --"}, // too early to extrapolate
+		{"exactly done", 100, 100, time.Minute, "ETA 0s"},
+		{"overshoot", 150, 100, time.Minute, "ETA 0s"}, // done > total must not go negative
+		{"halfway", 50, 100, 10 * time.Second, "ETA 10s"},
+		{"one percent boundary", 10, 1000, 10 * time.Second, "ETA 16m30s"},
+	}
+	for _, c := range cases {
+		if got := ETA(c.done, c.total, c.elapsed); got != c.want {
+			t.Errorf("%s: ETA(%d, %d, %v) = %q, want %q", c.name, c.done, c.total, c.elapsed, got, c.want)
+		}
+	}
+}
+
+func TestStartProgressEmitsFinalLine(t *testing.T) {
+	var buf safeBuffer
+	var calls atomic.Int64
+	stop := StartProgress(&buf, time.Hour, func(elapsed time.Duration) string {
+		calls.Add(1)
+		return "line"
+	})
+	// The interval is far away; only stop's final line should appear.
+	stop()
+	stop() // idempotent
+	if got := calls.Load(); got != 1 {
+		t.Errorf("line callback ran %d times, want exactly 1 (the final flush)", got)
+	}
+	if s := buf.String(); s != "line\n" {
+		t.Errorf("progress output = %q, want one final line", s)
+	}
+}
+
+// safeBuffer is a minimal goroutine-safe strings.Builder for the
+// reporter's writes.
+type safeBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *safeBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *safeBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
