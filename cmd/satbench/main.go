@@ -38,7 +38,7 @@ func main() {
 }
 
 func run() (int, error) {
-	matrixName := flag.String("matrix", "full", "scenario matrix: full (12 scenarios) or reduced (the 8-scenario CI set)")
+	matrixName := flag.String("matrix", "full", "scenario matrix: full (24 scenarios) or reduced (the 16-scenario CI set)")
 	filter := flag.String("scenarios", "", "run only scenarios whose name matches this glob (e.g. 'small-*')")
 	seed := flag.Uint64("seed", 42, "deterministic seed shared by every scenario")
 	out := flag.String("out", "", "output file (default BENCH_<UTC-stamp>.json in the working directory)")

@@ -23,6 +23,7 @@
 // Usage:
 //
 //	satgen -out DIR [-customers 200] [-days 1] [-seed 1] [-parallelism 0]
+//	       [-constellation geo|leo]
 //	       [-faults FILE|PRESET] [-pcap-flows 50] [-metrics FILE]
 //	       [-progress] [-trace FILE] [-trace-sample 100]
 //	       [-debug-addr :6060] [-debug-linger 0s]
@@ -40,6 +41,7 @@ import (
 	"time"
 
 	"satwatch/internal/faults"
+	"satwatch/internal/geo"
 	"satwatch/internal/netsim"
 	"satwatch/internal/obs"
 	"satwatch/internal/pcapgen"
@@ -61,6 +63,7 @@ func run() (int, error) {
 	customers := flag.Int("customers", 200, "population size")
 	days := flag.Int("days", 1, "observation window in days")
 	seed := flag.Uint64("seed", 1, "deterministic run seed")
+	constellation := flag.String("constellation", "geo", "constellation backend ("+strings.Join(geo.ConstellationNames(), ", ")+")")
 	parallelism := flag.Int("parallelism", 0, "simulation workers, both passes (0 = GOMAXPROCS); output is identical at any value")
 	intentCacheMB := flag.Int("intent-cache-mb", 0, "pass-A intent cache budget in MiB (0 = 512, negative disables)")
 	faultsArg := flag.String("faults", "", "fault schedule: a JSON file or a preset ("+strings.Join(faults.PresetNames(), ", ")+")")
@@ -152,7 +155,8 @@ func run() (int, error) {
 	}
 
 	cfg := netsim.Config{Customers: *customers, Days: *days, Seed: *seed,
-		Parallelism: *parallelism, IntentCacheBytes: int64(*intentCacheMB) << 20,
+		Constellation: *constellation,
+		Parallelism:   *parallelism, IntentCacheBytes: int64(*intentCacheMB) << 20,
 		Trace: tracer, Faults: sched}
 	sim, err := netsim.RunContext(ctx, cfg)
 	if err != nil {

@@ -22,6 +22,7 @@
 // Usage:
 //
 //	satreport [-customers 400] [-days 2] [-seed 1] [-parallelism 0]
+//	          [-constellation geo|leo]
 //	          [-faults FILE|PRESET] [-logs DIR] [-from DIR] [-strict]
 //	          [-errant] [-metrics FILE] [-progress]
 //	          [-trace FILE] [-trace-sample 100]
@@ -43,6 +44,7 @@ import (
 	"satwatch/internal/analytics"
 	"satwatch/internal/errant"
 	"satwatch/internal/faults"
+	"satwatch/internal/geo"
 	"satwatch/internal/netsim"
 	"satwatch/internal/obs"
 	"satwatch/internal/trace"
@@ -62,6 +64,7 @@ func run() (int, error) {
 	customers := flag.Int("customers", 400, "population size")
 	days := flag.Int("days", 2, "observation window in days")
 	seed := flag.Uint64("seed", 1, "deterministic run seed")
+	constellation := flag.String("constellation", "geo", "constellation backend ("+strings.Join(geo.ConstellationNames(), ", ")+")")
 	parallelism := flag.Int("parallelism", 0, "simulation workers, both passes (0 = GOMAXPROCS); output is identical at any value")
 	intentCacheMB := flag.Int("intent-cache-mb", 0, "pass-A intent cache budget in MiB (0 = 512, negative disables)")
 	faultsArg := flag.String("faults", "", "fault schedule: a JSON file or a preset ("+strings.Join(faults.PresetNames(), ", ")+")")
@@ -142,6 +145,7 @@ func run() (int, error) {
 		satwatch.WithCustomers(*customers),
 		satwatch.WithDays(*days),
 		satwatch.WithSeed(*seed),
+		satwatch.WithConstellation(*constellation),
 		satwatch.WithParallelism(*parallelism),
 		satwatch.WithIntentCacheBytes(int64(*intentCacheMB)<<20),
 		satwatch.WithTracer(tracer),
@@ -158,6 +162,7 @@ func run() (int, error) {
 		return 0, err
 	}
 	fmt.Print(res.RenderAll())
+	fmt.Println(res.Signatures.Render())
 	fmt.Printf("— %d flows, %d DNS transactions, %d customers, %v —\n",
 		len(res.Dataset.Flows), len(res.Dataset.DNS), len(res.Output.Meta), time.Since(start).Round(time.Millisecond))
 

@@ -1,0 +1,73 @@
+// Leostudy: the GEO-vs-LEO comparison behind EXPERIMENTS.md — the same
+// deployment run under both constellation backends with equal seeds, then
+// diffed on the measurements an orbit change actually moves: the
+// satellite-RTT fingerprint per country, the handshake latency the probe
+// sees, and the fault timeline (LEO runs carry satellite handovers).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"satwatch"
+	"satwatch/internal/faults"
+)
+
+func run(constellation string) *satwatch.Results {
+	p := satwatch.New(
+		satwatch.WithCustomers(250),
+		satwatch.WithDays(1),
+		satwatch.WithSeed(11),
+		satwatch.WithConstellation(constellation),
+	)
+	res, err := p.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	geoRes := run("geo")
+	leoRes := run("leo")
+
+	fmt.Println("=== GEO ===")
+	fmt.Print(geoRes.Signatures.Render())
+	fmt.Println()
+	fmt.Println("=== LEO ===")
+	fmt.Print(leoRes.Signatures.Render())
+	fmt.Println()
+
+	fmt.Println("Per-country median satellite RTT, GEO vs LEO (equal seed):")
+	leoByCountry := map[string]float64{}
+	for _, r := range leoRes.Signatures.Rows {
+		leoByCountry[string(r.Country)] = r.Median
+	}
+	for _, g := range geoRes.Signatures.Rows {
+		l, ok := leoByCountry[string(g.Country)]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %s: %6.1f ms → %5.1f ms (%.0fx lower)\n",
+			g.Country, g.Median*1e3, l*1e3, g.Median/l)
+	}
+
+	handovers := 0
+	if s := leoRes.Output.Faults; s != nil {
+		for _, e := range s.Events {
+			if e.Kind == faults.LEOHandover {
+				handovers++
+			}
+		}
+	}
+	fmt.Printf("\nLEO fault timeline: %d satellite handovers in the window "+
+		"(GEO schedule: %d events — a fixed bent pipe never hands over)\n",
+		handovers, geoEvents(geoRes))
+}
+
+func geoEvents(res *satwatch.Results) int {
+	if res.Output.Faults == nil {
+		return 0
+	}
+	return len(res.Output.Faults.Events)
+}

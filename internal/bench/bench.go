@@ -50,12 +50,14 @@ type Scenario struct {
 	Parallelism int `json:"parallelism"`
 	// Faults is a fault-schedule preset name ("" = clear sky).
 	Faults string `json:"faults,omitempty"`
+	// Constellation is the constellation backend ("" = geo).
+	Constellation string `json:"constellation,omitempty"`
 }
 
 // identity is the output-determinism key: scenarios that share it must
 // produce byte-identical pipeline outputs regardless of Parallelism.
 func (s Scenario) identity() string {
-	return fmt.Sprintf("%d/%d/%d/%s", s.Customers, s.Days, s.Seed, s.Faults)
+	return fmt.Sprintf("%d/%d/%d/%s/%s", s.Customers, s.Days, s.Seed, s.Faults, s.Constellation)
 }
 
 // The matrix sizes. Small enough that the full matrix stays in CI
@@ -79,34 +81,44 @@ func matrix(seed uint64, sizeNames ...string) []Scenario {
 		if len(keep) > 0 && !keep[sz.name] {
 			continue
 		}
-		for _, flt := range []string{"", "stress"} {
-			fname := "clear"
-			if flt != "" {
-				fname = flt
+		// GEO scenarios keep their historical names ("small-clear-p1") so
+		// BENCH artifacts stay comparable across the constellation change;
+		// LEO variants interleave as "small-leo-clear-p1".
+		for _, con := range []string{"", "leo"} {
+			sname := sz.name
+			if con != "" {
+				sname += "-" + con
 			}
-			for _, par := range []struct {
-				name string
-				n    int
-			}{{"p1", 1}, {"pmax", 0}} {
-				out = append(out, Scenario{
-					Name:        sz.name + "-" + fname + "-" + par.name,
-					Customers:   sz.customers,
-					Days:        1,
-					Seed:        seed,
-					Parallelism: par.n,
-					Faults:      flt,
-				})
+			for _, flt := range []string{"", "stress"} {
+				fname := "clear"
+				if flt != "" {
+					fname = flt
+				}
+				for _, par := range []struct {
+					name string
+					n    int
+				}{{"p1", 1}, {"pmax", 0}} {
+					out = append(out, Scenario{
+						Name:          sname + "-" + fname + "-" + par.name,
+						Customers:     sz.customers,
+						Days:          1,
+						Seed:          seed,
+						Parallelism:   par.n,
+						Faults:        flt,
+						Constellation: con,
+					})
+				}
 			}
 		}
 	}
 	return out
 }
 
-// Matrix is the full scenario matrix: {small, medium, large} × {clear,
-// stress} × {1 worker, GOMAXPROCS workers} — 12 scenarios.
+// Matrix is the full scenario matrix: {small, medium, large} × {geo, leo}
+// × {clear, stress} × {1 worker, GOMAXPROCS workers} — 24 scenarios.
 func Matrix(seed uint64) []Scenario { return matrix(seed) }
 
-// ReducedMatrix is the CI subset: small and medium sizes only — 8
+// ReducedMatrix is the CI subset: small and medium sizes only — 16
 // scenarios, a couple of seconds each on a laptop.
 func ReducedMatrix(seed uint64) []Scenario { return matrix(seed, "small", "medium") }
 
@@ -211,11 +223,12 @@ func RunScenario(sc Scenario) (Result, error) {
 		}
 	}
 	cfg := netsim.Config{
-		Customers:   sc.Customers,
-		Days:        sc.Days,
-		Seed:        sc.Seed,
-		Parallelism: sc.Parallelism,
-		Faults:      sched,
+		Customers:     sc.Customers,
+		Days:          sc.Days,
+		Seed:          sc.Seed,
+		Parallelism:   sc.Parallelism,
+		Faults:        sched,
+		Constellation: sc.Constellation,
 	}
 
 	obs.Default.Reset()

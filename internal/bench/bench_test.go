@@ -15,12 +15,12 @@ func tinyScenario(name string, parallelism int, faults string) Scenario {
 
 func TestMatrixShape(t *testing.T) {
 	full := Matrix(42)
-	if len(full) != 12 {
-		t.Fatalf("full matrix has %d scenarios, want 12", len(full))
+	if len(full) != 24 {
+		t.Fatalf("full matrix has %d scenarios, want 24", len(full))
 	}
 	reduced := ReducedMatrix(42)
-	if len(reduced) != 8 {
-		t.Fatalf("reduced matrix has %d scenarios, want 8", len(reduced))
+	if len(reduced) != 16 {
+		t.Fatalf("reduced matrix has %d scenarios, want 16", len(reduced))
 	}
 	seen := map[string]bool{}
 	for _, sc := range full {
@@ -43,6 +43,12 @@ func TestMatrixShape(t *testing.T) {
 	if _, ok := ByName("small-clear-p1", 42); !ok {
 		t.Error("ByName cannot find small-clear-p1")
 	}
+	if sc, ok := ByName("small-leo-clear-p1", 42); !ok || sc.Constellation != "leo" {
+		t.Errorf("ByName(small-leo-clear-p1) = %+v, %v; want a leo scenario", sc, ok)
+	}
+	if sc, _ := ByName("small-clear-p1", 42); sc.Constellation != "" {
+		t.Errorf("GEO scenario names must keep their historical form, got constellation %q", sc.Constellation)
+	}
 }
 
 func TestFilter(t *testing.T) {
@@ -50,8 +56,8 @@ func TestFilter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(scs) != 4 {
-		t.Fatalf("small-* matches %d scenarios, want 4", len(scs))
+	if len(scs) != 8 {
+		t.Fatalf("small-* matches %d scenarios, want 8 (geo and leo variants)", len(scs))
 	}
 	if _, err := Filter(Matrix(42), "[bad"); err == nil {
 		t.Error("bad glob accepted")

@@ -59,12 +59,21 @@ const (
 	// retried on the stub-resolver backoff schedule and answered only
 	// if the outage clears before the client gives up.
 	DNSOutage Kind = "dns_outage"
+	// LEOHandover is a disruptive satellite handover on a LEO beam:
+	// flows starting inside the re-route window pay RTTStep of extra
+	// satellite RTT, a first-flight stall proportional to Peak (the
+	// stall intensity in [0,1]), and an elevated lead-segment
+	// retransmission probability — the RTT steps, stalls and retransmit
+	// blips LEO measurement studies observe around reconfigurations.
+	// Seamless make-before-break handovers are not scheduled; the LEO
+	// orbit model folds their geometry into the continuous RTT band.
+	LEOHandover Kind = "leo_handover"
 )
 
 // kinds is every valid Kind, for validation.
 var kinds = map[Kind]bool{
 	RainFront: true, BeamOutage: true, GatewaySwitch: true,
-	PEPOverload: true, DNSOutage: true,
+	PEPOverload: true, DNSOutage: true, LEOHandover: true,
 }
 
 // Event is one scheduled fault. Times are offsets from the simulation
@@ -213,6 +222,35 @@ func (s *Schedule) NextGatewaySwitch(t time.Duration) (time.Duration, bool) {
 	return next, found
 }
 
+// handoverStallScale maps a leo_handover event's Peak intensity to the
+// first-flight stall a flow starting in the window pays while the new
+// path converges.
+const handoverStallScale = 1500 * time.Millisecond
+
+// LEOHandover returns the extra satellite RTT and the first-flight stall
+// a flow starting at t on the given beam pays while a satellite handover
+// re-routes the beam, and whether such a window is active. When windows
+// overlap, the strongest step and stall win.
+func (s *Schedule) LEOHandover(t time.Duration, beam int) (step, stall time.Duration, ok bool) {
+	if s == nil {
+		return 0, 0, false
+	}
+	for i := range s.Events {
+		e := &s.Events[i]
+		if e.Kind != LEOHandover || !e.hits(beam) || !e.window(t) {
+			continue
+		}
+		ok = true
+		if e.RTTStep > step {
+			step = e.RTTStep
+		}
+		if st := time.Duration(e.Peak * float64(handoverStallScale)); st > stall {
+			stall = st
+		}
+	}
+	return step, stall, ok
+}
+
 // ResolverDown reports whether the named resolver is unreachable at t.
 func (s *Schedule) ResolverDown(t time.Duration, resolver string) bool {
 	if s == nil {
@@ -331,6 +369,53 @@ func (sp Spec) Generate() *Schedule {
 	}
 	sortEvents(evs)
 	return &Schedule{Name: sp.Name, Seed: sp.Seed, Events: evs}
+}
+
+// WithLEOHandovers returns base extended with the deterministic LEO
+// handover timeline for a days-long run: per beam, a disruptive handover
+// every ~2–4 hours (seeded jitter), each a 2–8 s re-route window carrying
+// a 6–18 ms RTT step and a stall intensity in [0.2, 0.8]. The timeline is
+// a pure function of (seed, days), so equal-seed LEO runs replay the same
+// damage at any parallelism. If base already contains leo_handover events
+// (a replayed manifest schedule), it is returned unchanged; base itself
+// is never mutated.
+func WithLEOHandovers(base *Schedule, days int, seed uint64) *Schedule {
+	for i := 0; i < base.Len(); i++ {
+		if base.Events[i].Kind == LEOHandover {
+			return base
+		}
+	}
+	if days <= 0 {
+		days = 1
+	}
+	window := time.Duration(days) * 24 * time.Hour
+	r := dist.NewRand(seed).Fork("leo-handover")
+
+	evs := make([]Event, 0, base.Len()+8*days*len(geo.Beams()))
+	if base != nil {
+		evs = append(evs, base.Events...)
+	}
+	for _, b := range geo.Beams() {
+		rb := r.ForkN("beam", uint64(b.ID))
+		next := time.Duration(rb.IntN(int(2 * time.Hour)))
+		for next < window {
+			dur := 2*time.Second + time.Duration(rb.IntN(int(6*time.Second)))
+			evs = append(evs, Event{
+				Kind: LEOHandover, Beam: b.ID,
+				Start:   next,
+				End:     next + dur,
+				Peak:    0.2 + 0.6*rb.Float64(),
+				RTTStep: time.Duration(6+rb.IntN(13)) * time.Millisecond,
+			})
+			next += 2*time.Hour + time.Duration(rb.IntN(int(2*time.Hour)))
+		}
+	}
+	sortEvents(evs)
+	name := "leo-handovers"
+	if base != nil && base.Name != "" {
+		name = base.Name + "+leo-handovers"
+	}
+	return &Schedule{Name: name, Seed: seed, Events: evs}
 }
 
 // presets maps preset names to per-day event counts. "rainfront" is the

@@ -213,3 +213,79 @@ func TestLoadFileRoundTripAndValidation(t *testing.T) {
 		t.Fatal("bogus -faults arg accepted")
 	}
 }
+
+func TestLEOHandoverQueryAndWindows(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: LEOHandover, Beam: 3, Start: 100 * time.Second, End: 104 * time.Second,
+			Peak: 0.5, RTTStep: 10 * time.Millisecond},
+		{Kind: LEOHandover, Beam: 3, Start: 102 * time.Second, End: 106 * time.Second,
+			Peak: 0.8, RTTStep: 6 * time.Millisecond},
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.LEOHandover(99*time.Second, 3); ok {
+		t.Fatal("handover reported outside every window")
+	}
+	if _, _, ok := s.LEOHandover(101*time.Second, 4); ok {
+		t.Fatal("handover reported on the wrong beam")
+	}
+	step, stall, ok := s.LEOHandover(103*time.Second, 3)
+	if !ok {
+		t.Fatal("no handover reported inside the window")
+	}
+	if step != 10*time.Millisecond {
+		t.Fatalf("step = %v, want the strongest overlapping step 10ms", step)
+	}
+	if want := time.Duration(0.8 * float64(handoverStallScale)); stall != want {
+		t.Fatalf("stall = %v, want %v", stall, want)
+	}
+	if _, _, ok := s.LEOHandover(105*time.Second, 3); !ok {
+		t.Fatal("second window not reported")
+	}
+}
+
+func TestWithLEOHandoversDeterministicAndIdempotent(t *testing.T) {
+	a := WithLEOHandovers(nil, 2, 42)
+	b := WithLEOHandovers(nil, 2, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal seeds produce different handover timelines")
+	}
+	if a.Len() == 0 {
+		t.Fatal("no handovers generated")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(WithLEOHandovers(a, 2, 42), a) {
+		t.Fatal("re-merging a schedule that already has handovers must be a no-op")
+	}
+	other := WithLEOHandovers(nil, 2, 43)
+	if reflect.DeepEqual(a.Events, other.Events) {
+		t.Fatal("different seeds produce identical handover timelines")
+	}
+
+	// Merging on top of a base schedule keeps the base events and does
+	// not mutate the base.
+	base, err := Preset("rainfront", 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseLen := base.Len()
+	merged := WithLEOHandovers(base, 1, 7)
+	if base.Len() != baseLen {
+		t.Fatal("base schedule mutated")
+	}
+	kept := 0
+	for _, e := range merged.Events {
+		if e.Kind != LEOHandover {
+			kept++
+		}
+	}
+	if kept != baseLen {
+		t.Fatalf("merged schedule kept %d base events, want %d", kept, baseLen)
+	}
+	if merged.Name != "rainfront+leo-handovers" {
+		t.Fatalf("merged name = %q", merged.Name)
+	}
+}

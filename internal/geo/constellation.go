@@ -1,0 +1,246 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Constellation abstracts the orbit geometry of the access network: every
+// quantity the simulator derives from "where is the satellite" is a method
+// taking the served country and the simulated time. The GEO backend
+// reproduces the paper's fixed 550 ms geometry; the LEO backend models a
+// shell of moving satellites on deterministic seeded orbits.
+//
+// Determinism contract: every method must be a pure function of the
+// backend's construction parameters (including its seed), the country and
+// the simulated time — never of wall clocks, call order, or shared mutable
+// state. The simulator calls these methods concurrently from its pass-B
+// workers and relies on them for byte-identical output at any parallelism.
+type Constellation interface {
+	// Name is the stable identifier used on CLIs, in manifests and in
+	// bench scenario names ("geo", "leo").
+	Name() string
+	// Static reports whether the geometry is time-invariant. The
+	// simulator pre-computes per-country channels and propagation delays
+	// for static backends and evaluates them per flow otherwise.
+	Static() bool
+	// SlantPasses is the number of slant-path traversals in one round
+	// trip (4 for a bent-pipe: CPE→sat→gateway and back).
+	SlantPasses() int
+	// SegmentRTT returns the propagation-only round trip CPE ↔ gateway
+	// for a country's representative customer at simulated time t.
+	SegmentRTT(c Country, t time.Duration) time.Duration
+	// ElevationDeg returns the antenna elevation toward the serving
+	// satellite at t; ZenithDeg is its complement (90 − elevation).
+	ElevationDeg(c Country, t time.Duration) float64
+	ZenithDeg(c Country, t time.Duration) float64
+	// EdgeFactorScale scales the per-country beam-edge factor (package
+	// phy): 1 for fixed footprints whose edges are a fact of geography,
+	// lower for steered spot beams that follow the user.
+	EdgeFactorScale() float64
+	// Gateway returns the index of the ground station serving the
+	// country at t and the extra ground-segment RTT that gateway pays
+	// relative to the primary one. A single-gateway backend returns
+	// (0, 0) always; a diverse backend rotates customers across its
+	// ground segment over the day.
+	Gateway(c Country, t time.Duration) (id int, extra time.Duration)
+}
+
+// ConstellationNames lists the built-in backend names, in CLI help order.
+func ConstellationNames() []string { return []string{"geo", "leo"} }
+
+// ConstellationByName resolves a -constellation argument. The empty name
+// selects GEO, matching the pre-constellation behaviour of the pipeline.
+// The seed parameterizes seeded backends (LEO orbit phases); GEO ignores
+// it.
+func ConstellationByName(name string, seed uint64) (Constellation, error) {
+	switch name {
+	case "", "geo":
+		return GEO{Sat: DefaultSatellite}, nil
+	case "leo":
+		return NewLEO(seed), nil
+	}
+	return nil, fmt.Errorf("geo: unknown constellation %q (have: geo, leo)", name)
+}
+
+// GEO is the paper's geometry behind the Constellation interface: one
+// geostationary satellite, one gateway in Italy, time-invariant slant
+// paths. Methods delegate to the closed-form Satellite math, so a GEO run
+// is byte-identical to the pipeline before the interface existed.
+type GEO struct {
+	Sat Satellite
+}
+
+func (g GEO) Name() string             { return "geo" }
+func (g GEO) Static() bool             { return true }
+func (g GEO) SlantPasses() int         { return 4 }
+func (g GEO) EdgeFactorScale() float64 { return 1 }
+
+func (g GEO) SegmentRTT(c Country, _ time.Duration) time.Duration { return g.Sat.SegmentRTT(c) }
+
+func (g GEO) ElevationDeg(c Country, _ time.Duration) float64 {
+	return g.Sat.ElevationDeg(c.Lat, c.Lon)
+}
+
+func (g GEO) ZenithDeg(c Country, _ time.Duration) float64 { return g.Sat.ZenithDeg(c.Lat, c.Lon) }
+
+func (g GEO) Gateway(Country, time.Duration) (int, time.Duration) { return 0, 0 }
+
+// LEO models a dense low-earth-orbit shell (550 km, the altitude of the
+// title's counterpoint constellations): there is always a satellite in
+// view, the serving satellite drifts from rise to set over one pass
+// period, and service hands over to the next riser at the pass boundary.
+// The model is analytic rather than ephemeris-driven — the serving
+// satellite's elevation follows the pass phase, and every per-country
+// phase is derived from the constellation seed — which keeps each query a
+// pure O(1) function of (seed, country, t).
+type LEO struct {
+	// Seed offsets every per-country orbit phase and gateway rotation.
+	Seed uint64
+	// AltitudeKm is the shell altitude.
+	AltitudeKm float64
+	// PassPeriod is the serving-satellite dwell: elevation rises from
+	// MinElevDeg to MaxElevDeg and back over one period, then the next
+	// satellite takes over.
+	PassPeriod time.Duration
+	// MinElevDeg/MaxElevDeg bound the serving satellite's elevation
+	// (handover happens at MinElevDeg; MaxElevDeg is the mid-pass peak).
+	MinElevDeg, MaxElevDeg float64
+	// GatewayElevDeg is the fixed representative elevation of the
+	// satellite↔gateway leg (gateways track whichever satellite serves
+	// them; the leg's length barely varies).
+	GatewayElevDeg float64
+	// BaseDelay is the non-propagation floor of the segment RTT: CPE and
+	// gateway processing plus uplink scheduling.
+	BaseDelay time.Duration
+	// EdgeDelay is the extra routing delay near the pass edges, where
+	// the serving satellite is far and the path detours over extra
+	// inter-satellite or ground hops. Applied ∝ edge³, so mid-pass flows
+	// barely see it and flows near a handover approach the full value.
+	EdgeDelay time.Duration
+	// GatewayCount and GatewayPeriod describe the ground-segment
+	// diversity: customers rotate across GatewayCount gateways, changing
+	// every GatewayPeriod (phase-offset per country by the seed).
+	GatewayCount  int
+	GatewayPeriod time.Duration
+	// GatewayStep is the extra ground RTT per step away from the primary
+	// gateway (gateway i pays i × GatewayStep).
+	GatewayStep time.Duration
+}
+
+// NewLEO returns the default LEO backend for the given seed: a 550 km
+// shell with ~4-minute serving passes, a 15–60 ms segment RTT band, and
+// three gateways rotated over the day.
+func NewLEO(seed uint64) *LEO {
+	return &LEO{
+		Seed:           seed,
+		AltitudeKm:     550,
+		PassPeriod:     4 * time.Minute,
+		MinElevDeg:     30,
+		MaxElevDeg:     85,
+		GatewayElevDeg: 40,
+		BaseDelay:      7 * time.Millisecond,
+		EdgeDelay:      20 * time.Millisecond,
+		GatewayCount:   3,
+		GatewayPeriod:  6 * time.Hour,
+		GatewayStep:    5 * time.Millisecond,
+	}
+}
+
+func (l *LEO) Name() string             { return "leo" }
+func (l *LEO) Static() bool             { return false }
+func (l *LEO) SlantPasses() int         { return 4 }
+func (l *LEO) EdgeFactorScale() float64 { return 0.25 }
+
+// phase returns the country's pass phase in [0,1): 0 just after a
+// handover, 0.5 at the mid-pass elevation peak. Each country's orbit
+// plane is offset by a seeded hash so handovers never align across
+// markets.
+func (l *LEO) phase(c Country, t time.Duration) float64 {
+	p := l.PassPeriod
+	if p <= 0 {
+		p = 4 * time.Minute
+	}
+	off := time.Duration(mix64(l.Seed, string(c.Code)) % uint64(p))
+	x := (t + off) % p
+	return float64(x) / float64(p)
+}
+
+// ElevationDeg follows the serving satellite over the pass: MinElevDeg at
+// the handover boundaries, MaxElevDeg at mid-pass.
+func (l *LEO) ElevationDeg(c Country, t time.Duration) float64 {
+	ph := l.phase(c, t)
+	return l.MinElevDeg + (l.MaxElevDeg-l.MinElevDeg)*math.Sin(math.Pi*ph)
+}
+
+func (l *LEO) ZenithDeg(c Country, t time.Duration) float64 {
+	return 90 - l.ElevationDeg(c, t)
+}
+
+// SegmentRTT is the propagation round trip through the serving satellite
+// plus the processing floor and the pass-edge routing detour. With the
+// default parameters it spans ~16 ms (mid-pass) to ~39 ms (handover
+// boundary); the MAC access delay layered on top by the simulator brings
+// the probe-visible satellite RTT into the 15–60 ms band the LEO
+// measurement literature reports.
+func (l *LEO) SegmentRTT(c Country, t time.Duration) time.Duration {
+	up := slantRangeAtElevKm(l.ElevationDeg(c, t), l.AltitudeKm)
+	down := slantRangeAtElevKm(l.GatewayElevDeg, l.AltitudeKm)
+	prop := time.Duration(2 * (up + down) / LightSpeedKmPerS * float64(time.Second))
+	edge := math.Abs(2*l.phase(c, t) - 1) // 0 mid-pass, 1 at the boundary
+	detour := time.Duration(float64(l.EdgeDelay) * edge * edge * edge)
+	return prop + l.BaseDelay + detour
+}
+
+// Gateway rotates the country across the ground segment: every
+// GatewayPeriod the serving gateway advances (phase-offset per country by
+// the seed), and each step away from the primary gateway adds GatewayStep
+// of ground RTT.
+func (l *LEO) Gateway(c Country, t time.Duration) (int, time.Duration) {
+	n := l.GatewayCount
+	if n <= 1 {
+		return 0, 0
+	}
+	p := l.GatewayPeriod
+	if p <= 0 {
+		p = 6 * time.Hour
+	}
+	off := time.Duration(mix64(l.Seed^0x9e3779b97f4a7c15, string(c.Code)) % uint64(p))
+	id := int(((t + off) / p) % time.Duration(n))
+	return id, time.Duration(id) * l.GatewayStep
+}
+
+// slantRangeAtElevKm returns the station→satellite distance for a given
+// elevation angle and shell altitude (spherical-earth geometry).
+func slantRangeAtElevKm(elevDeg, altKm float64) float64 {
+	el := elevDeg * math.Pi / 180
+	re, r := EarthRadiusKm, EarthRadiusKm+altKm
+	cos := math.Cos(el)
+	return math.Sqrt(r*r-re*re*cos*cos) - re*math.Sin(el)
+}
+
+// mix64 hashes a seed and a label into a uniform 64-bit value (FNV-1a
+// over the seed bytes then the label, finished with a splitmix64
+// avalanche). Used to derive per-country orbit and gateway phases.
+func mix64(seed uint64, label string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= (seed >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

@@ -1,0 +1,110 @@
+package geo
+
+import (
+	"testing"
+	"time"
+)
+
+// TestGEOBackendMatchesSatellite pins the refactor's compatibility
+// contract: the GEO backend must return exactly the closed-form Satellite
+// values, at any simulated time, so pre-interface runs stay byte-identical.
+func TestGEOBackendMatchesSatellite(t *testing.T) {
+	con, err := ConstellationByName("", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if con.Name() != "geo" || !con.Static() {
+		t.Fatalf("empty name must resolve to the static geo backend, got %s", con.Name())
+	}
+	for _, c := range Countries() {
+		for _, at := range []time.Duration{0, time.Hour, 31 * time.Hour} {
+			if got, want := con.SegmentRTT(c, at), DefaultSatellite.SegmentRTT(c); got != want {
+				t.Errorf("%s: SegmentRTT(%v) = %v, want %v", c.Code, at, got, want)
+			}
+			if got, want := con.ZenithDeg(c, at), DefaultSatellite.ZenithDeg(c.Lat, c.Lon); got != want {
+				t.Errorf("%s: ZenithDeg(%v) = %v, want %v", c.Code, at, got, want)
+			}
+		}
+		if id, extra := con.Gateway(c, 5*time.Hour); id != 0 || extra != 0 {
+			t.Errorf("%s: geo backend must have a single primary gateway", c.Code)
+		}
+	}
+}
+
+// TestLEORTTBand checks the LEO backend's headline property: a 15–60 ms
+// time-varying segment RTT for every market, at every point of the pass.
+func TestLEORTTBand(t *testing.T) {
+	l := NewLEO(2022)
+	lo, hi := 15*time.Millisecond, 60*time.Millisecond
+	for _, c := range Countries() {
+		minSeen, maxSeen := time.Duration(1<<62), time.Duration(0)
+		for at := time.Duration(0); at < 24*time.Hour; at += 7 * time.Second {
+			rtt := l.SegmentRTT(c, at)
+			if rtt < lo || rtt > hi {
+				t.Fatalf("%s: SegmentRTT(%v) = %v outside [%v, %v]", c.Code, at, rtt, lo, hi)
+			}
+			if rtt < minSeen {
+				minSeen = rtt
+			}
+			if rtt > maxSeen {
+				maxSeen = rtt
+			}
+			if el := l.ElevationDeg(c, at); el < l.MinElevDeg-1e-9 || el > l.MaxElevDeg+1e-9 {
+				t.Fatalf("%s: elevation %v outside [%v, %v]", c.Code, el, l.MinElevDeg, l.MaxElevDeg)
+			}
+		}
+		// The RTT must actually vary over a day — a flat value would mean
+		// the pass phase is broken.
+		if maxSeen-minSeen < 5*time.Millisecond {
+			t.Errorf("%s: RTT band [%v, %v] barely varies", c.Code, minSeen, maxSeen)
+		}
+	}
+}
+
+// TestLEODeterministicAndSeeded checks the orbit model is a pure function
+// of (seed, country, time) and that different seeds shift the phases.
+func TestLEODeterministicAndSeeded(t *testing.T) {
+	a, b, other := NewLEO(1), NewLEO(1), NewLEO(2)
+	c, _ := ByCode("NG")
+	diff := false
+	for at := time.Duration(0); at < time.Hour; at += 13 * time.Second {
+		if a.SegmentRTT(c, at) != b.SegmentRTT(c, at) {
+			t.Fatalf("equal seeds disagree at %v", at)
+		}
+		if a.SegmentRTT(c, at) != other.SegmentRTT(c, at) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("seeds 1 and 2 produce identical orbits — phases are not seeded")
+	}
+}
+
+// TestLEOGatewayDiversity checks the ground segment changes across a day
+// and that the extra RTT tracks the gateway index.
+func TestLEOGatewayDiversity(t *testing.T) {
+	l := NewLEO(9)
+	for _, c := range Countries() {
+		seen := map[int]bool{}
+		for at := time.Duration(0); at < 24*time.Hour; at += 10 * time.Minute {
+			id, extra := l.Gateway(c, at)
+			if id < 0 || id >= l.GatewayCount {
+				t.Fatalf("%s: gateway %d outside [0,%d)", c.Code, id, l.GatewayCount)
+			}
+			if want := time.Duration(id) * l.GatewayStep; extra != want {
+				t.Fatalf("%s: gateway %d extra %v, want %v", c.Code, id, extra, want)
+			}
+			seen[id] = true
+		}
+		if len(seen) < 2 {
+			t.Errorf("%s: ground segment never changed over a day (saw %d gateway)", c.Code, len(seen))
+		}
+	}
+}
+
+// TestConstellationByNameRejectsUnknown pins the CLI error path.
+func TestConstellationByNameRejectsUnknown(t *testing.T) {
+	if _, err := ConstellationByName("meo", 1); err == nil {
+		t.Fatal("unknown constellation must be rejected")
+	}
+}

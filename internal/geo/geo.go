@@ -1,7 +1,10 @@
 // Package geo models the geometry of the monitored SatCom deployment: the
-// geostationary satellite, the countries it serves, the ground station in
-// Italy, and the per-country propagation delays that put the floor under the
-// 550 ms round trip the paper is named after.
+// countries it serves, the ground segment, and the orbit model behind the
+// Constellation interface. The default GEO backend is the paper's
+// geostationary satellite, whose per-country slant paths put the floor
+// under the 550 ms round trip the paper is named after; the LEO backend
+// models a low-earth shell where the same quantities become functions of
+// simulated time.
 package geo
 
 import (

@@ -74,10 +74,13 @@ type Params struct {
 	Seed uint64
 }
 
-// DefaultParams returns a dimensioning typical of GEO broadband systems:
-// 45 ms superframes, 64 traffic slots, 8 contention slots, a ~260 ms
-// control loop (one satellite bounce plus processing), and a ~0.9 s
-// reservation hold.
+// DefaultParams returns the dimensioning matched to the default GEO
+// constellation backend (geo.Constellation "geo"): 45 ms superframes, 64
+// traffic slots, 8 contention slots, a ~260 ms control loop (HopRTT — one
+// bounce off the serving orbit plus processing; at GEO altitude that is
+// the dominant term), and a ~0.9 s reservation hold. The mechanism itself
+// — contention, reservation, ARQ over a shared beam — is orbit-agnostic;
+// only the control-loop and frame timing follow the constellation.
 func DefaultParams() Params {
 	return Params{
 		FrameDuration:    45 * time.Millisecond,
@@ -90,6 +93,21 @@ func DefaultParams() Params {
 		SimFrames:        2400,
 		Seed:             0x5a7c0,
 	}
+}
+
+// LEOParams returns the dimensioning matched to the LEO constellation
+// backend: the same slot structure over much shorter frames (5 ms) and a
+// ~10 ms control loop — a reservation grant or ARQ NAK bounces off a
+// 550 km shell instead of a 35 786 km one — with a longer reservation
+// hold (in frames) so steady flows still avoid re-contention. The
+// simulator selects these automatically for `-constellation leo` when the
+// config does not override the MAC explicitly.
+func LEOParams() Params {
+	p := DefaultParams()
+	p.FrameDuration = 5 * time.Millisecond
+	p.HopRTT = 10 * time.Millisecond
+	p.HoldFrames = 40
+	return p
 }
 
 // WithDefaults fills every zero field from DefaultParams, so a caller

@@ -8,6 +8,7 @@ import (
 	"satwatch/internal/cdn"
 	"satwatch/internal/dist"
 	"satwatch/internal/dnssim"
+	"satwatch/internal/faults"
 	"satwatch/internal/geo"
 	"satwatch/internal/mac"
 	"satwatch/internal/packet"
@@ -35,11 +36,18 @@ type flowTracer interface {
 
 // synthesizer turns flow intents into vantage-point segment events.
 type synthesizer struct {
-	cfg     Config
+	cfg Config
+	// con is the orbit backend; sched the effective fault schedule
+	// (Config.Faults plus constellation-contributed handover events).
+	con     geo.Constellation
+	sched   *faults.Schedule
 	tracker observer
 	mac     *mac.Model
 	loads   []*beamLoad // indexed by beam ID
 
+	// channels and propRTT are precomputed per country for a static
+	// constellation and left empty for a moving one, where both are
+	// evaluated per flow at the flow's start time.
 	channels map[geo.CountryCode]phy.Channel
 	propRTT  map[geo.CountryCode]time.Duration
 	ports    map[int]*portAlloc
@@ -84,10 +92,15 @@ func (s *synthesizer) init() error {
 	}
 	s.ports = map[int]*portAlloc{}
 	s.chCache = map[string][]byte{}
+	if s.con == nil {
+		s.con = geo.GEO{Sat: geo.DefaultSatellite}
+	}
 	s.propRTT = map[geo.CountryCode]time.Duration{}
-	for code := range s.channels {
-		c, _ := geo.ByCode(code)
-		s.propRTT[code] = geo.DefaultSatellite.SegmentRTT(c)
+	if s.con.Static() {
+		for code := range s.channels {
+			c, _ := geo.ByCode(code)
+			s.propRTT[code] = s.con.SegmentRTT(c, 0)
+		}
 	}
 	sh, err := (&packet.ServerHello{Version: packet.TLSVersion12, CipherSuite: 0xc02f}).Encode()
 	if err != nil {
@@ -220,19 +233,32 @@ func (s *synthesizer) samplePath(fi *workload.FlowIntent, region cdn.Region, cla
 		// without the hairpin through Italy.
 		p.groundRTT = time.Duration(dist.LogNormalFromMedian(float64(35*time.Millisecond), 0.2).Sample(r))
 	}
-	sched := s.cfg.Faults
+	sched := s.sched
 	if extra := sched.GatewayRTTExtra(fi.Start); extra > 0 {
 		// A gateway switchover is re-routing traffic through the backup
 		// ground station: the detour adds a fixed RTT step.
 		p.degraded = true
 		p.groundRTT += extra
 	}
+	if !s.con.Static() {
+		// Ground-segment diversity: the serving gateway rotates over the
+		// day, and gateways away from the primary PoP pay extra ground
+		// RTT toward the hosting regions.
+		gw, extra := s.con.Gateway(c.Country, fi.Start)
+		p.groundRTT += extra
+		if fl != nil {
+			fl.SetAttr("gateway", gw)
+		}
+	}
 	if fl != nil {
 		fl.Span(trace.SpanGroundRTT, trace.SegGround, p.groundRTT, trace.Attrs{"region": string(region)})
 	}
 
 	// Satellite segment: propagation + MAC access + PEP processing.
-	ch := s.channels[c.Country.Code]
+	ch, ok := s.channels[c.Country.Code]
+	if !ok {
+		ch = phy.ChannelAt(c.Country, s.con, fi.Start)
+	}
 	rain := 0.0
 	if r.Bool(0.08) {
 		rain = 0.6 + 0.4*r.Float64()
@@ -259,13 +285,35 @@ func (s *synthesizer) samplePath(fi *workload.FlowIntent, region cdn.Region, cla
 		}
 	}
 	fer := ch.FrameErrorRate(rain)
-	prop := s.propRTT[c.Country.Code]
+	prop, ok := s.propRTT[c.Country.Code]
+	if !ok {
+		prop = s.con.SegmentRTT(c.Country, fi.Start)
+	}
+	phy.ObserveRTT(prop)
+	// A disruptive satellite handover re-routing the beam damages flows
+	// that start inside its window: the new path's RTT step, a
+	// first-flight stall while it converges, and retransmit blips on the
+	// lead segments. All pure functions of (schedule, flow start, beam).
+	hoStep, hoStall, handover := sched.LEOHandover(fi.Start, c.Beam)
+	if handover {
+		p.degraded = true
+		phy.CountHandover()
+		if p.retxP < 0.12 {
+			p.retxP = 0.12
+		}
+	}
 	if fl != nil {
 		fl.Span(trace.SpanPropagation, trace.SegSatellite, prop, trace.Attrs{
 			"country":      string(c.Country.Code),
-			"zenith_deg":   geo.DefaultSatellite.ZenithDeg(c.Country.Lat, c.Country.Lon),
-			"slant_passes": 4,
+			"zenith_deg":   s.con.ZenithDeg(c.Country, fi.Start),
+			"slant_passes": s.con.SlantPasses(),
 		})
+		if handover {
+			fl.Span(trace.SpanHandover, trace.SegSatellite, hoStep+hoStall, trace.Attrs{
+				"step_ms":  float64(hoStep) / float64(time.Millisecond),
+				"stall_ms": float64(hoStall) / float64(time.Millisecond),
+			})
+		}
 		fl.SetAttr("util", util)
 		fl.SetAttr("fer", fer)
 		fl.SetAttr("rho", rho)
@@ -282,7 +330,22 @@ func (s *synthesizer) samplePath(fi *workload.FlowIntent, region cdn.Region, cla
 			rho = orho
 		}
 	}
+	if !s.con.Static() && !p.bypass && !s.cfg.DisablePEP {
+		// Adaptive split policy at LEO RTTs: the PEP's handshake benefit
+		// (~2×propagation RTT) shrinks with the orbit, so when the M/M/1
+		// setup sojourn at the beam's current rho would cost more than
+		// the split saves, the operator forwards the flow end-to-end
+		// instead of proxying it. A pure function of (prop, rho) — no
+		// randomness — so it cannot perturb parallel determinism.
+		if s.cfg.PEP.Benefit(prop, rho) <= 0 {
+			p.bypass = true
+			pepmodel.CountBypass()
+		}
+	}
 	sat := prop
+	if handover {
+		sat += hoStep + hoStall
+	}
 	if !s.cfg.DisableMAC {
 		sat += s.mac.SampleUplinkTraced(util, fer, r, fl)
 		sat += s.mac.SampleDownlinkTraced(util, fer, r, fl)
@@ -348,7 +411,7 @@ func (s *synthesizer) flow(fi *workload.FlowIntent, r *dist.Rand, fl *trace.Flow
 	// start, beam) plus the flow's own forked random stream, so fault
 	// runs stay byte-identical at any worker count.
 	s.cutoff, s.cutRST, s.retxP = 0, false, 0
-	sched := s.cfg.Faults
+	sched := s.sched
 	if ts, ok := sched.NextGatewaySwitch(fi.Start); ok {
 		s.cutoff = ts
 	}
@@ -526,7 +589,7 @@ func (s *synthesizer) dnsTransaction(fi *workload.FlowIntent, c *workload.Custom
 	rp := packet.Endpoint{Addr: resolver.Addr, Port: 53}
 	c2r := packet.FiveTuple{Proto: packet.ProtoUDP, Src: cp, Dst: rp}
 
-	if s.cfg.Faults.ResolverDown(tq, string(resolver.ID)) {
+	if s.sched.ResolverDown(tq, string(resolver.ID)) {
 		// Resolver outage: the stub resolver fires its query and walks the
 		// retry ladder; a retry is answered only once the resolver is back.
 		end := tq
@@ -536,7 +599,7 @@ func (s *synthesizer) dnsTransaction(fi *workload.FlowIntent, c *workload.Custom
 			attempts = append(attempts, attempts[len(attempts)-1]+backoff)
 		}
 		for _, ta := range attempts {
-			if !s.cfg.Faults.ResolverDown(ta, string(resolver.ID)) {
+			if !s.sched.ResolverDown(ta, string(resolver.ID)) {
 				s.observe(c2r, tstat.SegmentEvent{T: ta, Payload: len(qb), WireLen: len(qb) + 28, Packets: 1, AppData: qb})
 				s.observe(c2r.Reverse(), tstat.SegmentEvent{T: ta + respTime, Payload: len(rb), WireLen: len(rb) + 28, Packets: 1, AppData: rb})
 				end = ta + respTime

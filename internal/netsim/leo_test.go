@@ -1,0 +1,147 @@
+package netsim
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"time"
+
+	"satwatch/internal/faults"
+	"satwatch/internal/trace"
+)
+
+// TestLEOParallelismInvariance extends the headline determinism contract
+// to the LEO backend: equal-seed LEO runs — time-varying RTTs, handover
+// damage, gateway rotation and all — must be byte-identical at any worker
+// count, traces included.
+func TestLEOParallelismInvariance(t *testing.T) {
+	type result struct {
+		flows, dns, meta, traces []byte
+	}
+	runAt := func(par int) result {
+		var tb bytes.Buffer
+		tr := trace.New(&tb, 1)
+		out, err := Run(Config{Customers: 40, Days: 1, Seed: 99, Parallelism: par,
+			Constellation: "leo", Trace: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		f, d, m := serialize(t, out)
+		return result{f, d, m, tb.Bytes()}
+	}
+	serial := runAt(1)
+	parallel := runAt(4)
+	if !bytes.Equal(serial.flows, parallel.flows) {
+		t.Error("LEO flow logs differ between parallelism 1 and 4")
+	}
+	if !bytes.Equal(serial.dns, parallel.dns) {
+		t.Error("LEO DNS logs differ between parallelism 1 and 4")
+	}
+	if !bytes.Equal(serial.meta, parallel.meta) {
+		t.Error("LEO metadata differs between parallelism 1 and 4")
+	}
+	if !bytes.Equal(serial.traces, parallel.traces) {
+		t.Error("LEO traces differ between parallelism 1 and 4")
+	}
+}
+
+// TestLEOSatRTTBand checks the orbit swap actually lands where the LEO
+// measurement literature puts it: the bulk of probe-visible satellite
+// RTTs in tens of milliseconds — an order of magnitude under GEO's
+// ~550 ms floor — with a congestion/handover tail.
+func TestLEOSatRTTBand(t *testing.T) {
+	out, err := Run(Config{Customers: 60, Days: 1, Seed: 2022, Constellation: "leo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rtts []float64
+	for _, f := range out.Flows {
+		if f.SatRTT > 0 {
+			rtts = append(rtts, float64(f.SatRTT)/float64(time.Millisecond))
+		}
+	}
+	if len(rtts) == 0 {
+		t.Fatal("no satellite RTT samples")
+	}
+	sort.Float64s(rtts)
+	q := func(p float64) float64 { return rtts[int(p*float64(len(rtts)-1))] }
+	if min := rtts[0]; min < 10 {
+		t.Errorf("min satellite RTT %.1f ms below the LEO propagation floor", min)
+	}
+	if med := q(0.5); med < 15 || med > 60 {
+		t.Errorf("median satellite RTT %.1f ms outside the 15-60 ms LEO band", med)
+	}
+	if p95 := q(0.95); p95 > 150 {
+		t.Errorf("p95 satellite RTT %.1f ms — the tail should be congestion, not geometry", p95)
+	}
+}
+
+// TestLEOHandoverDamageVisible checks that the constellation-contributed
+// handover timeline reaches the outputs: events in the effective schedule
+// (and thus the manifest), and degraded flows inside the windows.
+func TestLEOHandoverDamageVisible(t *testing.T) {
+	out, err := Run(Config{Customers: 60, Days: 1, Seed: 7, Constellation: "leo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Faults.Len() == 0 {
+		t.Fatal("LEO run produced no effective fault schedule")
+	}
+	handovers := 0
+	for _, e := range out.Faults.Events {
+		if e.Kind != faults.LEOHandover {
+			t.Fatalf("clear-sky LEO run scheduled a %s event", e.Kind)
+		}
+		handovers++
+	}
+	if handovers == 0 {
+		t.Fatal("no leo_handover events in the effective schedule")
+	}
+	// Flows that start inside a window must show the RTT step: compare
+	// each in-window flow's SatRTT against the out-of-window median.
+	m := ManifestFor("test", Config{Customers: 60, Days: 1, Seed: 7, Constellation: "leo"}, out)
+	if ms, ok := m.Faults.(*faults.Schedule); !ok || ms.Len() != out.Faults.Len() {
+		t.Fatal("manifest does not record the effective LEO schedule")
+	}
+	inWindow := 0
+	for _, f := range out.Flows {
+		meta, ok := out.Meta[f.Client]
+		if !ok || f.SatRTT <= 0 {
+			continue
+		}
+		if _, _, active := out.Faults.LEOHandover(f.Start, meta.Beam); active {
+			inWindow++
+		}
+	}
+	if inWindow == 0 {
+		t.Fatal("no flow started inside a handover window — windows too rare or workload too small")
+	}
+}
+
+// TestLEODiffersFromGEO pins that the constellation selection changes the
+// output at all (equal seeds, different orbit).
+func TestLEODiffersFromGEO(t *testing.T) {
+	geoOut, err := Run(Config{Customers: 20, Days: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leoOut, err := Run(Config{Customers: 20, Days: 1, Seed: 5, Constellation: "leo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, _, _ := serialize(t, geoOut)
+	lf, _, _ := serialize(t, leoOut)
+	if bytes.Equal(gf, lf) {
+		t.Fatal("GEO and LEO runs produced identical flow logs")
+	}
+}
+
+// TestUnknownConstellationRejected pins the config error path.
+func TestUnknownConstellationRejected(t *testing.T) {
+	if _, err := Run(Config{Customers: 5, Days: 1, Constellation: "meo"}); err == nil {
+		t.Fatal("unknown constellation must fail the run")
+	}
+}

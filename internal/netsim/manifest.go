@@ -17,7 +17,12 @@ func ManifestFor(tool string, cfg Config, out *Output) *obs.Manifest {
 	m.Parallelism = out.Stats.Workers
 	m.Status = out.Stats.Status()
 	m.Errors = out.Stats.Errors
-	if cfg.Faults != nil {
+	// The manifest records the effective schedule the run played back
+	// (Config.Faults plus constellation-contributed handover events), so
+	// a LEO run's manifest is enough to reproduce its damage exactly.
+	if out.Faults != nil {
+		m.Faults = out.Faults
+	} else if cfg.Faults != nil {
 		m.Faults = cfg.Faults
 	}
 	m.AddTiming("pass_a", out.Stats.PassA)

@@ -143,7 +143,16 @@ type Config struct {
 	// output.
 	IntentCacheBytes int64
 
-	// MAC overrides the data-link dimensioning (zero fields → defaults).
+	// Constellation selects the orbit backend: "geo" (default; the
+	// paper's fixed 550 ms geometry) or "leo" (a seeded low-earth shell
+	// with time-varying 15–60 ms RTTs, satellite handovers and gateway
+	// diversity — see geo.ConstellationByName). Recorded in the manifest
+	// config dump.
+	Constellation string
+
+	// MAC overrides the data-link dimensioning (zero fields → defaults
+	// matched to the constellation: mac.DefaultParams for geo,
+	// mac.LEOParams for leo).
 	MAC mac.Params
 	// PEP overrides the PEP resource model (zero value → defaults).
 	PEP pepmodel.Model
@@ -188,6 +197,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Days <= 0 {
 		c.Days = 2
+	}
+	if c.Constellation == "" {
+		c.Constellation = "geo"
+	}
+	if c.Constellation == "leo" && c.MAC == (mac.Params{}) {
+		// An untouched MAC follows the orbit: the control loop bounces
+		// off a 550 km shell, not a geostationary one.
+		c.MAC = mac.LEOParams()
 	}
 	c.MAC = c.MAC.WithDefaults()
 	if c.PEP.SetupTime == 0 {
@@ -289,6 +306,10 @@ type Output struct {
 	// Epoch is the wall-clock instant of simulated time zero (UTC
 	// midnight), for pcap export.
 	Epoch time.Time
+	// Faults is the effective fault schedule the run played back:
+	// Config.Faults plus any constellation-contributed events (LEO
+	// handovers). Recorded in the manifest; nil for clear-sky GEO runs.
+	Faults *faults.Schedule
 	// Stats carries the run's wall timings and worker statistics.
 	Stats RunStats
 }
@@ -419,7 +440,19 @@ func Run(cfg Config) (*Output, error) {
 // — fails the run outright.
 func RunContext(ctx context.Context, cfg Config) (*Output, error) {
 	cfg = cfg.withDefaults()
-	faults.RecordActive(cfg.Faults)
+	con, err := geo.ConstellationByName(cfg.Constellation, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// A moving constellation contributes its own deterministic fault
+	// timeline: the disruptive subset of satellite handovers, merged with
+	// whatever schedule the caller injected. The merged schedule is what
+	// the synthesizers consult and what the manifest records.
+	sched := cfg.Faults
+	if !con.Static() {
+		sched = faults.WithLEOHandovers(sched, cfg.Days, cfg.Seed)
+	}
+	faults.RecordActive(sched)
 	root := dist.NewRand(cfg.Seed)
 	startA := time.Now()
 	mCustomersTotal.Set(float64(cfg.Customers))
@@ -591,9 +624,13 @@ func RunContext(ctx context.Context, cfg Config) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
+	// For a static constellation the per-country channel is fixed and
+	// precomputed; a moving one is evaluated per flow in samplePath.
 	channels := map[geo.CountryCode]phy.Channel{}
-	for _, country := range geo.Countries() {
-		channels[country.Code] = phy.ChannelFor(country)
+	if con.Static() {
+		for _, country := range geo.Countries() {
+			channels[country.Code] = phy.ChannelAt(country, con, 0)
+		}
 	}
 
 	// Each worker owns a private tracker and synthesizes only its own
@@ -615,6 +652,8 @@ func RunContext(ctx context.Context, cfg Config) (*Output, error) {
 			tracker := tstat.NewTracker(tstat.Config{Anonymizer: anon})
 			syn := &synthesizer{
 				cfg:      cfg,
+				con:      con,
+				sched:    sched,
 				tracker:  tracker,
 				mac:      macModel,
 				loads:    loads,
@@ -686,6 +725,7 @@ func RunContext(ctx context.Context, cfg Config) (*Output, error) {
 		Meta:            make(map[netip.Addr]CustomerMeta, len(customers)),
 		CountryPrefixes: map[netip.Prefix]geo.CountryCode{},
 		Epoch:           time.Date(2022, time.February, 7, 0, 0, 0, 0, time.UTC),
+		Faults:          sched,
 		Stats:           stats,
 	}
 	for _, c := range customers {

@@ -26,12 +26,14 @@ var (
 	mSaturatedSetups = obs.NewCounter("pep_saturated_setups_total",
 		"Setups served at rho > 0.9, where sojourns reach the multi-second regime.", "")
 	mBypassed = obs.NewCounter("pep_bypassed_flows_total",
-		"Flows pushed past split-TCP by a PEP overload window, paying end-to-end GEO handshakes.", "")
+		"Flows pushed past split-TCP: by a PEP overload window, or by the adaptive LEO policy when the split no longer pays for its setup.", "")
 )
 
-// CountBypass records one flow that fell off split-TCP during a PEP
-// overload window (internal/faults); its handshake and slow start cross
-// the satellite end to end instead of terminating at the CPE.
+// CountBypass records one flow that fell off split-TCP; its handshake
+// and slow start cross the satellite end to end instead of terminating
+// at the CPE. Two paths lead here: a PEP overload window
+// (internal/faults), and — on non-static constellations — the adaptive
+// policy that skips the split whenever Benefit is non-positive.
 func CountBypass() { mBypassed.Inc() }
 
 // Model describes the PEP processing resources of one beam.
@@ -101,6 +103,19 @@ func (m Model) SetupDelayTraced(rho float64, r *dist.Rand, fl *trace.Flow) time.
 func (m Model) MeanSetupDelay(rho float64) time.Duration {
 	rho = m.clampRho(rho)
 	return time.Duration(float64(m.SetupTime) / (1 - rho))
+}
+
+// Benefit returns the expected handshake time split-TCP saves for a flow
+// whose propagation RTT is propRTT, net of the setup sojourn the PEP
+// charges at utilization rho: the proxy spoofs roughly two round trips of
+// TCP/TLS handshake across the satellite, so the benefit is ~2×propRTT
+// minus MeanSetupDelay(rho). At GEO propagation RTTs (~500 ms) the
+// benefit is large except deep into saturation; at LEO RTTs (15–60 ms)
+// it crosses zero at moderate load — the basis for the adaptive split
+// policy the simulator applies under the LEO constellation, and the
+// quantitative sense in which "PEP benefit shrinks at LEO RTTs".
+func (m Model) Benefit(propRTT time.Duration, rho float64) time.Duration {
+	return 2*propRTT - m.MeanSetupDelay(rho)
 }
 
 // ForwardDelay samples the per-burst forwarding sojourn at utilization rho.

@@ -13,9 +13,29 @@ package phy
 
 import (
 	"math"
+	"time"
 
 	"satwatch/internal/geo"
+	"satwatch/internal/obs"
 )
+
+// Exported metrics (see OBSERVABILITY.md). The registry is reset per run,
+// so phy_rtt_ms reflects the RTT band of the run's active constellation:
+// a ~490–550 ms mass for GEO, 15–60 ms for LEO.
+var (
+	mRTT = obs.NewHistogram("phy_rtt_ms",
+		"Propagation-only satellite-segment RTT sampled per flow, per the run's constellation.",
+		"ms", obs.ExpBuckets(2, 1.5, 16))
+	mHandovers = obs.NewCounter("phy_handovers_total",
+		"Flows that started inside a leo_handover re-route window and paid its RTT step and stall.", "")
+)
+
+// ObserveRTT records one flow's propagation RTT in the phy_rtt_ms
+// histogram.
+func ObserveRTT(d time.Duration) { mRTT.Observe(float64(d) / float64(time.Millisecond)) }
+
+// CountHandover counts one flow damaged by a satellite handover.
+func CountHandover() { mHandovers.Inc() }
 
 // Channel describes the physical link of one earth station (or of a beam's
 // representative station).
@@ -40,15 +60,24 @@ var edgeFactors = map[geo.CountryCode]float64{
 }
 
 // ChannelFor builds the representative channel of a country's customers
-// using the default satellite geometry.
+// using the default GEO satellite geometry.
 func ChannelFor(c geo.Country) Channel {
+	return ChannelAt(c, geo.GEO{Sat: geo.DefaultSatellite}, 0)
+}
+
+// ChannelAt builds the representative channel of a country's customers
+// under the given constellation at simulated time t: the backend supplies
+// the (possibly moving) serving satellite's elevation, and its
+// EdgeFactorScale discounts the footprint-edge penalty for steered spot
+// beams. For a static backend the result is independent of t.
+func ChannelAt(c geo.Country, con geo.Constellation, t time.Duration) Channel {
 	ef, ok := edgeFactors[c.Code]
 	if !ok {
 		ef = 0.3
 	}
 	return Channel{
-		ElevationDeg: geo.DefaultSatellite.ElevationDeg(c.Lat, c.Lon),
-		EdgeFactor:   ef,
+		ElevationDeg: con.ElevationDeg(c, t),
+		EdgeFactor:   ef * con.EdgeFactorScale(),
 	}
 }
 

@@ -1,0 +1,48 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildSignatures(t *testing.T) {
+	sig := BuildSignatures(handDataset())
+	if len(sig.Rows) == 0 {
+		t.Fatal("no signature rows from the hand dataset")
+	}
+	byCountry := map[string]SignatureRow{}
+	for i, r := range sig.Rows {
+		if i > 0 && sig.Rows[i-1].Country >= r.Country {
+			t.Fatalf("rows not sorted by country at %d: %v", i, sig.Rows)
+		}
+		if r.N <= 0 || r.Min > r.P25 || r.P25 > r.Median || r.Median > r.P75 || r.P75 > r.P95 {
+			t.Fatalf("non-monotonic fingerprint for %s: %+v", r.Country, r)
+		}
+		if r.Spread != r.P75-r.P25 {
+			t.Fatalf("%s IQR %v != p75-p25", r.Country, r.Spread)
+		}
+		byCountry[string(r.Country)] = r
+	}
+	// The hand dataset's satellite RTTs all sit on a GEO bent-pipe floor.
+	for code, r := range byCountry {
+		if r.Class != "geo" {
+			t.Errorf("%s classified %q, want geo (median %.3fs)", code, r.Class, r.Median)
+		}
+	}
+	out := sig.Render()
+	if !strings.Contains(out, "Region latency signatures") || !strings.Contains(out, "Congo") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+}
+
+func TestClassifyOrbit(t *testing.T) {
+	cases := []struct {
+		median float64
+		want   string
+	}{{0.550, "geo"}, {0.47, "geo"}, {0.030, "leo"}, {0.095, "leo"}, {0.250, "mixed"}}
+	for _, c := range cases {
+		if got := classifyOrbit(c.median); got != c.want {
+			t.Errorf("classifyOrbit(%v) = %q, want %q", c.median, got, c.want)
+		}
+	}
+}

@@ -37,8 +37,13 @@ import (
 // them all for the runbook cross-check test.
 const (
 	// SpanPropagation is the speed-of-light slant-path round trip
-	// (4 passes CPE↔satellite↔ground station), fixed per country.
+	// (4 passes CPE↔satellite↔ground station): fixed per country under
+	// the GEO constellation, a function of the pass phase under LEO.
 	SpanPropagation = "geo.propagation"
+	// SpanHandover is the damage a LEO satellite handover inflicts on a
+	// flow starting inside the re-route window: the RTT step of the new
+	// path plus the first-flight stall while it converges.
+	SpanHandover = "geo.handover"
 	// SpanMACUplink is the uplink MAC access delay: contention,
 	// reservation and ARQ on the return channel.
 	SpanMACUplink = "mac.uplink_access"
@@ -65,6 +70,7 @@ const (
 func SpanNames() []string {
 	return []string{
 		SpanGroundRTT,
+		SpanHandover,
 		SpanPropagation,
 		SpanMACDownlink,
 		SpanMACUplink,

@@ -145,9 +145,9 @@ func TestSpanNamesSortedAndComplete(t *testing.T) {
 		}
 	}
 	want := map[string]bool{
-		SpanPropagation: true, SpanMACUplink: true, SpanMACDownlink: true,
-		SpanPEPSetup: true, SpanShaperThrottle: true, SpanGroundRTT: true,
-		SpanHandshakeRTT: true,
+		SpanPropagation: true, SpanHandover: true, SpanMACUplink: true,
+		SpanMACDownlink: true, SpanPEPSetup: true, SpanShaperThrottle: true,
+		SpanGroundRTT: true, SpanHandshakeRTT: true,
 	}
 	if len(names) != len(want) {
 		t.Fatalf("SpanNames has %d entries, want %d", len(names), len(want))

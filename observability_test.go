@@ -48,7 +48,7 @@ func TestObservabilityDocHasNoStaleMetrics(t *testing.T) {
 		"satpep_handshake_seconds": true,
 		"satpep_download_seconds":  true,
 	}
-	re := regexp.MustCompile("`((?:netsim|mac|pep|shaper|tstat|dnssim|satpep)_[a-z0-9_]+)`")
+	re := regexp.MustCompile("`((?:netsim|mac|pep|phy|shaper|tstat|dnssim|satpep)_[a-z0-9_]+)`")
 	for _, m := range re.FindAllStringSubmatch(string(doc), -1) {
 		name := m[1]
 		if !registered[name] && !allowed[name] {

@@ -49,6 +49,14 @@ func WithDays(n int) Option { return func(p *Pipeline) { p.cfg.Days = n } }
 // WithSeed sets the run's deterministic seed.
 func WithSeed(seed uint64) Option { return func(p *Pipeline) { p.cfg.Seed = seed } }
 
+// WithConstellation selects the constellation backend serving the
+// deployment: "geo" (the paper's 550 ms bent pipe, the default) or "leo"
+// (a low-orbit shell with 15–60 ms time-varying RTTs, satellite
+// handovers, and rotating gateways). Unknown names fail the run.
+func WithConstellation(name string) Option {
+	return func(p *Pipeline) { p.cfg.Constellation = name }
+}
+
 // WithParallelism sets the number of simulation workers for both passes
 // (0 uses GOMAXPROCS). Results depend only on the seed, not on the worker
 // count: outputs are byte-identical at any parallelism.
@@ -131,6 +139,11 @@ type Results struct {
 	// Tables45 is the appendix version of Table 2, covering four
 	// countries.
 	Tables45 report.ResolverImpact
+	// Signatures is the region-level latency-signature experiment:
+	// per-country satellite-RTT distribution fingerprints that identify
+	// the serving orbit family (GEO vs LEO) from the logs alone. Not a
+	// paper table; rendered by satreport after the paper's figures.
+	Signatures report.Signatures
 }
 
 // Run executes the pipeline.
@@ -158,23 +171,24 @@ func (p *Pipeline) Analyze(out *netsim.Output, ds *analytics.Dataset) *Results {
 		days = 2 // the netsim effective default
 	}
 	return &Results{
-		Output:   out,
-		Dataset:  ds,
-		Table1:   report.BuildTable1(ds),
-		Fig2:     report.BuildFig2(ds),
-		Fig3:     report.BuildFig3(ds),
-		Fig4:     report.BuildFig4(ds),
-		Fig5:     report.BuildFig5(ds),
-		Fig6:     report.BuildFig6(ds),
-		Fig7:     report.BuildFig7(ds),
-		Fig8a:    report.BuildFig8a(ds),
-		Fig8b:    report.BuildFig8b(ds, out.Beams),
-		Fig9:     report.BuildFig9(ds),
-		Fig10:    report.BuildFig10(ds),
-		Table2:   report.BuildResolverImpact(ds, "GB", "NG"),
-		Fig11:    report.BuildFig11(ds, p.ThroughputMinBytes),
-		Table3:   report.BuildTable3(),
-		Tables45: report.BuildResolverImpact(ds, "CD", "ZA", "NG", "GB"),
+		Output:     out,
+		Dataset:    ds,
+		Table1:     report.BuildTable1(ds),
+		Fig2:       report.BuildFig2(ds),
+		Fig3:       report.BuildFig3(ds),
+		Fig4:       report.BuildFig4(ds),
+		Fig5:       report.BuildFig5(ds),
+		Fig6:       report.BuildFig6(ds),
+		Fig7:       report.BuildFig7(ds),
+		Fig8a:      report.BuildFig8a(ds),
+		Fig8b:      report.BuildFig8b(ds, out.Beams),
+		Fig9:       report.BuildFig9(ds),
+		Fig10:      report.BuildFig10(ds),
+		Table2:     report.BuildResolverImpact(ds, "GB", "NG"),
+		Fig11:      report.BuildFig11(ds, p.ThroughputMinBytes),
+		Table3:     report.BuildTable3(),
+		Tables45:   report.BuildResolverImpact(ds, "CD", "ZA", "NG", "GB"),
+		Signatures: report.BuildSignatures(ds),
 	}
 }
 
