@@ -16,7 +16,7 @@
 // Usage:
 //
 //	satbench [-matrix full|reduced] [-scenarios GLOB] [-seed 42]
-//	         [-out FILE] [-list]
+//	         [-out FILE] [-list] [-profile DIR]
 package main
 
 import (
@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"satwatch/internal/bench"
+	"satwatch/internal/prof"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func run() (int, error) {
 	seed := flag.Uint64("seed", 42, "deterministic seed shared by every scenario")
 	out := flag.String("out", "", "output file (default BENCH_<UTC-stamp>.json in the working directory)")
 	list := flag.Bool("list", false, "print the selected scenarios and exit")
+	profileDir := flag.String("profile", "", "capture cpu/heap/goroutine/block profiles (spanning every scenario) into this directory")
 	flag.Parse()
 
 	var scenarios []bench.Scenario
@@ -74,12 +76,29 @@ func run() (int, error) {
 		return 0, nil
 	}
 
+	var capture *prof.Capture
+	if *profileDir != "" {
+		capture, err = prof.StartCapture(*profileDir)
+		if err != nil {
+			return 0, err
+		}
+		defer capture.Stop()
+	}
+
 	fmt.Fprintf(os.Stderr, "running %d scenarios (%s matrix, seed %d)\n", len(scenarios), *matrixName, *seed)
 	report, err := bench.RunMatrix(scenarios, func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	})
 	if err != nil {
 		return 0, err
+	}
+	if capture != nil {
+		info, err := capture.Stop()
+		if err != nil {
+			return 0, err
+		}
+		report.Profiles = &info
+		fmt.Fprintf(os.Stderr, "wrote profiles to %s\n", info.Dir)
 	}
 
 	groups, err := report.VerifyDigests()

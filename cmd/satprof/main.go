@@ -1,0 +1,296 @@
+// Command satprof renders the profile artifacts a -profile run captures,
+// without needing the pprof toolchain: the top-K allocation sites of the
+// heap profile (sampled values unscaled to estimates), the per-stage
+// allocation breakdown recorded in the run manifest, and the goroutine
+// inventory. With two arguments it diffs two heap profiles A→B, ranking
+// allocation sites by absolute change — the "which function started
+// allocating" answer for a bench regression.
+//
+// Each argument is a run directory (satprof follows manifest.json to the
+// capture directory), a capture directory (containing heap.pprof), or a
+// heap profile file itself.
+//
+// Exit codes: 0 on success, 1 on error.
+//
+// Usage:
+//
+//	satprof [-top 10] [-sort alloc|inuse] [-goroutines] RUN
+//	satprof [-top 10] [-sort alloc|inuse] OLD NEW
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"satwatch/internal/obs"
+	"satwatch/internal/prof"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "satprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	topK := flag.Int("top", 10, "allocation sites to show")
+	sortBy := flag.String("sort", "alloc", "rank sites by \"alloc\" (cumulative allocated) or \"inuse\" (live at capture)")
+	goroutines := flag.Bool("goroutines", false, "also print the goroutine inventory")
+	flag.Parse()
+	if *sortBy != "alloc" && *sortBy != "inuse" {
+		return fmt.Errorf("-sort %q: want alloc or inuse", *sortBy)
+	}
+	switch flag.NArg() {
+	case 1:
+		return report(flag.Arg(0), *topK, *sortBy, *goroutines)
+	case 2:
+		return diff(flag.Arg(0), flag.Arg(1), *topK, *sortBy)
+	default:
+		return fmt.Errorf("want one run (report) or two (diff), got %d arguments", flag.NArg())
+	}
+}
+
+// resolve maps an argument to its heap profile path and, when the
+// argument led through a run directory, the run's manifest.
+func resolve(arg string) (heapPath string, manifest *obs.Manifest, err error) {
+	st, err := os.Stat(arg)
+	if err != nil {
+		return "", nil, err
+	}
+	if !st.IsDir() {
+		return arg, nil, nil
+	}
+	// A run directory carries a manifest pointing at the capture
+	// directory; a capture directory holds heap.pprof directly.
+	if m, merr := obs.ReadManifest(arg); merr == nil {
+		if m.Profiles == nil {
+			return "", nil, fmt.Errorf("%s: manifest has no profiles block (run with -profile DIR)", arg)
+		}
+		dir := m.Profiles.Dir
+		if !filepath.IsAbs(dir) {
+			// The dir was recorded as given on the command line; try it
+			// as-is first, then relative to the run directory.
+			if _, serr := os.Stat(dir); serr != nil {
+				if alt := filepath.Join(arg, dir); fileExists(filepath.Join(alt, prof.HeapProfileName)) {
+					dir = alt
+				}
+			}
+		}
+		return filepath.Join(dir, prof.HeapProfileName), m, nil
+	}
+	if p := filepath.Join(arg, prof.HeapProfileName); fileExists(p) {
+		return p, nil, nil
+	}
+	return "", nil, fmt.Errorf("%s: neither a run manifest nor a capture directory", arg)
+}
+
+func fileExists(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && !st.IsDir()
+}
+
+func parseHeap(path string) (*prof.HeapProfile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	hp, err := prof.ParseHeap(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return hp, nil
+}
+
+func report(arg string, topK int, sortBy string, goroutines bool) error {
+	heapPath, m, err := resolve(arg)
+	if err != nil {
+		return err
+	}
+	if m != nil {
+		printStages(m)
+	}
+	hp, err := parseHeap(heapPath)
+	if err != nil {
+		return err
+	}
+	sites := prof.Sites(hp)
+	rankSites(sites, sortBy)
+	fmt.Printf("top %d allocation sites by %s (%s, sample rate %s):\n",
+		min(topK, len(sites)), sortBy, heapPath, formatBytes(uint64(hp.Rate)))
+	fmt.Printf("%14s %12s %14s %12s  %s\n", "alloc_bytes", "alloc_objs", "inuse_bytes", "inuse_objs", "function")
+	for i, s := range sites {
+		if i >= topK {
+			break
+		}
+		fmt.Printf("%14s %12d %14s %12d  %s\n",
+			formatBytes(uint64(s.AllocBytes)), s.AllocObjects,
+			formatBytes(uint64(s.InuseBytes)), s.InuseObjects, siteName(s.Func, s.File))
+	}
+	if goroutines {
+		gp, err := parseGoroutines(heapPath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ngoroutines: %d total\n", gp.Total)
+		for _, g := range gp.Groups {
+			fmt.Printf("%6d  %s\n", g.Count, g.Site().Func)
+		}
+	}
+	return nil
+}
+
+func parseGoroutines(heapPath string) (*prof.GoroutineProfile, error) {
+	p := filepath.Join(filepath.Dir(heapPath), prof.GoroutineProfileName)
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	gp, err := prof.ParseGoroutine(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", p, err)
+	}
+	return gp, nil
+}
+
+// printStages renders the manifest's per-stage allocation accounting, in
+// a stable pipeline order with unknown stages appended alphabetically.
+func printStages(m *obs.Manifest) {
+	if len(m.Allocs) == 0 {
+		return
+	}
+	known := []string{"pass_a", "mac_prebuild", "pass_b", "merge", "report"}
+	seen := map[string]bool{}
+	var order []string
+	for _, s := range known {
+		if _, ok := m.Allocs[s]; ok {
+			order = append(order, s)
+			seen[s] = true
+		}
+	}
+	var rest []string
+	for s := range m.Allocs {
+		if !seen[s] {
+			rest = append(rest, s)
+		}
+	}
+	sort.Strings(rest)
+	order = append(order, rest...)
+
+	var totalBytes, totalObjs uint64
+	for _, a := range m.Allocs {
+		totalBytes += a.Bytes
+		totalObjs += a.Objects
+	}
+	fmt.Printf("per-stage allocations (%s run, seed %d):\n", m.Tool, m.Seed)
+	fmt.Printf("%-14s %12s %14s %8s %9s\n", "stage", "bytes", "objects", "bytes%", "wall_s")
+	for _, s := range order {
+		a := m.Allocs[s]
+		pct := 0.0
+		if totalBytes > 0 {
+			pct = 100 * float64(a.Bytes) / float64(totalBytes)
+		}
+		fmt.Printf("%-14s %12s %14d %7.1f%% %9.3f\n",
+			s, formatBytes(a.Bytes), a.Objects, pct, m.TimingsSeconds[s])
+	}
+	fmt.Printf("%-14s %12s %14d\n", "total", formatBytes(totalBytes), totalObjs)
+	if m.AllocBytesPerFlow > 0 {
+		fmt.Printf("alloc bytes per flow: %.0f\n", m.AllocBytesPerFlow)
+	}
+	fmt.Println()
+}
+
+func diff(oldArg, newArg string, topK int, sortBy string) error {
+	oldPath, _, err := resolve(oldArg)
+	if err != nil {
+		return err
+	}
+	newPath, _, err := resolve(newArg)
+	if err != nil {
+		return err
+	}
+	oldHP, err := parseHeap(oldPath)
+	if err != nil {
+		return err
+	}
+	newHP, err := parseHeap(newPath)
+	if err != nil {
+		return err
+	}
+	deltas := prof.DiffSites(prof.Sites(oldHP), prof.Sites(newHP))
+	var oldTotal, newTotal int64
+	for _, d := range deltas {
+		oldTotal += d.Old.AllocBytes
+		newTotal += d.New.AllocBytes
+	}
+	fmt.Printf("heap diff %s -> %s\n", oldPath, newPath)
+	fmt.Printf("total allocated: %s -> %s (%s)\n",
+		formatBytes(uint64(oldTotal)), formatBytes(uint64(newTotal)), formatDelta(newTotal-oldTotal))
+	fmt.Printf("top %d allocation sites by |delta alloc_bytes|:\n", min(topK, len(deltas)))
+	fmt.Printf("%14s %14s %14s  %s\n", "old", "new", "delta", "function")
+	shown := 0
+	for _, d := range deltas {
+		if shown >= topK {
+			break
+		}
+		if d.DeltaAllocBytes() == 0 && sortBy == "alloc" {
+			continue
+		}
+		fmt.Printf("%14s %14s %14s  %s\n",
+			formatBytes(uint64(d.Old.AllocBytes)), formatBytes(uint64(d.New.AllocBytes)),
+			formatDelta(d.DeltaAllocBytes()), siteName(d.Func, d.File))
+		shown++
+	}
+	if shown == 0 {
+		fmt.Println("(no allocation sites changed)")
+	}
+	return nil
+}
+
+func rankSites(sites []prof.Site, by string) {
+	if by != "inuse" {
+		return // Sites already sorts by alloc bytes
+	}
+	sort.SliceStable(sites, func(i, j int) bool {
+		return sites[i].InuseBytes > sites[j].InuseBytes
+	})
+}
+
+func siteName(fn, file string) string {
+	if file == "" {
+		return fn
+	}
+	// Trim the path down to the last two elements: enough to recognize
+	// internal/netsim/netsim.go:610 without the checkout prefix.
+	parts := strings.Split(filepath.ToSlash(file), "/")
+	if len(parts) > 3 {
+		parts = parts[len(parts)-3:]
+	}
+	return fn + " (" + strings.Join(parts, "/") + ")"
+}
+
+func formatBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+func formatDelta(d int64) string {
+	if d < 0 {
+		return "-" + formatBytes(uint64(-d))
+	}
+	return "+" + formatBytes(uint64(d))
+}

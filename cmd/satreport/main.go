@@ -26,7 +26,7 @@
 //	          [-faults FILE|PRESET] [-logs DIR] [-from DIR] [-strict]
 //	          [-errant] [-metrics FILE] [-progress]
 //	          [-trace FILE] [-trace-sample 100]
-//	          [-debug-addr :6060] [-debug-linger 0s]
+//	          [-debug-addr :6060] [-debug-linger 0s] [-profile DIR]
 package main
 
 import (
@@ -47,6 +47,7 @@ import (
 	"satwatch/internal/geo"
 	"satwatch/internal/netsim"
 	"satwatch/internal/obs"
+	"satwatch/internal/prof"
 	"satwatch/internal/trace"
 	"satwatch/internal/tstat"
 )
@@ -78,6 +79,7 @@ func run() (int, error) {
 	traceSample := flag.Int("trace-sample", 100, "trace 1 in N flows (1 = every flow)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /progress and /debug/pprof on this address")
 	debugLinger := flag.Duration("debug-linger", 0, "keep the debug server up this long after the run completes")
+	profileDir := flag.String("profile", "", "capture cpu/heap/goroutine/block profiles into this directory")
 	flag.Parse()
 
 	// Metrics are cleared at run start so every dump and debug endpoint
@@ -85,6 +87,16 @@ func run() (int, error) {
 	obs.Default.Reset()
 	memSampler := obs.StartMemSampler(0)
 	start := time.Now()
+
+	var capture *prof.Capture
+	if *profileDir != "" {
+		c, err := prof.StartCapture(*profileDir)
+		if err != nil {
+			return 0, err
+		}
+		capture = c
+		defer capture.Stop()
+	}
 
 	sched, err := faults.Load(*faultsArg, *days, *seed)
 	if err != nil {
@@ -230,6 +242,14 @@ func run() (int, error) {
 		}
 		mem := memSampler.Stop()
 		manifest.Mem = &mem
+		if capture != nil {
+			info, err := capture.Stop()
+			if err != nil {
+				return 0, err
+			}
+			manifest.Profiles = &info
+			fmt.Printf("wrote profiles to %s (%s)\n", info.Dir, strings.Join(prof.ArtifactNames(), ", "))
+		}
 		dir := *logsDir
 		if dir == "" {
 			dir = "."

@@ -151,6 +151,15 @@ type Result struct {
 	// Mem is the scenario's memory behaviour (deltas over the run plus
 	// the sampled peak heap).
 	Mem obs.MemInfo `json:"mem"`
+	// AllocsPerFlow / AllocBytesPerFlow are the scenario's allocation cost
+	// per synthesized flow (run-wide allocation-counter deltas over the
+	// flow count) — the bench's primary alloc regression signals.
+	AllocsPerFlow     float64 `json:"allocs_per_flow,omitempty"`
+	AllocBytesPerFlow float64 `json:"alloc_bytes_per_flow,omitempty"`
+	// Allocs breaks the allocation cost down by pipeline stage, from the
+	// same manifest plumbing as TimingsSeconds (pass_a, mac_prebuild,
+	// pass_b, merge).
+	Allocs map[string]obs.AllocInfo `json:"allocs,omitempty"`
 	// Outputs digests the pipeline outputs exactly as the CLIs would
 	// serialize them ("sha256:<hex>" per logical file). Equal-identity
 	// scenarios must digest identically; see Report.VerifyDigests.
@@ -207,6 +216,10 @@ type Report struct {
 	Version   string    `json:"version"`
 	Env       Env       `json:"env"`
 	Scenarios []Result  `json:"scenarios"`
+	// Profiles records the profile artifacts when the matrix ran under
+	// satbench -profile (one capture spanning every scenario). Excluded
+	// from satdiff comparison: profiles are observations, not outputs.
+	Profiles *obs.ProfilesInfo `json:"profiles,omitempty"`
 }
 
 // RunScenario executes one scenario in-process and measures it. The
@@ -281,17 +294,25 @@ func RunScenario(sc Scenario) (Result, error) {
 	if generate > 0 {
 		fps = float64(len(ds.Flows)) / generate.Seconds()
 	}
+	allocsPerFlow, allocBytesPerFlow := 0.0, 0.0
+	if n := len(out.Flows); n > 0 {
+		allocsPerFlow = float64(mem.TotalAllocs) / float64(n)
+		allocBytesPerFlow = float64(mem.TotalAllocBytes) / float64(n)
+	}
 	return Result{
-		Scenario:       sc,
-		WallSeconds:    wall.Seconds(),
-		TimingsSeconds: m.TimingsSeconds,
-		Flows:          len(out.Flows),
-		DNS:            len(out.DNS),
-		FlowsPerSecond: fps,
-		Workers:        out.Stats.Workers,
-		Mem:            mem,
-		Outputs:        outputs,
-		Metrics:        json.RawMessage(bytes.TrimSpace(metrics.Bytes())),
+		Scenario:          sc,
+		WallSeconds:       wall.Seconds(),
+		TimingsSeconds:    m.TimingsSeconds,
+		Flows:             len(out.Flows),
+		DNS:               len(out.DNS),
+		FlowsPerSecond:    fps,
+		Workers:           out.Stats.Workers,
+		Mem:               mem,
+		AllocsPerFlow:     allocsPerFlow,
+		AllocBytesPerFlow: allocBytesPerFlow,
+		Allocs:            m.Allocs,
+		Outputs:           outputs,
+		Metrics:           json.RawMessage(bytes.TrimSpace(metrics.Bytes())),
 	}, nil
 }
 
@@ -385,15 +406,16 @@ func ReadReport(path string) (*Report, error) {
 // Table renders the human-readable scenario summary printed on stdout.
 func (r *Report) Table() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-20s %8s %8s %8s %8s %9s %11s %10s  %s\n",
-		"scenario", "wall", "pass_a", "pass_b", "flows", "flows/s", "alloc", "peak heap", "flows.tsv")
+	fmt.Fprintf(&sb, "%-20s %8s %8s %8s %8s %9s %11s %11s %10s  %s\n",
+		"scenario", "wall", "pass_a", "pass_b", "flows", "flows/s", "alloc", "allocs/flow", "peak heap", "flows.tsv")
 	for i := range r.Scenarios {
 		res := &r.Scenarios[i]
-		fmt.Fprintf(&sb, "%-20s %7.2fs %7.2fs %7.2fs %8d %9.0f %11s %10s  %s\n",
+		fmt.Fprintf(&sb, "%-20s %7.2fs %7.2fs %7.2fs %8d %9.0f %11s %11.0f %10s  %s\n",
 			res.Scenario.Name, res.WallSeconds,
 			res.TimingsSeconds["pass_a"], res.TimingsSeconds["pass_b"],
 			res.Flows, res.FlowsPerSecond,
-			formatBytes(res.Mem.TotalAllocBytes), formatBytes(res.Mem.PeakHeapBytes),
+			formatBytes(res.Mem.TotalAllocBytes), res.AllocsPerFlow,
+			formatBytes(res.Mem.PeakHeapBytes),
 			shortDigest(res.Outputs["flows.tsv"]))
 	}
 	return sb.String()

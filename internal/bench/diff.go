@@ -9,6 +9,8 @@ import (
 	"path"
 	"sort"
 	"strings"
+
+	"satwatch/internal/obs"
 )
 
 // The artifact kinds satdiff auto-detects from a file's schema.
@@ -24,9 +26,12 @@ const (
 //
 //	bench:    <scenario>.wall_seconds, <scenario>.timings.<stage>,
 //	          <scenario>.flows, <scenario>.mem.<field>,
+//	          <scenario>.allocs_per_flow, <scenario>.alloc_bytes_per_flow,
+//	          <scenario>.allocs.<stage>.{bytes,objects},
 //	          <scenario>.metrics.<metric>[.count],
 //	          digests <scenario>.outputs.<file>
 //	manifest: seed, parallelism, timings.<stage>, mem.<field>,
+//	          alloc_bytes_per_flow, allocs.<stage>.{bytes,objects},
 //	          digests outputs.<file> and trace
 //	metrics:  <metric> (value), <metric>.count (timers/histograms)
 type Artifact struct {
@@ -106,7 +111,10 @@ func flattenBench(data []byte) (*Artifact, error) {
 			a.Values[p+"timings."+stage] = secs
 		}
 		addMem(a, p+"mem.", res.Mem.HeapAllocBytes, res.Mem.TotalAllocBytes,
-			uint64(res.Mem.NumGC), res.Mem.GCPauseTotalSeconds, res.Mem.PeakHeapBytes)
+			res.Mem.TotalAllocs, uint64(res.Mem.NumGC), res.Mem.GCPauseTotalSeconds, res.Mem.PeakHeapBytes)
+		a.Values[p+"allocs_per_flow"] = res.AllocsPerFlow
+		a.Values[p+"alloc_bytes_per_flow"] = res.AllocBytesPerFlow
+		addAllocs(a, p+"allocs.", res.Allocs)
 		if len(res.Metrics) > 0 {
 			var dump registryDump
 			if err := json.Unmarshal(res.Metrics, &dump); err != nil {
@@ -121,23 +129,34 @@ func flattenBench(data []byte) (*Artifact, error) {
 	return a, nil
 }
 
-func addMem(a *Artifact, prefix string, heap, total, numGC uint64, pause float64, peak uint64) {
+func addMem(a *Artifact, prefix string, heap, total, totalAllocs, numGC uint64, pause float64, peak uint64) {
 	a.Values[prefix+"heap_alloc_bytes"] = float64(heap)
 	a.Values[prefix+"total_alloc_bytes"] = float64(total)
+	a.Values[prefix+"total_allocs"] = float64(totalAllocs)
 	a.Values[prefix+"num_gc"] = float64(numGC)
 	a.Values[prefix+"gc_pause_total_seconds"] = pause
 	a.Values[prefix+"peak_heap_bytes"] = float64(peak)
 }
 
+func addAllocs(a *Artifact, prefix string, allocs map[string]obs.AllocInfo) {
+	for stage, ai := range allocs {
+		a.Values[prefix+stage+".bytes"] = float64(ai.Bytes)
+		a.Values[prefix+stage+".objects"] = float64(ai.Objects)
+	}
+}
+
 func flattenManifest(data []byte) (*Artifact, error) {
 	var m struct {
-		Seed           uint64             `json:"seed"`
-		Parallelism    int                `json:"parallelism"`
-		TimingsSeconds map[string]float64 `json:"timings_seconds"`
-		Outputs        map[string]string  `json:"outputs"`
+		Seed           uint64                   `json:"seed"`
+		Parallelism    int                      `json:"parallelism"`
+		TimingsSeconds map[string]float64       `json:"timings_seconds"`
+		Outputs        map[string]string        `json:"outputs"`
+		Allocs         map[string]obs.AllocInfo `json:"allocs"`
+		PerFlow        float64                  `json:"alloc_bytes_per_flow"`
 		Mem            *struct {
 			HeapAllocBytes      uint64  `json:"heap_alloc_bytes"`
 			TotalAllocBytes     uint64  `json:"total_alloc_bytes"`
+			TotalAllocs         uint64  `json:"total_allocs"`
 			NumGC               uint32  `json:"num_gc"`
 			GCPauseTotalSeconds float64 `json:"gc_pause_total_seconds"`
 			PeakHeapBytes       uint64  `json:"peak_heap_bytes"`
@@ -155,9 +174,13 @@ func flattenManifest(data []byte) (*Artifact, error) {
 	for stage, secs := range m.TimingsSeconds {
 		a.Values["timings."+stage] = secs
 	}
+	addAllocs(a, "allocs.", m.Allocs)
+	if m.PerFlow != 0 {
+		a.Values["alloc_bytes_per_flow"] = m.PerFlow
+	}
 	if m.Mem != nil {
 		addMem(a, "mem.", m.Mem.HeapAllocBytes, m.Mem.TotalAllocBytes,
-			uint64(m.Mem.NumGC), m.Mem.GCPauseTotalSeconds, m.Mem.PeakHeapBytes)
+			m.Mem.TotalAllocs, uint64(m.Mem.NumGC), m.Mem.GCPauseTotalSeconds, m.Mem.PeakHeapBytes)
 	}
 	for name, digest := range m.Outputs {
 		a.Digests["outputs."+name] = digest

@@ -29,7 +29,12 @@ func fixtureReport(t *testing.T) *Report {
 			WallSeconds:    2.0,
 			TimingsSeconds: map[string]float64{"pass_a": 0.5, "pass_b": 1.0},
 			Flows:          1000, DNS: 400, FlowsPerSecond: 500, Workers: 1,
-			Mem:     obs.MemInfo{HeapAllocBytes: 1 << 20, TotalAllocBytes: 1 << 24, NumGC: 3, GCPauseTotalSeconds: 0.001, PeakHeapBytes: 1 << 21},
+			Mem:           obs.MemInfo{HeapAllocBytes: 1 << 20, TotalAllocBytes: 1 << 24, TotalAllocs: 22000, NumGC: 3, GCPauseTotalSeconds: 0.001, PeakHeapBytes: 1 << 21},
+			AllocsPerFlow: 22, AllocBytesPerFlow: 3400,
+			Allocs: map[string]obs.AllocInfo{
+				"pass_a": {Bytes: 1 << 22, Objects: 5000},
+				"pass_b": {Bytes: 3 << 22, Objects: 15000},
+			},
 			Outputs: map[string]string{"flows.tsv": "sha256:aaaa", "dns.tsv": "sha256:bbbb"},
 			Metrics: metrics,
 		}},
@@ -64,6 +69,11 @@ func TestDetectArtifactAllThreeSchemas(t *testing.T) {
 		"small-clear-p1.timings.pass_b",
 		"small-clear-p1.flows",
 		"small-clear-p1.mem.peak_heap_bytes",
+		"small-clear-p1.mem.total_allocs",
+		"small-clear-p1.allocs_per_flow",
+		"small-clear-p1.alloc_bytes_per_flow",
+		"small-clear-p1.allocs.pass_b.bytes",
+		"small-clear-p1.allocs.pass_b.objects",
 		"small-clear-p1.metrics.netsim_flows_total",
 		"small-clear-p1.metrics.netsim_pass_b_seconds.count",
 	} {
@@ -191,6 +201,68 @@ func TestDiffFlagsInjectedTimingRegression(t *testing.T) {
 	}
 	if len(d.Regressions) != 0 {
 		t.Errorf("60%% tolerance still flagged: %v", d.Regressions)
+	}
+}
+
+// TestDiffFlagsInjectedAllocRegression is the CI alloc gate's own test:
+// under the repo's real bench/ci-tolerances.json, a 2× per-flow allocation
+// regression must fail the diff by name, while a within-band 20% wobble
+// (machine variation) must pass.
+func TestDiffFlagsInjectedAllocRegression(t *testing.T) {
+	tol, err := LoadTolerances("../../bench/ci-tolerances.json", 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := fixtureReport(t)
+	regressed := fixtureReport(t)
+	regressed.Scenarios[0].AllocsPerFlow *= 2
+	regressed.Scenarios[0].AllocBytesPerFlow *= 2
+	regressed.Scenarios[0].Mem.TotalAllocs *= 2
+	ab, err := DetectArtifact(mustJSON(t, base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := DetectArtifact(mustJSON(t, regressed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Diff(ab, ar, tol, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"small-clear-p1.allocs_per_flow",
+		"small-clear-p1.alloc_bytes_per_flow",
+	} {
+		if !contains(d.Regressions, name) {
+			t.Errorf("2x alloc regression on %s not flagged under ci-tolerances: %v", name, d.Regressions)
+		}
+	}
+
+	// The same report with benign cross-machine wobble stays green.
+	wobble := fixtureReport(t)
+	wobble.Scenarios[0].AllocsPerFlow *= 1.2
+	wobble.Scenarios[0].AllocBytesPerFlow *= 1.2
+	wobble.Scenarios[0].Mem.TotalAllocs = uint64(float64(wobble.Scenarios[0].Mem.TotalAllocs) * 1.5)
+	passB := wobble.Scenarios[0].Allocs["pass_b"]
+	wobble.Scenarios[0].Allocs["pass_b"] = obs.AllocInfo{Bytes: passB.Bytes + passB.Bytes*4/5, Objects: 20000}
+	aw, err := DetectArtifact(mustJSON(t, wobble))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err = Diff(ab, aw, tol, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var allocRegressions []string
+	for _, name := range d.Regressions {
+		if strings.Contains(name, "alloc") {
+			allocRegressions = append(allocRegressions, name)
+		}
+	}
+	if len(allocRegressions) != 0 {
+		t.Errorf("within-band alloc wobble flagged under ci-tolerances: %v", allocRegressions)
 	}
 }
 

@@ -29,6 +29,10 @@ func ManifestFor(tool string, cfg Config, out *Output) *obs.Manifest {
 	m.AddTiming("mac_prebuild", out.Stats.MACPrebuild)
 	m.AddTiming("pass_b", out.Stats.PassB)
 	m.AddTiming("merge", out.Stats.Merge)
+	for stage, a := range out.Stats.StageAllocs {
+		m.AddAlloc(stage, a)
+	}
+	m.AllocBytesPerFlow = out.Stats.AllocBytesPerFlow()
 	return m
 }
 

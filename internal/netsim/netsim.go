@@ -42,6 +42,7 @@ import (
 	"satwatch/internal/obs"
 	"satwatch/internal/pepmodel"
 	"satwatch/internal/phy"
+	"satwatch/internal/prof"
 	"satwatch/internal/trace"
 	"satwatch/internal/tstat"
 	"satwatch/internal/workload"
@@ -82,6 +83,26 @@ var (
 		"Worker panics recovered into per-customer errors instead of crashing the run.", "")
 	mCustomersSalvaged = obs.NewCounter("netsim_customers_salvaged_total",
 		"Customers whose logs were salvaged from a degraded or interrupted run.", "")
+	// Per-stage allocation accounting (runtime allocation-counter deltas
+	// at the stage boundaries; see internal/prof).
+	mPassAAllocBytes = obs.NewCounter("netsim_pass_a_alloc_bytes_total",
+		"Heap bytes allocated during pass A (workload generation and beam dimensioning).", "bytes")
+	mPassAAllocs = obs.NewCounter("netsim_pass_a_allocs_total",
+		"Heap objects allocated during pass A.", "")
+	mMACPrebuildAllocBytes = obs.NewCounter("netsim_mac_prebuild_alloc_bytes_total",
+		"Heap bytes allocated while pre-building the MAC access-delay grid.", "bytes")
+	mMACPrebuildAllocs = obs.NewCounter("netsim_mac_prebuild_allocs_total",
+		"Heap objects allocated while pre-building the MAC access-delay grid.", "")
+	mPassBAllocBytes = obs.NewCounter("netsim_pass_b_alloc_bytes_total",
+		"Heap bytes allocated during pass B (flow synthesis, tracking and per-worker sorts).", "bytes")
+	mPassBAllocs = obs.NewCounter("netsim_pass_b_allocs_total",
+		"Heap objects allocated during pass B.", "")
+	mMergeAllocBytes = obs.NewCounter("netsim_merge_alloc_bytes_total",
+		"Heap bytes allocated during the k-way merge of per-worker sorted logs.", "bytes")
+	mMergeAllocs = obs.NewCounter("netsim_merge_allocs_total",
+		"Heap objects allocated during the k-way merge.", "")
+	mAllocBytesPerFlow = obs.NewGauge("netsim_alloc_bytes_per_flow",
+		"Heap bytes allocated per synthesized flow across all simulator stages of the last run.", "bytes")
 )
 
 // CountSkippedRows feeds netsim_rows_skipped_total from the tolerant
@@ -269,6 +290,11 @@ type RunStats struct {
 	// Interrupted is set when the run's context was cancelled and the
 	// outputs hold only what the workers had finished.
 	Interrupted bool
+	// StageAllocs maps stage name (same keys as the manifest timings:
+	// "pass_a", "mac_prebuild", "pass_b", "merge") to the stage's
+	// allocation delta, read from the runtime allocation counters at the
+	// stage boundaries by internal/prof.
+	StageAllocs map[string]obs.AllocInfo
 }
 
 // Status folds the run outcome into the manifest status field: "partial"
@@ -291,6 +317,21 @@ func (s RunStats) Flows() int {
 		total += n
 	}
 	return total
+}
+
+// AllocBytesPerFlow derives the run's per-flow allocation cost: the sum
+// of the per-stage allocation byte deltas over the flow count. 0 when
+// the run produced no flows or alloc accounting did not run.
+func (s RunStats) AllocBytesPerFlow() float64 {
+	n := s.Flows()
+	if n == 0 {
+		return 0
+	}
+	var total uint64
+	for _, a := range s.StageAllocs {
+		total += a.Bytes
+	}
+	return float64(total) / float64(n)
 }
 
 // Output is everything a run produces.
@@ -494,106 +535,120 @@ func RunContext(ctx context.Context, cfg Config) (*Output, error) {
 
 	shards := make([]passAShard, workers)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			sh := &shards[w]
-			sh.bytes = make([][]int64, maxBeamID+1)
-			sh.setups = make([][]int64, maxBeamID+1)
-			for _, b := range beams {
-				sh.bytes[b.ID] = make([]int64, hours)
-				sh.setups[b.ID] = make([]int64, hours)
-			}
-			nLocal := (len(customers) - w + workers - 1) / workers
-			sh.cache = make([][]workload.FlowIntent, nLocal*cfg.Days)
-			local := 0
-			for ci := w; ci < len(customers); ci += workers {
-				if ctx.Err() != nil {
-					return
-				}
-				c := customers[ci]
-				for day := 0; day < cfg.Days; day++ {
-					r := root.ForkN("day", uint64(c.ID)*1024+uint64(day))
-					intents, gerr := generateDaySafe(c, day, r)
-					if gerr != nil {
-						mWorkerRecoveries.Inc()
-						sh.errs = append(sh.errs, gerr.Error())
-						if sh.failed == nil {
-							sh.failed = map[int]bool{}
+	// loads is indexed by beam ID, filled by the reduce below.
+	loads := make([]*beamLoad, maxBeamID+1)
+	// The whole of pass A — worker fan-out plus the beam reduce — runs as
+	// one labeled stage: every CPU sample it takes carries stage=<pass A>
+	// (plus worker=N inside the fan-out), and the stage's allocation delta
+	// feeds the manifest allocs block and the alloc metrics.
+	allocA := prof.Stage(ctx, prof.StagePassA, func(sctx context.Context) {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				prof.Worker(sctx, w, func(wctx context.Context) {
+					sh := &shards[w]
+					sh.bytes = make([][]int64, maxBeamID+1)
+					sh.setups = make([][]int64, maxBeamID+1)
+					for _, b := range beams {
+						sh.bytes[b.ID] = make([]int64, hours)
+						sh.setups[b.ID] = make([]int64, hours)
+					}
+					nLocal := (len(customers) - w + workers - 1) / workers
+					sh.cache = make([][]workload.FlowIntent, nLocal*cfg.Days)
+					local := 0
+					for ci := w; ci < len(customers); ci += workers {
+						if wctx.Err() != nil {
+							return
 						}
-						sh.failed[local*cfg.Days+day] = true
-						continue
-					}
-					bb, sb := sh.bytes[c.Beam], sh.setups[c.Beam]
-					var size int64
-					for i := range intents {
-						fi := &intents[i]
-						if h := hourOf(fi.Start); h >= 0 && h < hours {
-							bb[h] += fi.Down + fi.Up
-							sb[h]++
+						c := customers[ci]
+						for day := 0; day < cfg.Days; day++ {
+							r := root.ForkN("day", uint64(c.ID)*1024+uint64(day))
+							intents, gerr := generateDaySafe(c, day, r)
+							if gerr != nil {
+								mWorkerRecoveries.Inc()
+								sh.errs = append(sh.errs, gerr.Error())
+								if sh.failed == nil {
+									sh.failed = map[int]bool{}
+								}
+								sh.failed[local*cfg.Days+day] = true
+								continue
+							}
+							bb, sb := sh.bytes[c.Beam], sh.setups[c.Beam]
+							var size int64
+							for i := range intents {
+								fi := &intents[i]
+								if h := hourOf(fi.Start); h >= 0 && h < hours {
+									bb[h] += fi.Down + fi.Up
+									sb[h]++
+								}
+								size += int64(fi.MemBytes())
+							}
+							// Admit into the intent cache while the budget
+							// lasts; spilled slots are regenerated in pass B.
+							if cacheFree.Add(-size) >= 0 {
+								sh.cache[local*cfg.Days+day] = intents
+								sh.cacheBytes += size
+							} else {
+								cacheFree.Add(size)
+								sh.spills++
+							}
 						}
-						size += int64(fi.MemBytes())
+						local++
 					}
-					// Admit into the intent cache while the budget
-					// lasts; spilled slots are regenerated in pass B.
-					if cacheFree.Add(-size) >= 0 {
-						sh.cache[local*cfg.Days+day] = intents
-						sh.cacheBytes += size
-					} else {
-						cacheFree.Add(size)
-						sh.spills++
-					}
+				})
+			}(w)
+		}
+		wg.Wait()
+		if ctx.Err() != nil {
+			return
+		}
+
+		var cachedBytes int64
+		for w := range shards {
+			cachedBytes += shards[w].cacheBytes
+		}
+		mIntentCacheBytes.Set(float64(cachedBytes))
+
+		// Reduce the integer shards by beam ID and dimension each beam so its
+		// busiest hour hits the operator's target utilization, and the PEP so
+		// its busiest hour hits 1/PEPFactor.
+		for _, b := range beams {
+			bl := &beamLoad{beam: b, bytesHour: make([]float64, hours), setupsHour: make([]float64, hours)}
+			var peakBytes, peakSetups int64
+			for h := 0; h < hours; h++ {
+				var byteSum, setupSum int64
+				for w := range shards {
+					byteSum += shards[w].bytes[b.ID][h]
+					setupSum += shards[w].setups[b.ID][h]
 				}
-				local++
+				bl.bytesHour[h] = float64(byteSum)
+				bl.setupsHour[h] = float64(setupSum)
+				if byteSum > peakBytes {
+					peakBytes = byteSum
+				}
+				if setupSum > peakSetups {
+					peakSetups = setupSum
+				}
 			}
-		}(w)
-	}
-	wg.Wait()
+			offered := float64(peakBytes) / 3600
+			if offered <= 0 {
+				offered = 1
+			}
+			bl.capacity = offered / b.TargetPeakUtil
+			bl.pepPeak = float64(peakSetups) / 3600
+			if bl.pepPeak <= 0 {
+				bl.pepPeak = 1.0 / 3600
+			}
+			loads[b.ID] = bl
+		}
+	})
 	if err := ctx.Err(); err != nil {
 		// No flow exists yet; there is nothing to salvage.
 		return nil, fmt.Errorf("netsim: interrupted during workload generation: %w", err)
 	}
-
-	var cachedBytes int64
-	for w := range shards {
-		cachedBytes += shards[w].cacheBytes
-	}
-	mIntentCacheBytes.Set(float64(cachedBytes))
-
-	// Reduce the integer shards by beam ID and dimension each beam so its
-	// busiest hour hits the operator's target utilization, and the PEP so
-	// its busiest hour hits 1/PEPFactor. loads is indexed by beam ID.
-	loads := make([]*beamLoad, maxBeamID+1)
-	for _, b := range beams {
-		bl := &beamLoad{beam: b, bytesHour: make([]float64, hours), setupsHour: make([]float64, hours)}
-		var peakBytes, peakSetups int64
-		for h := 0; h < hours; h++ {
-			var byteSum, setupSum int64
-			for w := range shards {
-				byteSum += shards[w].bytes[b.ID][h]
-				setupSum += shards[w].setups[b.ID][h]
-			}
-			bl.bytesHour[h] = float64(byteSum)
-			bl.setupsHour[h] = float64(setupSum)
-			if byteSum > peakBytes {
-				peakBytes = byteSum
-			}
-			if setupSum > peakSetups {
-				peakSetups = setupSum
-			}
-		}
-		offered := float64(peakBytes) / 3600
-		if offered <= 0 {
-			offered = 1
-		}
-		bl.capacity = offered / b.TargetPeakUtil
-		bl.pepPeak = float64(peakSetups) / 3600
-		if bl.pepPeak <= 0 {
-			bl.pepPeak = 1.0 / 3600
-		}
-		loads[b.ID] = bl
-	}
+	mPassAAllocBytes.Add(int64(allocA.Bytes))
+	mPassAAllocs.Add(int64(allocA.Objects))
 
 	passA := time.Since(startA)
 	mPassA.SetDuration(passA)
@@ -609,9 +664,13 @@ func RunContext(ctx context.Context, cfg Config) (*Output, error) {
 	// Cells live in a process-wide cache, so repeated runs skip this.
 	startPre := time.Now()
 	macModel := mac.NewModel(cfg.MAC)
-	macModel.Prebuild(workers)
+	allocPre := prof.Stage(ctx, prof.StageMACPrebuild, func(context.Context) {
+		macModel.Prebuild(workers)
+	})
 	prebuild := time.Since(startPre)
 	mMACPrebuild.SetDuration(prebuild)
+	mMACPrebuildAllocBytes.Add(int64(allocPre.Bytes))
+	mMACPrebuildAllocs.Add(int64(allocPre.Objects))
 
 	// --- Pass B: synthesize the vantage-point stream ------------------
 	startB := time.Now()
@@ -645,45 +704,56 @@ func RunContext(ctx context.Context, cfg Config) (*Output, error) {
 	// customers' logs are flushed, sorted, and merged as usual.
 	var interrupted atomic.Bool
 	outs := make([]workerOut, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			tracker := tstat.NewTracker(tstat.Config{Anonymizer: anon})
-			syn := &synthesizer{
-				cfg:      cfg,
-				con:      con,
-				sched:    sched,
-				tracker:  tracker,
-				mac:      macModel,
-				loads:    loads,
-				channels: channels,
-			}
-			sh := &shards[w]
-			local := 0
-			for ci := w; ci < len(customers); ci += workers {
-				if ctx.Err() != nil {
-					interrupted.Store(true)
-					break
-				}
-				c := customers[ci]
-				if err := synthCustomer(syn, sh, root, cfg, c, local, &outs[w]); err != nil {
-					mWorkerRecoveries.Inc()
-					outs[w].errs = append(outs[w].errs, err.Error())
-				} else {
-					outs[w].done++
-					mCustomersDone.Inc()
-				}
-				local++
-			}
-			outs[w].flows, outs[w].dns = tracker.Flush()
-			tstat.SortFlows(outs[w].flows)
-			tstat.SortDNS(outs[w].dns)
-		}(w)
-	}
-	wg.Wait()
+	allocB := prof.Stage(ctx, prof.StagePassB, func(sctx context.Context) {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				prof.Worker(sctx, w, func(wctx context.Context) {
+					tracker := tstat.NewTracker(tstat.Config{Anonymizer: anon})
+					syn := &synthesizer{
+						cfg:      cfg,
+						con:      con,
+						sched:    sched,
+						tracker:  tracker,
+						mac:      macModel,
+						loads:    loads,
+						channels: channels,
+					}
+					sh := &shards[w]
+					local := 0
+					for ci := w; ci < len(customers); ci += workers {
+						if wctx.Err() != nil {
+							interrupted.Store(true)
+							break
+						}
+						c := customers[ci]
+						if err := synthCustomer(syn, sh, root, cfg, c, local, &outs[w]); err != nil {
+							mWorkerRecoveries.Inc()
+							outs[w].errs = append(outs[w].errs, err.Error())
+						} else {
+							outs[w].done++
+							mCustomersDone.Inc()
+						}
+						local++
+					}
+					// The end-of-worker flush and canonical sort are tstat
+					// work, not synthesis — relabel them (keeping worker=N)
+					// so profiles separate tracker drain from flow synthesis.
+					prof.Do(wctx, prof.StageTstat, func() {
+						outs[w].flows, outs[w].dns = tracker.Flush()
+						tstat.SortFlows(outs[w].flows)
+						tstat.SortDNS(outs[w].dns)
+					})
+				})
+			}(w)
+		}
+		wg.Wait()
+	})
 	passB := time.Since(startB)
 	mPassB.SetDuration(passB)
+	mPassBAllocBytes.Add(int64(allocB.Bytes))
+	mPassBAllocs.Add(int64(allocB.Objects))
 	stats := RunStats{
 		PassA: passA, PassB: passB, MACPrebuild: prebuild,
 		Workers: workers, WorkerFlows: make([]int, workers),
@@ -714,10 +784,25 @@ func RunContext(ctx context.Context, cfg Config) (*Output, error) {
 		flowRuns[w] = outs[w].flows
 		dnsRuns[w] = outs[w].dns
 	}
-	flows := tstat.MergeFlows(flowRuns)
-	dns := tstat.MergeDNS(dnsRuns)
+	var flows []tstat.FlowRecord
+	var dns []tstat.DNSRecord
+	allocMerge := prof.Stage(ctx, prof.StageMerge, func(context.Context) {
+		flows = tstat.MergeFlows(flowRuns)
+		dns = tstat.MergeDNS(dnsRuns)
+	})
 	stats.Merge = time.Since(startMerge)
 	mMerge.SetDuration(stats.Merge)
+	mMergeAllocBytes.Add(int64(allocMerge.Bytes))
+	mMergeAllocs.Add(int64(allocMerge.Objects))
+	stats.StageAllocs = map[string]obs.AllocInfo{
+		"pass_a":       allocA,
+		"mac_prebuild": allocPre,
+		"pass_b":       allocB,
+		"merge":        allocMerge,
+	}
+	if perFlow := stats.AllocBytesPerFlow(); perFlow > 0 {
+		mAllocBytesPerFlow.Set(perFlow)
+	}
 
 	out := &Output{
 		Flows:           flows,

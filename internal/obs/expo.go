@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"strconv"
+	"strings"
 )
 
 // WritePrometheus serializes the registry in the Prometheus text
@@ -17,7 +18,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for _, s := range r.Snapshot() {
 		if s.Help != "" {
-			bw.WriteString("# HELP " + s.Name + " " + s.Help + "\n")
+			bw.WriteString("# HELP " + s.Name + " " + escapeHelp(s.Help) + "\n")
 		}
 		switch s.Kind {
 		case KindCounter:
@@ -49,6 +50,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// escapeHelp applies the text-exposition escaping rules for HELP lines:
+// a literal backslash becomes \\ and a newline becomes \n. Without it a
+// multi-line help string would break the line-oriented format.
+var escapeHelp = strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace
 
 // jsonBucket mirrors Bucket with an "inf" marker for the +Inf bound,
 // which encoding/json cannot represent as a number.

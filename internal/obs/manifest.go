@@ -48,12 +48,44 @@ type Manifest struct {
 	TimingsSeconds map[string]float64 `json:"timings_seconds"`
 	// Outputs maps output file base name to "sha256:<hex>" digests.
 	Outputs map[string]string `json:"outputs"`
+	// Allocs maps stage name to the stage's allocation delta (bytes and
+	// object counts from the runtime allocation counters, captured at the
+	// stage boundaries — see internal/prof). Keys match TimingsSeconds.
+	// Absent on manifests from older builds.
+	Allocs map[string]AllocInfo `json:"allocs,omitempty"`
+	// AllocBytesPerFlow is the derived per-flow allocation cost: the sum
+	// of the Allocs byte deltas over the flow count of the run. 0/absent
+	// when the run produced no flows or predates alloc accounting.
+	AllocBytesPerFlow float64 `json:"alloc_bytes_per_flow,omitempty"`
 	// Mem is the run's memory footprint (heap, allocation and GC deltas,
 	// sampled peak heap); absent on manifests from older builds and on
 	// the early status-partial manifest written before simulation.
 	Mem *MemInfo `json:"mem,omitempty"`
 	// Trace records the flow-trace output when the run had -trace set.
 	Trace *TraceInfo `json:"trace,omitempty"`
+	// Profiles records the profile artifacts of a run with -profile set.
+	Profiles *ProfilesInfo `json:"profiles,omitempty"`
+}
+
+// AllocInfo is one stage's allocation delta: heap bytes and objects
+// allocated between the stage's boundaries (runtime.MemStats TotalAlloc
+// and Mallocs deltas; process-wide, so it attributes cleanly only across
+// sequential stage boundaries).
+type AllocInfo struct {
+	Bytes   uint64 `json:"bytes"`
+	Objects uint64 `json:"objects"`
+}
+
+// ProfilesInfo describes the profile artifacts a run captured under
+// -profile DIR: the directory as given on the command line and the
+// artifact files with their content digests. Profiles are observations
+// of the run, not outputs of the simulation — they are not deterministic
+// and are deliberately kept out of the Outputs digest map.
+type ProfilesInfo struct {
+	Dir string `json:"dir"`
+	// Files maps artifact base name ("cpu.pprof", "heap.pprof", ...) to
+	// "sha256:<hex>" digests.
+	Files map[string]string `json:"files"`
 }
 
 // TraceInfo describes a run's flow-trace output (see internal/trace).
@@ -82,6 +114,14 @@ func NewManifest(tool string, seed uint64) *Manifest {
 // AddTiming records a stage wall time.
 func (m *Manifest) AddTiming(stage string, d time.Duration) {
 	m.TimingsSeconds[stage] = d.Seconds()
+}
+
+// AddAlloc records a stage allocation delta next to its wall timing.
+func (m *Manifest) AddAlloc(stage string, a AllocInfo) {
+	if m.Allocs == nil {
+		m.Allocs = map[string]AllocInfo{}
+	}
+	m.Allocs[stage] = a
 }
 
 // AddOutput digests the file at path (sha256) and records it under its

@@ -9,12 +9,14 @@ import (
 
 // MemInfo is a run's memory footprint, recorded in the manifest `mem`
 // block and per scenario in BENCH files. HeapAllocBytes is the live heap
-// at capture time; TotalAllocBytes, NumGC and GCPauseTotalSeconds are
-// deltas over the sampled window; PeakHeapBytes is the highest live heap
-// a sampler observed during the window (0 when no sampler ran).
+// at capture time; TotalAllocBytes, TotalAllocs (heap objects), NumGC and
+// GCPauseTotalSeconds are deltas over the sampled window; PeakHeapBytes
+// is the highest live heap a sampler observed during the window (0 when
+// no sampler ran).
 type MemInfo struct {
 	HeapAllocBytes      uint64  `json:"heap_alloc_bytes"`
 	TotalAllocBytes     uint64  `json:"total_alloc_bytes"`
+	TotalAllocs         uint64  `json:"total_allocs,omitempty"`
 	NumGC               uint32  `json:"num_gc"`
 	GCPauseTotalSeconds float64 `json:"gc_pause_total_seconds"`
 	PeakHeapBytes       uint64  `json:"peak_heap_bytes,omitempty"`
@@ -83,6 +85,7 @@ func (s *MemSampler) Stop() MemInfo {
 		s.info = MemInfo{
 			HeapAllocBytes:      end.HeapAlloc,
 			TotalAllocBytes:     end.TotalAlloc - s.start.TotalAlloc,
+			TotalAllocs:         end.Mallocs - s.start.Mallocs,
 			NumGC:               end.NumGC - s.start.NumGC,
 			GCPauseTotalSeconds: time.Duration(end.PauseTotalNs - s.start.PauseTotalNs).Seconds(),
 			PeakHeapBytes:       s.peak.Load(),

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemSamplerStopIdempotent(t *testing.T) {
+	s := StartMemSampler(time.Millisecond)
+	_ = make([]byte, 1<<20)
+	first := s.Stop()
+	if first.TotalAllocBytes == 0 || first.TotalAllocs == 0 {
+		t.Fatalf("no allocations recorded: %+v", first)
+	}
+	// Later calls return the frozen snapshot: allocations after the first
+	// Stop must not bleed in.
+	_ = make([]byte, 1<<20)
+	if again := s.Stop(); again != first {
+		t.Fatalf("second Stop returned a different snapshot:\nfirst  %+v\nsecond %+v", first, again)
+	}
+}
+
+func TestMemSamplerConcurrentStop(t *testing.T) {
+	s := StartMemSampler(time.Millisecond)
+	results := make([]MemInfo, 8)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = s.Stop()
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range results {
+		if got != results[0] {
+			t.Fatalf("concurrent Stop disagreed: [0]=%+v [%d]=%+v", results[0], i, got)
+		}
+	}
+}
+
+// The observability helpers must not leak goroutines across a
+// start/stop cycle: a long-lived satwatch process starting samplers and
+// debug servers per run would otherwise accumulate them forever.
+func TestObsHelpersLeaveNoGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	s := StartMemSampler(time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	s.Stop()
+
+	_, stop, err := StartDebugServer("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+
+	// Exiting goroutines need a beat to unwind; poll up to 2s.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,307 @@
+package prof
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file parses the debug=1 text form of the runtime's heap and
+// goroutine profiles — the format the capture writes precisely because
+// it is parseable without the protobuf toolchain. cmd/satprof renders
+// the results.
+
+// Frame is one resolved stack frame of a profile sample.
+type Frame struct {
+	// Func is the fully qualified function name
+	// ("satwatch/internal/tstat.(*Tracker).Observe").
+	Func string
+	// File is "path/file.go:line"; empty when the runtime could not
+	// resolve the frame.
+	File string
+}
+
+// HeapSample is one allocation-site stack with its sampled values,
+// unscaled exactly as the profile records them.
+type HeapSample struct {
+	InuseObjects, InuseBytes int64
+	AllocObjects, AllocBytes int64
+	Stack                    []Frame
+}
+
+// HeapProfile is a parsed debug=1 heap profile.
+type HeapProfile struct {
+	// Rate is the memory profiling sample rate in bytes (the `heap/R`
+	// header value halved, i.e. runtime.MemProfileRate at capture time).
+	Rate    int64
+	Samples []HeapSample
+}
+
+var (
+	// "heap profile: 4: 2304 [10: 5376] @ heap/1048576"
+	reHeapHeader = regexp.MustCompile(`^heap profile: +(\d+): +(\d+) +\[(\d+): +(\d+)\] @ heap/(\d+)$`)
+	// "2: 1024 [4: 2048] @ 0x4a1b2c 0x4b3d4e"
+	reHeapSample = regexp.MustCompile(`^(\d+): (\d+) \[(\d+): (\d+)\] @( 0x[0-9a-f]+)*$`)
+	// "#\t0x4a1b2b\tpkg.Func+0x2b\t/path/file.go:10"
+	reFrame = regexp.MustCompile(`^#\t0x[0-9a-f]+\t(.+?)(?:\+0x[0-9a-f]+)?\t+(.*)$`)
+	// "goroutine profile: total 7"
+	reGoroutineHeader = regexp.MustCompile(`^goroutine profile: total (\d+)$`)
+	// "2 @ 0x43a5c5 0x40726c"
+	reGoroutineGroup = regexp.MustCompile(`^(\d+) @( 0x[0-9a-f]+)*$`)
+)
+
+func parseFrames(lines []string) []Frame {
+	var out []Frame
+	for _, line := range lines {
+		m := reFrame.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		out = append(out, Frame{Func: m[1], File: m[2]})
+	}
+	return out
+}
+
+// ParseHeap parses a debug=1 heap profile. Sample values are kept as
+// recorded (sampled); Scale estimates the true values.
+func ParseHeap(r io.Reader) (*HeapProfile, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	p := &HeapProfile{}
+	seenHeader := false
+	var cur *HeapSample
+	var frames []string
+	flush := func() {
+		if cur != nil {
+			cur.Stack = parseFrames(frames)
+			p.Samples = append(p.Samples, *cur)
+		}
+		cur, frames = nil, nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case !seenHeader:
+			m := reHeapHeader.FindStringSubmatch(line)
+			if m == nil {
+				return nil, fmt.Errorf("prof: not a debug=1 heap profile (header %q)", line)
+			}
+			r, _ := strconv.ParseInt(m[5], 10, 64)
+			// The header advertises 2×MemProfileRate (historical quirk of
+			// the legacy format; pprof halves it the same way).
+			p.Rate = r / 2
+			seenHeader = true
+		case reHeapSample.MatchString(line):
+			flush()
+			m := reHeapSample.FindStringSubmatch(line)
+			s := HeapSample{}
+			s.InuseObjects, _ = strconv.ParseInt(m[1], 10, 64)
+			s.InuseBytes, _ = strconv.ParseInt(m[2], 10, 64)
+			s.AllocObjects, _ = strconv.ParseInt(m[3], 10, 64)
+			s.AllocBytes, _ = strconv.ParseInt(m[4], 10, 64)
+			cur = &s
+		case strings.HasPrefix(line, "#\t0x"):
+			// A frame line; everything else starting with "#" is the
+			// trailing MemStats dump, which ends the samples.
+			frames = append(frames, line)
+		case strings.HasPrefix(line, "#"):
+			flush()
+		}
+	}
+	flush()
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("prof: heap profile: %w", err)
+	}
+	if !seenHeader {
+		return nil, fmt.Errorf("prof: empty heap profile")
+	}
+	return p, nil
+}
+
+// Scale estimates the true count and bytes behind one sampled pair using
+// the standard unsampling model: an allocation of average size s is
+// sampled with probability 1-exp(-s/rate), so observed values divide by
+// that. rate <= 1 means sampling was off and the values are exact.
+func Scale(count, bytes, rate int64) (int64, int64) {
+	if count == 0 || bytes == 0 {
+		return count, bytes
+	}
+	if rate <= 1 {
+		return count, bytes
+	}
+	avg := float64(bytes) / float64(count)
+	scale := 1 / (1 - math.Exp(-avg/float64(rate)))
+	return int64(float64(count) * scale), int64(float64(bytes) * scale)
+}
+
+// Site aggregates every sample attributed to one allocation site (the
+// innermost non-runtime frame), with values scaled to estimates.
+type Site struct {
+	// Func is the allocating function; File its "file.go:line".
+	Func string
+	File string
+	// Scaled estimates (see Scale).
+	AllocObjects, AllocBytes int64
+	InuseObjects, InuseBytes int64
+}
+
+// siteFrame picks the frame that names a sample's allocation site: the
+// innermost frame outside the runtime (falling back to the first frame,
+// then to a placeholder for symbol-less stacks).
+func siteFrame(stack []Frame) Frame {
+	for _, f := range stack {
+		if !strings.HasPrefix(f.Func, "runtime.") {
+			return f
+		}
+	}
+	if len(stack) > 0 {
+		return stack[0]
+	}
+	return Frame{Func: "(unresolved)"}
+}
+
+// Sites aggregates a heap profile by allocation site, scaled, sorted by
+// allocated bytes descending (ties by function name).
+func Sites(p *HeapProfile) []Site {
+	byFunc := map[string]*Site{}
+	for i := range p.Samples {
+		s := &p.Samples[i]
+		f := siteFrame(s.Stack)
+		site, ok := byFunc[f.Func]
+		if !ok {
+			site = &Site{Func: f.Func, File: f.File}
+			byFunc[f.Func] = site
+		}
+		ao, ab := Scale(s.AllocObjects, s.AllocBytes, p.Rate)
+		io_, ib := Scale(s.InuseObjects, s.InuseBytes, p.Rate)
+		site.AllocObjects += ao
+		site.AllocBytes += ab
+		site.InuseObjects += io_
+		site.InuseBytes += ib
+	}
+	out := make([]Site, 0, len(byFunc))
+	for _, s := range byFunc {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AllocBytes != out[j].AllocBytes {
+			return out[i].AllocBytes > out[j].AllocBytes
+		}
+		return out[i].Func < out[j].Func
+	})
+	return out
+}
+
+// SiteDelta is one allocation site's change between two profiles, joined
+// by function name (files move lines too easily across builds).
+type SiteDelta struct {
+	Func     string
+	File     string // from the new profile when present there
+	Old, New Site   // zero value when the site exists on one side only
+}
+
+// DeltaAllocBytes is the allocated-bytes change, the diff's sort key.
+func (d SiteDelta) DeltaAllocBytes() int64 { return d.New.AllocBytes - d.Old.AllocBytes }
+
+// DiffSites joins two aggregated site lists by function and returns the
+// deltas sorted by absolute allocated-bytes change, descending.
+func DiffSites(old, new []Site) []SiteDelta {
+	byFunc := map[string]*SiteDelta{}
+	for _, s := range old {
+		byFunc[s.Func] = &SiteDelta{Func: s.Func, File: s.File, Old: s}
+	}
+	for _, s := range new {
+		d, ok := byFunc[s.Func]
+		if !ok {
+			d = &SiteDelta{Func: s.Func}
+			byFunc[s.Func] = d
+		}
+		d.New = s
+		d.File = s.File
+	}
+	out := make([]SiteDelta, 0, len(byFunc))
+	for _, d := range byFunc {
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := out[i].DeltaAllocBytes(), out[j].DeltaAllocBytes()
+		ai, aj := di, dj
+		if ai < 0 {
+			ai = -ai
+		}
+		if aj < 0 {
+			aj = -aj
+		}
+		if ai != aj {
+			return ai > aj
+		}
+		return out[i].Func < out[j].Func
+	})
+	return out
+}
+
+// GoroutineGroup is one goroutine-profile stack group: Count goroutines
+// sharing the same stack.
+type GoroutineGroup struct {
+	Count int64
+	Stack []Frame
+}
+
+// Site names the group: the innermost non-runtime frame.
+func (g GoroutineGroup) Site() Frame { return siteFrame(g.Stack) }
+
+// GoroutineProfile is a parsed debug=1 goroutine profile.
+type GoroutineProfile struct {
+	Total  int64
+	Groups []GoroutineGroup
+}
+
+// ParseGoroutine parses a debug=1 goroutine profile. Groups come back
+// sorted by count descending, as the runtime writes them.
+func ParseGoroutine(r io.Reader) (*GoroutineProfile, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	p := &GoroutineProfile{}
+	seenHeader := false
+	var cur *GoroutineGroup
+	var frames []string
+	flush := func() {
+		if cur != nil {
+			cur.Stack = parseFrames(frames)
+			p.Groups = append(p.Groups, *cur)
+		}
+		cur, frames = nil, nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case !seenHeader:
+			m := reGoroutineHeader.FindStringSubmatch(line)
+			if m == nil {
+				return nil, fmt.Errorf("prof: not a debug=1 goroutine profile (header %q)", line)
+			}
+			p.Total, _ = strconv.ParseInt(m[1], 10, 64)
+			seenHeader = true
+		case reGoroutineGroup.MatchString(line):
+			flush()
+			m := reGoroutineGroup.FindStringSubmatch(line)
+			n, _ := strconv.ParseInt(m[1], 10, 64)
+			cur = &GoroutineGroup{Count: n}
+		case strings.HasPrefix(line, "#\t0x"):
+			frames = append(frames, line)
+		}
+	}
+	flush()
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("prof: goroutine profile: %w", err)
+	}
+	if !seenHeader {
+		return nil, fmt.Errorf("prof: empty goroutine profile")
+	}
+	return p, nil
+}

@@ -1,0 +1,181 @@
+package prof
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const heapFixture = `heap profile: 3: 3145728 [5: 5242880] @ heap/1048576
+1: 1048576 [2: 2097152] @ 0x4a1b2c 0x4b3d4e 0x401000
+#	0x4a1b2b	satwatch/internal/tstat.(*Tracker).Observe+0x2b	/root/repo/internal/tstat/tracker.go:120
+#	0x4b3d4d	satwatch/internal/netsim.passB+0x1d	/root/repo/internal/netsim/netsim.go:610
+2: 2097152 [2: 2097152] @ 0x5c1000 0x401000
+#	0x5c0fff	runtime.mapassign+0xff	/usr/local/go/src/runtime/map.go:600
+#	0x4c0fff	satwatch/internal/analytics.NewDataset+0xff	/root/repo/internal/analytics/dataset.go:55
+0: 0 [1: 1048576] @ 0x6d2000
+#	0x6d1fff	satwatch/internal/tstat.(*Tracker).Observe+0x3ff	/root/repo/internal/tstat/tracker.go:133
+
+# runtime.MemStats
+# Alloc = 1234
+# TotalAlloc = 5678
+`
+
+func TestParseHeapFixture(t *testing.T) {
+	p, err := ParseHeap(strings.NewReader(heapFixture))
+	if err != nil {
+		t.Fatalf("ParseHeap: %v", err)
+	}
+	if p.Rate != 524288 {
+		t.Fatalf("rate = %d, want 524288 (header value halved)", p.Rate)
+	}
+	if len(p.Samples) != 3 {
+		t.Fatalf("samples = %d, want 3", len(p.Samples))
+	}
+	s := p.Samples[0]
+	if s.InuseObjects != 1 || s.InuseBytes != 1048576 || s.AllocObjects != 2 || s.AllocBytes != 2097152 {
+		t.Fatalf("sample 0 = %+v", s)
+	}
+	if len(s.Stack) != 2 {
+		t.Fatalf("sample 0 stack = %d frames, want 2", len(s.Stack))
+	}
+	if s.Stack[0].Func != "satwatch/internal/tstat.(*Tracker).Observe" {
+		t.Fatalf("frame func = %q", s.Stack[0].Func)
+	}
+	if s.Stack[0].File != "/root/repo/internal/tstat/tracker.go:120" {
+		t.Fatalf("frame file = %q", s.Stack[0].File)
+	}
+	// The MemStats trailer must not leak into samples or frames.
+	last := p.Samples[2]
+	if last.AllocObjects != 1 || last.AllocBytes != 1048576 {
+		t.Fatalf("sample 2 = %+v", last)
+	}
+	if len(last.Stack) != 1 {
+		t.Fatalf("sample 2 stack = %d frames, want 1", len(last.Stack))
+	}
+}
+
+func TestParseHeapRejectsGarbage(t *testing.T) {
+	if _, err := ParseHeap(strings.NewReader("not a profile\n")); err == nil {
+		t.Fatal("want error for garbage input")
+	}
+	if _, err := ParseHeap(strings.NewReader("")); err == nil {
+		t.Fatal("want error for empty input")
+	}
+}
+
+func TestScale(t *testing.T) {
+	// Zero stays zero, rate<=1 is identity.
+	if c, b := Scale(0, 0, 524288); c != 0 || b != 0 {
+		t.Fatalf("Scale(0,0) = %d,%d", c, b)
+	}
+	if c, b := Scale(7, 700, 1); c != 7 || b != 700 {
+		t.Fatalf("Scale rate=1 = %d,%d", c, b)
+	}
+	// avg = 1048576, rate = 524288 → scale = 1/(1-e^-2).
+	c, b := Scale(2, 2097152, 524288)
+	want := 1 / (1 - math.Exp(-2))
+	if got := float64(b) / 2097152; math.Abs(got-want) > 0.01 {
+		t.Fatalf("byte scale = %f, want ~%f", got, want)
+	}
+	if c < 2 {
+		t.Fatalf("scaled count = %d, want >= 2", c)
+	}
+	// Small allocations scale up much harder than the sampling rate.
+	_, b2 := Scale(1, 64, 524288)
+	if b2 < 100000 {
+		t.Fatalf("small-alloc scaled bytes = %d, want heavy scale-up", b2)
+	}
+}
+
+func TestSitesAggregatesAndRanks(t *testing.T) {
+	p, err := ParseHeap(strings.NewReader(heapFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := Sites(p)
+	if len(sites) != 2 {
+		t.Fatalf("sites = %d, want 2 (tracker samples merge)", len(sites))
+	}
+	// Both tracker samples attribute to Observe; mapassign is runtime so
+	// sample 1 attributes to NewDataset.
+	var observe, dataset *Site
+	for i := range sites {
+		switch {
+		case strings.Contains(sites[i].Func, "Observe"):
+			observe = &sites[i]
+		case strings.Contains(sites[i].Func, "NewDataset"):
+			dataset = &sites[i]
+		}
+	}
+	if observe == nil || dataset == nil {
+		t.Fatalf("sites = %+v", sites)
+	}
+	if observe.AllocObjects < 3 {
+		t.Fatalf("Observe alloc objects = %d, want >= 3 (2+1 scaled)", observe.AllocObjects)
+	}
+	if sites[0].AllocBytes < sites[1].AllocBytes {
+		t.Fatal("sites not sorted by alloc bytes desc")
+	}
+}
+
+func TestDiffSites(t *testing.T) {
+	old := []Site{
+		{Func: "a.F", File: "a.go:1", AllocBytes: 1000, AllocObjects: 10},
+		{Func: "b.G", File: "b.go:2", AllocBytes: 500, AllocObjects: 5},
+	}
+	new := []Site{
+		{Func: "a.F", File: "a.go:1", AllocBytes: 5000, AllocObjects: 50},
+		{Func: "c.H", File: "c.go:3", AllocBytes: 200, AllocObjects: 2},
+	}
+	deltas := DiffSites(old, new)
+	if len(deltas) != 3 {
+		t.Fatalf("deltas = %d, want 3", len(deltas))
+	}
+	// Largest absolute change first: a.F (+4000), then b.G (-500), c.H (+200).
+	if deltas[0].Func != "a.F" || deltas[0].DeltaAllocBytes() != 4000 {
+		t.Fatalf("deltas[0] = %+v", deltas[0])
+	}
+	if deltas[1].Func != "b.G" || deltas[1].DeltaAllocBytes() != -500 {
+		t.Fatalf("deltas[1] = %+v", deltas[1])
+	}
+	if deltas[2].Func != "c.H" || deltas[2].DeltaAllocBytes() != 200 {
+		t.Fatalf("deltas[2] = %+v", deltas[2])
+	}
+}
+
+const goroutineFixture = `goroutine profile: total 7
+4 @ 0x43a5c5 0x40726c 0x401000
+#	0x43a5c4	runtime.gopark+0xe4	/usr/local/go/src/runtime/proc.go:402
+#	0x40726b	satwatch/internal/obs.(*MemSampler).loop+0x6b	/root/repo/internal/obs/mem.go:52
+3 @ 0x52b000
+#	0x52afff	satwatch/internal/netsim.worker+0x2ff	/root/repo/internal/netsim/netsim.go:500
+`
+
+func TestParseGoroutineFixture(t *testing.T) {
+	p, err := ParseGoroutine(strings.NewReader(goroutineFixture))
+	if err != nil {
+		t.Fatalf("ParseGoroutine: %v", err)
+	}
+	if p.Total != 7 {
+		t.Fatalf("total = %d, want 7", p.Total)
+	}
+	if len(p.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(p.Groups))
+	}
+	if p.Groups[0].Count != 4 {
+		t.Fatalf("group 0 count = %d", p.Groups[0].Count)
+	}
+	if got := p.Groups[0].Site().Func; got != "satwatch/internal/obs.(*MemSampler).loop" {
+		t.Fatalf("group 0 site = %q", got)
+	}
+	if got := p.Groups[1].Site().Func; got != "satwatch/internal/netsim.worker" {
+		t.Fatalf("group 1 site = %q", got)
+	}
+}
+
+func TestParseGoroutineRejectsGarbage(t *testing.T) {
+	if _, err := ParseGoroutine(strings.NewReader("heap profile: 1: 2 [3: 4] @ heap/2\n")); err == nil {
+		t.Fatal("want error for wrong profile type")
+	}
+}

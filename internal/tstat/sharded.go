@@ -1,12 +1,14 @@
 package tstat
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
 
 	"satwatch/internal/obs"
 	"satwatch/internal/packet"
+	"satwatch/internal/prof"
 )
 
 // Exported metrics (see OBSERVABILITY.md).
@@ -76,29 +78,32 @@ func (s *Sharded) Observe(tuple packet.FiveTuple, ev SegmentEvent) {
 
 // Flush drains all workers and returns the merged records in the same
 // deterministic order a single tracker would produce (sorted by start
-// time, then endpoints).
+// time, then endpoints). CPU samples taken during the flush carry the
+// stage=tstat profile label (see internal/prof).
 func (s *Sharded) Flush() ([]FlowRecord, []DNSRecord) {
 	defer mMergeTime.Start()()
 	var flows []FlowRecord
 	var dns []DNSRecord
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for _, w := range s.workers {
-		wg.Add(1)
-		go func(w *shardWorker) {
-			defer wg.Done()
-			close(w.ch)
-			<-w.done
-			f, d := w.tr.Flush()
-			mu.Lock()
-			flows = append(flows, f...)
-			dns = append(dns, d...)
-			mu.Unlock()
-		}(w)
-	}
-	wg.Wait()
-	SortFlows(flows)
-	SortDNS(dns)
+	prof.Do(context.Background(), prof.StageTstat, func() {
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for _, w := range s.workers {
+			wg.Add(1)
+			go func(w *shardWorker) {
+				defer wg.Done()
+				close(w.ch)
+				<-w.done
+				f, d := w.tr.Flush()
+				mu.Lock()
+				flows = append(flows, f...)
+				dns = append(dns, d...)
+				mu.Unlock()
+			}(w)
+		}
+		wg.Wait()
+		SortFlows(flows)
+		SortDNS(dns)
+	})
 	return flows, dns
 }
 

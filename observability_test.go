@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"satwatch/internal/obs"
+	"satwatch/internal/prof"
 	"satwatch/internal/trace"
 )
 
@@ -47,12 +48,46 @@ func TestObservabilityDocHasNoStaleMetrics(t *testing.T) {
 	allowed := map[string]bool{
 		"satpep_handshake_seconds": true,
 		"satpep_download_seconds":  true,
+		// Manifest timings/allocs stage key, not a metric.
+		"mac_prebuild": true,
 	}
 	re := regexp.MustCompile("`((?:netsim|mac|pep|phy|shaper|tstat|dnssim|satpep)_[a-z0-9_]+)`")
 	for _, m := range re.FindAllStringSubmatch(string(doc), -1) {
 		name := m[1]
 		if !registered[name] && !allowed[name] {
 			t.Errorf("OBSERVABILITY.md documents %q, which is not registered", name)
+		}
+	}
+}
+
+// TestObservabilityDocCoversProfileArtifacts pins the -profile artifact
+// set: every file a capture writes must be documented in the runbook's
+// Profiling section by its exact name.
+func TestObservabilityDocCoversProfileArtifacts(t *testing.T) {
+	doc, err := os.ReadFile("OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	for _, name := range prof.ArtifactNames() {
+		if !strings.Contains(text, "`"+name+"`") {
+			t.Errorf("profile artifact %q is not documented in OBSERVABILITY.md", name)
+		}
+	}
+}
+
+// TestDesignDocCoversStageLabels pins the pprof stage-label contract:
+// every label prof can attach must be documented in DESIGN.md's
+// stage-label table, so profile consumers can rely on the names.
+func TestDesignDocCoversStageLabels(t *testing.T) {
+	doc, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	for _, label := range prof.StageLabels() {
+		if !strings.Contains(text, "`"+label+"`") {
+			t.Errorf("stage label %q is not documented in DESIGN.md", label)
 		}
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"satwatch/internal/faults"
 	"satwatch/internal/geo"
 	"satwatch/internal/netsim"
+	"satwatch/internal/prof"
 	"satwatch/internal/report"
 	"satwatch/internal/trace"
 )
@@ -159,8 +160,17 @@ func (p *Pipeline) RunContext(ctx context.Context) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
-	ds := analytics.NewDataset(out, p.cfg.Days)
-	return p.Analyze(out, ds), nil
+	// Analysis runs as the stage=report profile stage; its allocation
+	// delta joins the simulator's per-stage accounting in Stats.
+	var res *Results
+	alloc := prof.Stage(ctx, prof.StageReport, func(context.Context) {
+		ds := analytics.NewDataset(out, p.cfg.Days)
+		res = p.Analyze(out, ds)
+	})
+	if out.Stats.StageAllocs != nil {
+		out.Stats.StageAllocs["report"] = alloc
+	}
+	return res, nil
 }
 
 // Analyze materializes all experiments from an existing output (useful
