@@ -5,6 +5,12 @@
 // emulated satellite — and prints the handshake and transfer timings the
 // paper's §2.1 architecture is designed to improve.
 //
+// -load switches to the scale harness: N concurrent split-TCP flows with
+// a configurable size/arrival mix through the emulated link, optional
+// fault-schedule playback (-faults), and a flows/s + p50/p99 summary.
+// The run fails (exit 1) if any flow errors or any tunnel stream is
+// still in a stream table after the post-run drain.
+//
 // Exit codes: 0 on success, 1 on error. -debug-addr serves /metrics,
 // /progress and /debug/pprof live during the demo (see
 // OBSERVABILITY.md).
@@ -13,6 +19,10 @@
 //
 //	satpep [-size 2097152] [-listen 127.0.0.1:0] [-metrics FILE]
 //	       [-debug-addr :6060] [-debug-linger 0s]
+//	satpep -load [-flows 1000] [-concurrency 0] [-mix 8k:0.6,64k:0.3,256k:0.1]
+//	       [-arrival 0] [-delay 270ms] [-jitter 30ms] [-loss 0.005] [-rate 0]
+//	       [-faults PRESET|FILE] [-fault-speedup 1000] [-seed 1]
+//	       [-rto 1500ms] [-window 64] [-drain-timeout 30s] [-metrics FILE]
 package main
 
 import (
@@ -23,6 +33,7 @@ import (
 	"os"
 	"time"
 
+	"satwatch/internal/faults"
 	"satwatch/internal/linkemu"
 	"satwatch/internal/obs"
 	"satwatch/internal/pep"
@@ -52,12 +63,38 @@ func run() (int, error) {
 	metricsOut := flag.String("metrics", "", "write a JSON metrics dump here on exit")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /progress and /debug/pprof on this address")
 	debugLinger := flag.Duration("debug-linger", 0, "keep the debug server up this long after the demo completes")
+	// Load-harness mode.
+	load := flag.Bool("load", false, "run the concurrent-flow load harness instead of the demo")
+	flows := flag.Int("flows", 1000, "load: total flows to run")
+	concurrency := flag.Int("concurrency", 0, "load: max flows in flight (0 = no cap)")
+	mixArg := flag.String("mix", "8k:0.6,64k:0.3,256k:0.1", "load: flow-size mix as size:weight pairs")
+	arrival := flag.Float64("arrival", 0, "load: Poisson flow arrival rate in flows/s (0 = as fast as admitted)")
+	delay := flag.Duration("delay", 270*time.Millisecond, "load: one-way link delay")
+	jitter := flag.Duration("jitter", 30*time.Millisecond, "load: link jitter")
+	loss := flag.Float64("loss", 0.005, "load: link loss probability")
+	rate := flag.Float64("rate", 0, "load: link serialization rate in bytes/s (0 = unlimited)")
+	faultsArg := flag.String("faults", "", "load: fault schedule (preset name or JSON file) played into the live link")
+	faultSpeedup := flag.Float64("fault-speedup", 1000, "load: schedule seconds per wall second")
+	seed := flag.Uint64("seed", 1, "load: seed for link, mix and arrivals")
+	rto := flag.Duration("rto", 1500*time.Millisecond, "load: initial tunnel RTO")
+	window := flag.Int("window", 64, "load: per-stream send window in frames")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "load: post-run wait for empty stream tables")
 	flag.Parse()
 
 	// Metrics are cleared at run start so every dump and debug endpoint
 	// reflects this run only, not process-lifetime totals.
 	obs.Default.Reset()
 	start := time.Now()
+
+	if *load {
+		return runLoad(loadOptions{
+			flows: *flows, concurrency: *concurrency, mix: *mixArg, arrival: *arrival,
+			delay: *delay, jitter: *jitter, loss: *loss, rate: *rate,
+			faults: *faultsArg, faultSpeedup: *faultSpeedup, seed: *seed,
+			rto: *rto, window: *window, drainTimeout: *drainTimeout,
+			metricsOut: *metricsOut,
+		})
+	}
 
 	payload := make([]byte, *size)
 	for i := range payload {
@@ -154,6 +191,77 @@ func run() (int, error) {
 			return 0, fmt.Errorf("metrics dump: %w", err)
 		}
 		fmt.Printf("metrics written to %s\n", *metricsOut)
+	}
+	return 0, nil
+}
+
+type loadOptions struct {
+	flows, concurrency  int
+	mix                 string
+	arrival, loss, rate float64
+	delay, jitter       time.Duration
+	faults              string
+	faultSpeedup        float64
+	seed                uint64
+	rto                 time.Duration
+	window              int
+	drainTimeout        time.Duration
+	metricsOut          string
+}
+
+// runLoad executes the load harness and enforces its acceptance gates:
+// zero flow errors and zero leaked streams after the drain.
+func runLoad(o loadOptions) (int, error) {
+	mix, err := pep.ParseMix(o.mix)
+	if err != nil {
+		return 0, err
+	}
+	var sched *faults.Schedule
+	if o.faults != "" {
+		sched, err = faults.Load(o.faults, 1, o.seed)
+		if err != nil {
+			return 0, err
+		}
+		faults.RecordActive(sched)
+	}
+	link := linkemu.Link{Delay: o.delay, Jitter: o.jitter, Loss: o.loss, RateBps: o.rate}
+	fmt.Printf("load: %d flows (mix %s) over %v/%v/%.3f link, faults=%q\n",
+		o.flows, o.mix, o.delay, o.jitter, o.loss, o.faults)
+
+	rep, err := pep.RunLoad(pep.LoadConfig{
+		Flows:        o.flows,
+		Concurrency:  o.concurrency,
+		Mix:          mix,
+		ArrivalRate:  o.arrival,
+		Link:         link,
+		Tunnel:       tunnel.Config{RTO: o.rto, Window: o.window, MaxPayload: 1200},
+		Seed:         o.seed,
+		Faults:       sched,
+		FaultSpeedup: o.faultSpeedup,
+		DrainTimeout: o.drainTimeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	fmt.Println(rep)
+
+	if o.metricsOut != "" {
+		if err := obs.WriteFileAtomic(o.metricsOut, func(w io.Writer) error {
+			return obs.Default.WriteJSON(w)
+		}); err != nil {
+			return 0, fmt.Errorf("metrics dump: %w", err)
+		}
+		fmt.Printf("metrics written to %s\n", o.metricsOut)
+	}
+	if rep.Leaked() > 0 {
+		return 1, fmt.Errorf("%d tunnel streams leaked after drain (cpe=%d gw=%d)",
+			rep.Leaked(), rep.LeakedCPE, rep.LeakedGW)
+	}
+	if rep.Errors > 0 {
+		return 1, fmt.Errorf("%d of %d flows failed", rep.Errors, rep.Flows)
 	}
 	return 0, nil
 }

@@ -23,9 +23,12 @@ import (
 
 	"satwatch/internal/analytics"
 	"satwatch/internal/faults"
+	"satwatch/internal/linkemu"
 	"satwatch/internal/netsim"
 	"satwatch/internal/obs"
+	"satwatch/internal/pep"
 	"satwatch/internal/tstat"
+	"satwatch/internal/tunnel"
 )
 
 // Schema is the BENCH file schema version; bump on breaking changes so
@@ -52,12 +55,28 @@ type Scenario struct {
 	Faults string `json:"faults,omitempty"`
 	// Constellation is the constellation backend ("" = geo).
 	Constellation string `json:"constellation,omitempty"`
+	// PepLoad, when set, switches the scenario from the netsim pipeline
+	// to the concurrent split-TCP load harness (pep.RunLoad): real
+	// sockets through the tunnel/PEP stack over an emulated link.
+	PepLoad *PepLoadSpec `json:"pep_load,omitempty"`
+}
+
+// PepLoadSpec parameterizes a pepload scenario.
+type PepLoadSpec struct {
+	Flows       int `json:"flows"`
+	Concurrency int `json:"concurrency"`
 }
 
 // identity is the output-determinism key: scenarios that share it must
 // produce byte-identical pipeline outputs regardless of Parallelism.
 func (s Scenario) identity() string {
-	return fmt.Sprintf("%d/%d/%d/%s/%s", s.Customers, s.Days, s.Seed, s.Faults, s.Constellation)
+	id := fmt.Sprintf("%d/%d/%d/%s/%s", s.Customers, s.Days, s.Seed, s.Faults, s.Constellation)
+	if s.PepLoad != nil {
+		// Load runs measure a live network, not a deterministic pipeline;
+		// keep them out of the netsim digest groups.
+		id += fmt.Sprintf("/pepload-%d-%d", s.PepLoad.Flows, s.PepLoad.Concurrency)
+	}
+	return id
 }
 
 // The matrix sizes. Small enough that the full matrix stays in CI
@@ -111,15 +130,32 @@ func matrix(seed uint64, sizeNames ...string) []Scenario {
 			}
 		}
 	}
+	// The pepload scenarios exercise the real-socket tunnel/PEP stack
+	// under concurrent load instead of the simulator pipeline. They are
+	// cheap enough to ride in every matrix, including the CI subset.
+	for _, flt := range []string{"", "stress"} {
+		fname := "clear"
+		if flt != "" {
+			fname = flt
+		}
+		out = append(out, Scenario{
+			Name:    "pepload-200-" + fname,
+			Days:    1,
+			Seed:    seed,
+			Faults:  flt,
+			PepLoad: &PepLoadSpec{Flows: 200, Concurrency: 100},
+		})
+	}
 	return out
 }
 
 // Matrix is the full scenario matrix: {small, medium, large} × {geo, leo}
-// × {clear, stress} × {1 worker, GOMAXPROCS workers} — 24 scenarios.
+// × {clear, stress} × {1 worker, GOMAXPROCS workers} plus the two pepload
+// load-harness scenarios — 26 scenarios.
 func Matrix(seed uint64) []Scenario { return matrix(seed) }
 
-// ReducedMatrix is the CI subset: small and medium sizes only — 16
-// scenarios, a couple of seconds each on a laptop.
+// ReducedMatrix is the CI subset: small and medium sizes only, plus the
+// pepload scenarios — 18 scenarios, a couple of seconds each on a laptop.
 func ReducedMatrix(seed uint64) []Scenario { return matrix(seed, "small", "medium") }
 
 // ByName finds a scenario of the full matrix by name.
@@ -235,6 +271,9 @@ func RunScenario(sc Scenario) (Result, error) {
 			return Result{}, fmt.Errorf("scenario %s: %w", sc.Name, err)
 		}
 	}
+	if sc.PepLoad != nil {
+		return runPepLoadScenario(sc, sched)
+	}
 	cfg := netsim.Config{
 		Customers:     sc.Customers,
 		Days:          sc.Days,
@@ -313,6 +352,57 @@ func RunScenario(sc Scenario) (Result, error) {
 		Allocs:            m.Allocs,
 		Outputs:           outputs,
 		Metrics:           json.RawMessage(bytes.TrimSpace(metrics.Bytes())),
+	}, nil
+}
+
+// runPepLoadScenario measures a pepload scenario: concurrent split-TCP
+// flows through the real tunnel/PEP stack over a scaled-down emulated
+// link (20 ms one way, the same shape the pep package's own load tests
+// use, so CI stays fast). A fault schedule, when present, is played into
+// the live link at high speedup. Leaked tunnel streams after the drain
+// fail the scenario outright — that is the harness's core contract.
+func runPepLoadScenario(sc Scenario, sched *faults.Schedule) (Result, error) {
+	obs.Default.Reset()
+	runtime.GC()
+	sampler := obs.StartMemSampler(5 * time.Millisecond)
+	start := time.Now()
+	rep, err := pep.RunLoad(pep.LoadConfig{
+		Flows:        sc.PepLoad.Flows,
+		Concurrency:  sc.PepLoad.Concurrency,
+		Link:         linkemu.Link{Delay: 20 * time.Millisecond, Jitter: 4 * time.Millisecond, Loss: 0.005},
+		Tunnel:       tunnel.Config{RTO: 120 * time.Millisecond, Window: 64, MaxPayload: 1200},
+		Seed:         sc.Seed,
+		Faults:       sched,
+		FaultSpeedup: 20000,
+		DrainTimeout: 60 * time.Second,
+	})
+	wall := time.Since(start)
+	mem := sampler.Stop()
+	if err != nil {
+		return Result{}, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	if leaked := rep.Leaked(); leaked > 0 {
+		return Result{}, fmt.Errorf("scenario %s: %d tunnel streams leaked after drain (cpe=%d gw=%d)",
+			sc.Name, leaked, rep.LeakedCPE, rep.LeakedGW)
+	}
+
+	var metrics bytes.Buffer
+	if err := obs.Default.WriteJSON(&metrics); err != nil {
+		return Result{}, fmt.Errorf("scenario %s: metrics snapshot: %w", sc.Name, err)
+	}
+	return Result{
+		Scenario:    sc,
+		WallSeconds: wall.Seconds(),
+		TimingsSeconds: map[string]float64{
+			"load":  rep.Duration.Seconds(),
+			"drain": (wall - rep.Duration).Seconds(),
+		},
+		Flows:          rep.Flows,
+		FlowsPerSecond: rep.FlowsPerSecond,
+		Workers:        sc.PepLoad.Concurrency,
+		Mem:            mem,
+		Outputs:        map[string]string{},
+		Metrics:        json.RawMessage(bytes.TrimSpace(metrics.Bytes())),
 	}, nil
 }
 

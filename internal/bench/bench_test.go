@@ -15,12 +15,12 @@ func tinyScenario(name string, parallelism int, faults string) Scenario {
 
 func TestMatrixShape(t *testing.T) {
 	full := Matrix(42)
-	if len(full) != 24 {
-		t.Fatalf("full matrix has %d scenarios, want 24", len(full))
+	if len(full) != 26 {
+		t.Fatalf("full matrix has %d scenarios, want 26", len(full))
 	}
 	reduced := ReducedMatrix(42)
-	if len(reduced) != 16 {
-		t.Fatalf("reduced matrix has %d scenarios, want 16", len(reduced))
+	if len(reduced) != 18 {
+		t.Fatalf("reduced matrix has %d scenarios, want 18", len(reduced))
 	}
 	seen := map[string]bool{}
 	for _, sc := range full {
@@ -28,6 +28,12 @@ func TestMatrixShape(t *testing.T) {
 			t.Errorf("duplicate scenario name %q", sc.Name)
 		}
 		seen[sc.Name] = true
+		if sc.PepLoad != nil {
+			if sc.PepLoad.Flows <= 0 || sc.Days <= 0 {
+				t.Errorf("pepload scenario %s has empty dimensions: %+v", sc.Name, sc)
+			}
+			continue
+		}
 		if sc.Customers <= 0 || sc.Days <= 0 {
 			t.Errorf("scenario %s has empty dimensions: %+v", sc.Name, sc)
 		}
@@ -48,6 +54,57 @@ func TestMatrixShape(t *testing.T) {
 	}
 	if sc, _ := ByName("small-clear-p1", 42); sc.Constellation != "" {
 		t.Errorf("GEO scenario names must keep their historical form, got constellation %q", sc.Constellation)
+	}
+	if sc, ok := ByName("pepload-200-clear", 42); !ok || sc.PepLoad == nil || sc.PepLoad.Flows != 200 {
+		t.Errorf("ByName(pepload-200-clear) = %+v, %v; want a pepload scenario", sc, ok)
+	}
+	// pepload scenarios must never share a determinism group with a
+	// netsim scenario: their Outputs are empty, not digested pipelines.
+	netsimIDs := map[string]bool{}
+	for _, sc := range full {
+		if sc.PepLoad == nil {
+			netsimIDs[sc.identity()] = true
+		}
+	}
+	for _, sc := range full {
+		if sc.PepLoad != nil && netsimIDs[sc.identity()] {
+			t.Errorf("pepload scenario %s shares identity %q with a netsim scenario", sc.Name, sc.identity())
+		}
+	}
+}
+
+// TestRunPepLoadScenario runs a miniature pepload scenario end to end and
+// checks that the Result carries the load-harness signals in the same
+// shape satdiff flattens for every other scenario.
+func TestRunPepLoadScenario(t *testing.T) {
+	sc := Scenario{Name: "pepload-tiny", Days: 1, Seed: 7, PepLoad: &PepLoadSpec{Flows: 20, Concurrency: 10}}
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flows != 20 || res.FlowsPerSecond <= 0 {
+		t.Fatalf("implausible load result: %d flows, %v flows/s", res.Flows, res.FlowsPerSecond)
+	}
+	for _, stage := range []string{"load", "drain"} {
+		if _, ok := res.TimingsSeconds[stage]; !ok {
+			t.Errorf("missing stage timing %q", stage)
+		}
+	}
+	if len(res.Outputs) != 0 {
+		t.Errorf("pepload scenario digested outputs: %v", res.Outputs)
+	}
+	var dump map[string]struct {
+		Kind  string  `json:"kind"`
+		Value float64 `json:"value"`
+	}
+	if err := json.Unmarshal(res.Metrics, &dump); err != nil {
+		t.Fatalf("metrics snapshot is not a registry dump: %v", err)
+	}
+	if m, ok := dump["pep_load_flows_total"]; !ok || m.Value != 20 {
+		t.Errorf("snapshot pep_load_flows_total = %+v, want 20", m)
+	}
+	if m, ok := dump["pep_load_leaked_streams"]; !ok || m.Value != 0 {
+		t.Errorf("snapshot pep_load_leaked_streams = %+v, want 0", m)
 	}
 }
 

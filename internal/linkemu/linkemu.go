@@ -34,16 +34,52 @@ func GEO() Link {
 	return Link{Delay: 270 * time.Millisecond, Jitter: 30 * time.Millisecond, Loss: 0.005, RateBps: 10e6 / 8}
 }
 
+// Conditions are live adjustments layered on top of a direction's base
+// Link — the hook the fault injector uses to play rain fades, beam
+// outages, and gateway switches into a running link without touching
+// its base shape.
+type Conditions struct {
+	// ExtraDelay is added to the propagation delay (a gateway switch to
+	// a farther ground station).
+	ExtraDelay time.Duration
+	// ExtraLoss combines with the base loss as independent drop
+	// processes: p = 1-(1-Loss)(1-ExtraLoss). 1 means total outage.
+	ExtraLoss float64
+}
+
 // ErrClosed is returned by ReadDatagram after Close.
 var ErrClosed = errors.New("linkemu: closed")
 
-// endpoint is one side of the pair; it implements tunnel.Transport.
-type endpoint struct {
+// pktPool recycles packet buffers between WriteDatagram's copy and the
+// post-ReadDatagram release (the tunnel.Transport contract lets the
+// previously returned slice be recycled on the next call).
+var pktPool = sync.Pool{New: func() any { return make([]byte, 2048) }}
+
+func getPkt(n int) []byte {
+	b := pktPool.Get().([]byte)
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+func putPkt(b []byte) {
+	if b != nil {
+		pktPool.Put(b[:cap(b)])
+	}
+}
+
+// Endpoint is one side of the pair; it implements tunnel.Transport.
+type Endpoint struct {
 	out  *direction // the direction this endpoint writes into
 	in   chan []byte
 	done chan struct{}
 	once sync.Once
-	peer *endpoint
+	peer *Endpoint
+	// prev is the buffer handed out by the last ReadDatagram, recycled on
+	// the next call. ReadDatagram therefore expects a single reader (the
+	// tunnel's read loop), matching the Transport contract.
+	prev []byte
 }
 
 // direction carries packets one way.
@@ -52,6 +88,7 @@ type direction struct {
 
 	mu       sync.Mutex
 	r        *dist.Rand
+	cond     Conditions
 	nextFree time.Time // when the serializer is free again
 }
 
@@ -59,23 +96,28 @@ type direction struct {
 // the first endpoint, bToA those written by the second. The seed drives
 // loss and jitter deterministically (delivery order can still vary with
 // goroutine scheduling, as on a real link).
-func NewPair(aToB, bToA Link, seed uint64) (a, b interface {
-	WriteDatagram([]byte) error
-	ReadDatagram() ([]byte, error)
-	Close() error
-}) {
+func NewPair(aToB, bToA Link, seed uint64) (a, b *Endpoint) {
 	base := dist.NewRand(seed)
 	dirAB := &direction{link: aToB, r: base.Fork("a2b")}
 	dirBA := &direction{link: bToA, r: base.Fork("b2a")}
-	ea := &endpoint{out: dirAB, in: make(chan []byte, 4096), done: make(chan struct{})}
-	eb := &endpoint{out: dirBA, in: make(chan []byte, 4096), done: make(chan struct{})}
+	ea := &Endpoint{out: dirAB, in: make(chan []byte, 4096), done: make(chan struct{})}
+	eb := &Endpoint{out: dirBA, in: make(chan []byte, 4096), done: make(chan struct{})}
 	ea.peer, eb.peer = eb, ea
 	return ea, eb
 }
 
+// SetConditions applies live fault conditions to the direction this
+// endpoint writes into. Degrading a whole link means calling it on both
+// endpoints of the pair.
+func (e *Endpoint) SetConditions(c Conditions) {
+	e.out.mu.Lock()
+	e.out.cond = c
+	e.out.mu.Unlock()
+}
+
 // WriteDatagram schedules delivery at the peer after loss, serialization,
 // propagation, and jitter.
-func (e *endpoint) WriteDatagram(b []byte) error {
+func (e *Endpoint) WriteDatagram(b []byte) error {
 	select {
 	case <-e.done:
 		return ErrClosed
@@ -83,7 +125,11 @@ func (e *endpoint) WriteDatagram(b []byte) error {
 	}
 	d := e.out
 	d.mu.Lock()
-	if d.link.Loss > 0 && d.r.Bool(d.link.Loss) {
+	loss := d.link.Loss
+	if d.cond.ExtraLoss > 0 {
+		loss = 1 - (1-loss)*(1-d.cond.ExtraLoss)
+	}
+	if loss > 0 && d.r.Bool(loss) {
 		d.mu.Unlock()
 		return nil // lost on the air interface
 	}
@@ -97,31 +143,38 @@ func (e *endpoint) WriteDatagram(b []byte) error {
 		ser = time.Duration(float64(len(b)) / d.link.RateBps * float64(time.Second))
 	}
 	d.nextFree = txStart.Add(ser)
-	extra := time.Duration(0)
+	extra := d.cond.ExtraDelay
 	if d.link.Jitter > 0 {
-		extra = time.Duration(d.r.Float64() * float64(d.link.Jitter))
+		extra += time.Duration(d.r.Float64() * float64(d.link.Jitter))
 	}
 	deliverAt := txStart.Add(ser + d.link.Delay + extra)
 	d.mu.Unlock()
 
-	pkt := make([]byte, len(b))
+	// Copy into a pooled buffer: the caller may recycle b the moment we
+	// return (tunnel.Transport contract).
+	pkt := getPkt(len(b))
 	copy(pkt, b)
 	peer := e.peer
 	time.AfterFunc(time.Until(deliverAt), func() {
 		select {
 		case peer.in <- pkt:
 		case <-peer.done:
+			putPkt(pkt)
 		default:
 			// Inbox full: tail-drop, as a real modem queue would.
+			putPkt(pkt)
 		}
 	})
 	return nil
 }
 
-// ReadDatagram blocks for the next delivered datagram.
-func (e *endpoint) ReadDatagram() ([]byte, error) {
+// ReadDatagram blocks for the next delivered datagram. The returned
+// slice is valid until the next ReadDatagram call on this endpoint.
+func (e *Endpoint) ReadDatagram() ([]byte, error) {
 	select {
 	case pkt := <-e.in:
+		putPkt(e.prev)
+		e.prev = pkt
 		return pkt, nil
 	case <-e.done:
 		return nil, ErrClosed
@@ -129,7 +182,7 @@ func (e *endpoint) ReadDatagram() ([]byte, error) {
 }
 
 // Close shuts this endpoint down; pending reads fail.
-func (e *endpoint) Close() error {
+func (e *Endpoint) Close() error {
 	e.once.Do(func() { close(e.done) })
 	return nil
 }

@@ -141,6 +141,69 @@ func TestCloseUnblocksRead(t *testing.T) {
 	}
 }
 
+func TestConditionsExtraLossOutage(t *testing.T) {
+	a, b := NewPair(fastLink(time.Millisecond), fastLink(time.Millisecond), 7)
+	defer a.Close()
+	defer b.Close()
+	a.SetConditions(Conditions{ExtraLoss: 1.0}) // beam outage
+	a.WriteDatagram([]byte("lost"))
+	done := make(chan struct{})
+	go func() {
+		b.ReadDatagram()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("datagram survived a total-outage condition")
+	case <-time.After(50 * time.Millisecond):
+	}
+	a.SetConditions(Conditions{}) // fault clears
+	a.WriteDatagram([]byte("back"))
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("link did not recover after the condition cleared")
+	}
+}
+
+func TestConditionsExtraDelay(t *testing.T) {
+	a, b := NewPair(fastLink(time.Millisecond), fastLink(time.Millisecond), 8)
+	defer a.Close()
+	defer b.Close()
+	a.SetConditions(Conditions{ExtraDelay: 80 * time.Millisecond}) // gateway switch
+	start := time.Now()
+	a.WriteDatagram([]byte("rerouted"))
+	if _, err := b.ReadDatagram(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("delivered in %v despite an 80ms extra-delay condition", elapsed)
+	}
+}
+
+func TestReadBufferValidUntilNextRead(t *testing.T) {
+	// The Transport contract: the slice from ReadDatagram is valid until
+	// the next call. Contents must be intact in that window even with
+	// pooled buffers behind the scenes.
+	a, b := NewPair(fastLink(0), fastLink(0), 9)
+	defer a.Close()
+	defer b.Close()
+	a.WriteDatagram([]byte("first"))
+	got1, err := b.ReadDatagram()
+	if err != nil || string(got1) != "first" {
+		t.Fatalf("got %q, %v", got1, err)
+	}
+	cp := string(got1) // capture before the next read recycles it
+	a.WriteDatagram([]byte("second"))
+	got2, err := b.ReadDatagram()
+	if err != nil || string(got2) != "second" {
+		t.Fatalf("got %q, %v", got2, err)
+	}
+	if cp != "first" {
+		t.Fatalf("first buffer corrupted before the next read: %q", cp)
+	}
+}
+
 func TestGEOProfile(t *testing.T) {
 	l := GEO()
 	if l.Delay < 230*time.Millisecond || l.Delay > 300*time.Millisecond {

@@ -44,6 +44,10 @@ func NewCPE(tr tunnel.Transport, cfg tunnel.Config, logger *slog.Logger) *CPE {
 // Close tears down the tunnel and all proxied connections.
 func (c *CPE) Close() error { return c.tn.Close() }
 
+// ActiveStreams reports the live entries in the tunnel's stream table —
+// the load harness's leak check after a full drain.
+func (c *CPE) ActiveStreams() int { return c.tn.NumStreams() }
+
 // ServeListener accepts customer TCP connections on ln and proxies each to
 // dst through the satellite tunnel. It returns when the listener fails
 // (e.g. is closed).
@@ -99,6 +103,9 @@ func NewGateway(tr tunnel.Transport, cfg tunnel.Config, dial func(string) (net.C
 // Close tears down the tunnel and all proxied connections.
 func (g *Gateway) Close() error { return g.tn.Close() }
 
+// ActiveStreams reports the live entries in the tunnel's stream table.
+func (g *Gateway) ActiveStreams() int { return g.tn.NumStreams() }
+
 // Serve accepts tunnel streams until the tunnel closes. Each stream's
 // destination label is dialed on the internet side; a dial failure simply
 // closes the stream (the customer sees a reset after the satellite RTT, as
@@ -120,8 +127,11 @@ func (g *Gateway) handle(stream *tunnel.Stream, dst string) {
 	conn, err := g.dial(dst)
 	if err != nil {
 		g.Stats.Errors.Add(1)
+		mDialErrors.Inc()
 		g.log.Error("pep/gw: dialing", "dst", dst, "err", err)
-		stream.Close()
+		// Abort rather than half-close: the customer must see a reset,
+		// not a clean empty response.
+		stream.Reset()
 		return
 	}
 	defer conn.Close()
@@ -135,6 +145,9 @@ func (g *Gateway) handle(stream *tunnel.Stream, dst string) {
 // stream, propagating half-closes, and returns (bytes conn→stream,
 // bytes stream→conn) once both directions finish.
 func relay(conn net.Conn, stream *tunnel.Stream) (toStream, toConn int64) {
+	mRelays.Inc()
+	mRelaysActive.Add(1)
+	defer mRelaysActive.Add(-1)
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() {
@@ -163,5 +176,8 @@ func relay(conn net.Conn, stream *tunnel.Stream) (toStream, toConn int64) {
 		}
 	}()
 	wg.Wait()
+	if stream.Err() != nil {
+		mRelayErrors.Inc()
+	}
 	return toStream, toConn
 }

@@ -228,6 +228,80 @@ func TestConcurrentClients(t *testing.T) {
 	}
 }
 
+func TestHalfCloseClientToOriginStillAllowsResponse(t *testing.T) {
+	// Customer half-closes after the request (as HTTP clients do): the
+	// origin must see EOF on its read side, and its response must still
+	// flow back through the relay.
+	origin := startOrigin(t, func(c net.Conn) {
+		defer c.Close()
+		req, err := io.ReadAll(c) // EOF arrives via the propagated FIN
+		if err != nil {
+			return
+		}
+		c.Write(append([]byte("len="), []byte(fmt.Sprint(len(req)))...))
+	})
+	addr, _, _ := startPEP(t, 0.01, origin)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(bytes.Repeat([]byte("q"), 1234)); err != nil {
+		t.Fatal(err)
+	}
+	conn.(*net.TCPConn).CloseWrite()
+	got, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "len=1234" {
+		t.Fatalf("response %q after client half-close", got)
+	}
+}
+
+func TestHalfCloseOriginToClientStillAllowsUpload(t *testing.T) {
+	// Origin half-closes after its banner (as SMTP-style servers do):
+	// the customer must see EOF but its upload direction must survive.
+	recv := make(chan []byte, 1)
+	origin := startOrigin(t, func(c net.Conn) {
+		defer c.Close()
+		c.Write([]byte("banner"))
+		c.(*net.TCPConn).CloseWrite()
+		data, _ := io.ReadAll(c)
+		recv <- data
+	})
+	addr, _, _ := startPEP(t, 0.01, origin)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	banner := make([]byte, 6)
+	if _, err := io.ReadFull(conn, banner); err != nil {
+		t.Fatal(err)
+	}
+	if buf := make([]byte, 1); true {
+		if _, err := conn.Read(buf); err != io.EOF {
+			t.Fatalf("want EOF after origin half-close, got %v", err)
+		}
+	}
+	up := bytes.Repeat([]byte("u"), 2048)
+	if _, err := conn.Write(up); err != nil {
+		t.Fatalf("upload after origin half-close failed: %v", err)
+	}
+	conn.Close()
+	select {
+	case got := <-recv:
+		if !bytes.Equal(got, up) {
+			t.Fatalf("origin received %d bytes after half-close, want %d", len(got), len(up))
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("upload after origin half-close never arrived")
+	}
+}
+
 func TestDialFailureClosesClient(t *testing.T) {
 	// Gateway dials a dead port: the customer connection must terminate
 	// rather than hang (after the satellite RTT, as in the real system).

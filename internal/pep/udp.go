@@ -1,6 +1,7 @@
 package pep
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"net"
@@ -102,6 +103,12 @@ func (c *CPE) ServeUDP(conn net.PacketConn, dst string) error {
 			continue
 		}
 		if err := c.tn.SendRaw(id, enc); err != nil {
+			if errors.Is(err, tunnel.ErrTooLarge) {
+				// Datagram over the link MTU: drop it, as the real
+				// unfragmenting path would, and keep serving.
+				c.Stats.Errors.Add(1)
+				continue
+			}
 			return err
 		}
 		c.Stats.BytesUp.Add(int64(n))
@@ -191,7 +198,11 @@ func (g *Gateway) ServeUDPRelay() error {
 					if err != nil {
 						continue
 					}
-					if g.tn.SendRaw(id, enc) != nil {
+					if err := g.tn.SendRaw(id, enc); err != nil {
+						if errors.Is(err, tunnel.ErrTooLarge) {
+							g.Stats.Errors.Add(1)
+							continue // oversized reply: drop, keep the flow
+						}
 						return
 					}
 					g.Stats.BytesDown.Add(int64(n))

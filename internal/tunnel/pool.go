@@ -1,0 +1,39 @@
+package tunnel
+
+import "sync"
+
+// bufPool recycles the fixed-size byte buffers of the datagram hot path:
+// one pool for wire frames (header + payload) and one for the DATA
+// payload copies Write keeps until acknowledgement. Oversized requests
+// fall back to plain allocation and undersized returns are dropped, so
+// the pool only ever holds full-size buffers and get never returns a
+// buffer another owner could still touch.
+type bufPool struct {
+	size int
+	p    sync.Pool
+}
+
+func newBufPool(size int) *bufPool {
+	bp := &bufPool{size: size}
+	bp.p.New = func() any { return make([]byte, size) }
+	return bp
+}
+
+// get returns a buffer of length n. Buffers longer than the pool's size
+// class are allocated directly (and later dropped by put).
+func (bp *bufPool) get(n int) []byte {
+	if n > bp.size {
+		return make([]byte, n)
+	}
+	return bp.p.Get().([]byte)[:n]
+}
+
+// put recycles b if it belongs to this pool's size class. Foreign
+// buffers (OPEN destinations, oversized fallbacks, nil FIN payloads)
+// are left to the garbage collector.
+func (bp *bufPool) put(b []byte) {
+	if cap(b) < bp.size {
+		return
+	}
+	bp.p.Put(b[:bp.size])
+}

@@ -12,6 +12,10 @@ import (
 // ErrReset is returned when the peer aborted the stream.
 var ErrReset = errors.New("tunnel: stream reset by peer")
 
+// ErrTimeout is returned when the max-retransmit policy gives up on a
+// frame: the peer is dead or unreachable past any plausible outage.
+var ErrTimeout = errors.New("tunnel: stream timed out (max retransmissions exceeded)")
+
 type pending struct {
 	typ     uint8
 	payload []byte
@@ -41,7 +45,6 @@ type Stream struct {
 	sendNext uint32
 	sendBase uint32
 	unacked  map[uint32]*pending
-	sentFin  bool
 
 	// Receiver state.
 	recvNext uint32
@@ -50,7 +53,7 @@ type Stream struct {
 	peerFin  bool // FIN delivered in order
 
 	err    error
-	closed bool
+	closed bool // Close called: the FIN holds the stream's last sequence number
 }
 
 func newStream(t *Tunnel, id uint32, dst string) *Stream {
@@ -64,7 +67,8 @@ func newStream(t *Tunnel, id uint32, dst string) *Stream {
 func (s *Stream) ID() uint32 { return s.id }
 
 // Err returns the stream's terminal error (nil while healthy; ErrReset
-// after a peer abort, the transport error after a tunnel failure).
+// after a peer abort, ErrTimeout after a max-retransmit teardown, the
+// transport error after a tunnel failure).
 func (s *Stream) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -74,20 +78,32 @@ func (s *Stream) Err() error {
 // Dst returns the destination label carried by the OPEN frame.
 func (s *Stream) Dst() string { return s.dst }
 
-// sendSegment assigns the next sequence number to a frame, registers it
-// for retransmission, and transmits it once.
-func (s *Stream) sendSegment(typ uint8, payload []byte) {
-	s.mu.Lock()
+// reserveLocked assigns the next sequence number to a frame and
+// registers it for retransmission; the caller holds s.mu and transmits
+// after unlocking. Keeping the reservation under the caller's lock is
+// what makes the window check atomic with sequencing: concurrent
+// writers cannot overshoot the window, and no DATA can be sequenced
+// after a racing Close's FIN.
+func (s *Stream) reserveLocked(typ uint8, payload []byte) uint32 {
 	seq := s.sendNext
 	s.sendNext++
 	now := time.Now()
-	p := &pending{typ: typ, payload: payload, firstTx: now, lastTx: now, txCount: 1}
-	s.unacked[seq] = p
+	s.unacked[seq] = &pending{typ: typ, payload: payload, firstTx: now, lastTx: now, txCount: 1}
+	return seq
+}
+
+// sendSegment reserves and transmits one frame (OPEN; DATA and FIN have
+// their own paths so the window check and Close stay atomic).
+func (s *Stream) sendSegment(typ uint8, payload []byte) {
+	s.mu.Lock()
+	seq := s.reserveLocked(typ, payload)
 	s.mu.Unlock()
 	_ = s.t.send(typ, s.id, seq, payload)
 }
 
 // Write implements io.Writer, blocking while the send window is full.
+// Writes racing a Close fail with ErrClosed rather than sequencing data
+// after the FIN.
 func (s *Stream) Write(b []byte) (int, error) {
 	total := 0
 	for len(b) > 0 {
@@ -95,11 +111,14 @@ func (s *Stream) Write(b []byte) (int, error) {
 		if n > s.t.cfg.MaxPayload {
 			n = s.t.cfg.MaxPayload
 		}
-		chunk := make([]byte, n)
-		copy(chunk, b[:n])
 
 		s.mu.Lock()
+		stalled := false
 		for s.err == nil && !s.closed && s.sendNext-s.sendBase >= uint32(s.t.cfg.Window) {
+			if !stalled {
+				stalled = true
+				mWindowStalls.Inc()
+			}
 			s.sendCond.Wait()
 		}
 		if s.err != nil {
@@ -111,9 +130,15 @@ func (s *Stream) Write(b []byte) (int, error) {
 			s.mu.Unlock()
 			return total, ErrClosed
 		}
+		// Copy into a pooled payload buffer (owned by unacked until the
+		// ACK frees it) and sequence it under the same lock as the
+		// window check above.
+		chunk := s.t.payloadPool.get(n)
+		copy(chunk, b[:n])
+		seq := s.reserveLocked(frameData, chunk)
 		s.mu.Unlock()
 
-		s.sendSegment(frameData, chunk)
+		_ = s.t.send(frameData, s.id, seq, chunk)
 		b = b[n:]
 		total += n
 	}
@@ -137,8 +162,10 @@ func (s *Stream) Read(b []byte) (int, error) {
 	return 0, s.err
 }
 
-// Close performs a graceful close: a FIN is queued after all written data
-// and retransmitted until acknowledged. Safe to call multiple times.
+// Close performs a graceful close: a FIN is sequenced after all written
+// data — atomically with setting the closed flag, so no concurrent
+// Write can slip a DATA frame behind it — and retransmitted until
+// acknowledged. Safe to call multiple times.
 func (s *Stream) Close() error {
 	s.mu.Lock()
 	if s.closed || s.err != nil {
@@ -146,28 +173,45 @@ func (s *Stream) Close() error {
 		return nil
 	}
 	s.closed = true
-	alreadyFin := s.sentFin
-	s.sentFin = true
+	seq := s.reserveLocked(frameFin, nil)
 	s.mu.Unlock()
-	if !alreadyFin {
-		s.sendSegment(frameFin, nil)
-	}
+	_ = s.t.send(frameFin, s.id, seq, nil)
 	return nil
 }
 
-// teardown aborts the stream with an error, waking all waiters.
+// Reset aborts the stream immediately: a RESET frame tells the peer
+// (best effort — if it is lost, the peer's next retransmission hits our
+// reset tombstone and is answered with another RESET), and local
+// readers and writers fail with ErrReset.
+func (s *Stream) Reset() {
+	mStreamsReset.Inc()
+	_ = s.t.send(frameReset, s.id, 0, nil)
+	s.teardown(ErrReset)
+}
+
+// teardown aborts the stream with an error, waking all waiters and
+// recycling any in-flight payload buffers.
 func (s *Stream) teardown(err error) {
 	s.mu.Lock()
-	if s.err == nil {
+	first := s.err == nil
+	if first {
 		s.err = err
+		for seq, p := range s.unacked {
+			if p.typ == frameData {
+				s.t.payloadPool.put(p.payload)
+			}
+			delete(s.unacked, seq)
+		}
 	}
 	s.mu.Unlock()
 	s.recvCond.Broadcast()
 	s.sendCond.Broadcast()
-	s.t.removeStream(s.id)
+	// A torn-down stream never ACKs again: its tombstone answers with a
+	// reset so a still-talking peer learns the stream is gone.
+	s.t.removeStream(s.id, true)
 }
 
-func (s *Stream) sendAckLocked(next uint32) {
+func (s *Stream) sendAck(next uint32) {
 	_ = s.t.send(frameAck, s.id, next, nil)
 }
 
@@ -186,19 +230,22 @@ func (s *Stream) handleFrame(typ uint8, seq uint32, payload []byte) {
 					if p.txCount == 1 {
 						sample = now.Sub(p.firstTx)
 					}
+					if p.typ == frameData {
+						s.t.payloadPool.put(p.payload)
+					}
 					delete(s.unacked, q)
 				}
 			}
 			s.sendBase = seq
 			s.sendCond.Broadcast()
 		}
-		done := s.closed && len(s.unacked) == 0 && s.peerFin
+		done := s.fullyClosedLocked()
 		s.mu.Unlock()
 		if sample > 0 {
 			s.t.sampleRTT(sample)
 		}
 		if done {
-			s.t.removeStream(s.id)
+			s.t.removeStream(s.id, false)
 		}
 	case frameData, frameFin:
 		s.mu.Lock()
@@ -211,7 +258,12 @@ func (s *Stream) handleFrame(typ uint8, seq uint32, payload []byte) {
 			return
 		default:
 			if _, dup := s.ooo[seq]; !dup {
-				data := append([]byte(nil), payload...)
+				// Pooled copy: the dispatch buffer is recycled on the next
+				// ReadDatagram, and recvBuf.Write below copies again, so the
+				// segment buffer can go straight back to the pool once
+				// delivered.
+				data := s.t.payloadPool.get(len(payload))
+				copy(data, payload)
 				s.ooo[seq] = oooSegment{fin: typ == frameFin, data: data}
 			}
 			// Deliver everything now in order.
@@ -227,13 +279,23 @@ func (s *Stream) handleFrame(typ uint8, seq uint32, payload []byte) {
 				} else {
 					s.recvBuf.Write(seg.data)
 				}
+				s.t.payloadPool.put(seg.data)
 			}
 		}
 		next := s.recvNext
+		// The peer's FIN can be the last frame of the conversation: when
+		// our own FIN is already acknowledged, this branch — not the ACK
+		// branch — is where the stream completes, and skipping the check
+		// here leaks the stream in the table forever.
+		done := s.fullyClosedLocked()
 		s.recvCond.Broadcast()
 		s.mu.Unlock()
-		s.sendAckLocked(next)
+		s.sendAck(next)
+		if done {
+			s.t.removeStream(s.id, false)
+		}
 	case frameReset:
+		mStreamsReset.Inc()
 		s.teardown(ErrReset)
 	case frameOpen:
 		// Duplicate OPEN (our ACK was lost): re-ack seq 1.
@@ -241,14 +303,22 @@ func (s *Stream) handleFrame(typ uint8, seq uint32, payload []byte) {
 		next := s.recvNext
 		s.mu.Unlock()
 		if next >= 1 {
-			s.sendAckLocked(next)
+			s.sendAck(next)
 		}
 	}
 }
 
+// fullyClosedLocked reports whether both directions have finished: our
+// FIN is sent and acknowledged, and the peer's FIN was delivered in
+// order. The caller holds s.mu.
+func (s *Stream) fullyClosedLocked() bool {
+	return s.closed && len(s.unacked) == 0 && s.peerFin
+}
+
 // retransmitDue resends the oldest unacknowledged frame when its RTO has
 // expired (go-back-one: one probe per RTO avoids retransmission storms on
-// a long-delay link).
+// a long-delay link). Past the max-retransmit cap the stream is torn
+// down with ErrTimeout and the peer told via a best-effort reset.
 func (s *Stream) retransmitDue(now time.Time) {
 	rto := s.t.currentRTO()
 	s.mu.Lock()
@@ -257,13 +327,21 @@ func (s *Stream) retransmitDue(now time.Time) {
 		s.mu.Unlock()
 		return
 	}
+	if max := s.t.cfg.MaxRetransmits; max > 0 && p.txCount > max {
+		s.mu.Unlock()
+		mStreamsTimedOut.Inc()
+		_ = s.t.send(frameReset, s.id, 0, nil)
+		s.teardown(ErrTimeout)
+		return
+	}
 	p.lastTx = now
 	p.txCount++
-	seq := s.sendBase
-	typ := p.typ
-	payload := p.payload
+	// Serialize under the lock: the payload buffer is pooled and may be
+	// recycled by an ACK the moment we let go of s.mu.
+	buf := s.t.buildFrame(p.typ, s.id, s.sendBase, p.payload)
 	s.mu.Unlock()
-	_ = s.t.send(typ, s.id, seq, payload)
+	mRetransmits.Inc()
+	_ = s.t.writeFrame(buf)
 }
 
 // String implements fmt.Stringer for diagnostics.

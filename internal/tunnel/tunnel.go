@@ -19,10 +19,15 @@ import (
 // Transport is the unreliable datagram layer under the tunnel: a UDP
 // socket in deployment, an emulated satellite link in tests and demos.
 type Transport interface {
-	// WriteDatagram sends one datagram (best effort).
+	// WriteDatagram sends one datagram (best effort). The buffer is only
+	// valid for the duration of the call: implementations that retain it
+	// past returning must copy (the tunnel recycles frame buffers).
 	WriteDatagram(b []byte) error
 	// ReadDatagram blocks for the next datagram. It returns an error
-	// when the transport is closed.
+	// when the transport is closed. The returned slice is only valid
+	// until the next ReadDatagram call on the same transport, which
+	// lets implementations recycle receive buffers; the tunnel's read
+	// loop copies everything it keeps.
 	ReadDatagram() ([]byte, error)
 	Close() error
 }
@@ -52,15 +57,22 @@ type Config struct {
 	RTO time.Duration
 	// Window is the per-stream send window in frames.
 	Window int
-	// MaxPayload is the maximum DATA payload per frame.
+	// MaxPayload is the maximum DATA payload per frame; it also clamps
+	// SendRaw, so no frame ever exceeds the link MTU the value models.
 	MaxPayload int
 	// AcceptBacklog bounds pending un-Accept()ed streams.
 	AcceptBacklog int
+	// MaxRetransmits caps how often one frame is retransmitted before
+	// the stream is torn down with ErrTimeout (a dead peer must produce
+	// an error, not infinite RTO probes). 0 means the default; negative
+	// disables the cap.
+	MaxRetransmits int
 }
 
 // DefaultConfig returns deployment-shaped defaults.
 func DefaultConfig() Config {
-	return Config{RTO: 900 * time.Millisecond, Window: 128, MaxPayload: 1200, AcceptBacklog: 64}
+	return Config{RTO: 900 * time.Millisecond, Window: 128, MaxPayload: 1200,
+		AcceptBacklog: 64, MaxRetransmits: 15}
 }
 
 func (c Config) withDefaults() Config {
@@ -77,11 +89,17 @@ func (c Config) withDefaults() Config {
 	if c.AcceptBacklog <= 0 {
 		c.AcceptBacklog = d.AcceptBacklog
 	}
+	if c.MaxRetransmits == 0 {
+		c.MaxRetransmits = d.MaxRetransmits
+	}
 	return c
 }
 
 // ErrClosed is returned on operations over a closed tunnel or stream.
 var ErrClosed = errors.New("tunnel: closed")
+
+// ErrTooLarge is returned by SendRaw for payloads over MaxPayload.
+var ErrTooLarge = errors.New("tunnel: payload exceeds MaxPayload")
 
 // Tunnel is one endpoint of the reliable tunnel.
 type Tunnel struct {
@@ -105,6 +123,12 @@ type Tunnel struct {
 	rawCh    chan RawDatagram
 	done     chan struct{}
 	loopErr  error
+
+	// Buffer pools for the datagram hot path: wire frames (header +
+	// payload) and the DATA payload copies Write keeps until
+	// acknowledgement.
+	framePool   *bufPool
+	payloadPool *bufPool
 
 	// Adaptive retransmission timeout (Jacobson/Karels smoothing over
 	// RTT samples that pass Karn's rule). Config.RTO is the initial and
@@ -136,6 +160,8 @@ func New(tr Transport, cfg Config, isClient bool) *Tunnel {
 		rawCh:    make(chan RawDatagram, 256),
 		done:     make(chan struct{}),
 	}
+	t.framePool = newBufPool(headerLen + t.cfg.MaxPayload)
+	t.payloadPool = newBufPool(t.cfg.MaxPayload)
 	t.rto = t.cfg.RTO
 	if isClient {
 		t.nextID = 1
@@ -160,6 +186,8 @@ func (t *Tunnel) OpenStream(dst string) (*Stream, error) {
 	s := newStream(t, id, dst)
 	t.streams[id] = s
 	t.mu.Unlock()
+	mStreamsOpened.Inc()
+	mStreamsActive.Add(1)
 
 	// The OPEN frame is retransmitted like data (seq 0 carries the dst).
 	s.sendSegment(frameOpen, []byte(dst))
@@ -193,6 +221,7 @@ func (t *Tunnel) sampleRTT(rtt time.Duration) {
 		rto = max
 	}
 	t.rto = rto
+	mRTO.Set(rto.Seconds())
 }
 
 // currentRTO returns the retransmission timeout in force.
@@ -212,10 +241,15 @@ func (t *Tunnel) RTTEstimate() time.Duration {
 
 // SendRaw forwards one datagram unreliably (no ACK, no retransmission):
 // the non-accelerated UDP path of the PEP architecture. flowID is an
-// opaque label the receiver uses to demultiplex.
+// opaque label the receiver uses to demultiplex. Payloads over
+// MaxPayload are rejected with ErrTooLarge — raw frames must respect
+// the same MTU clamp as DATA, not ride the 65535-byte wire limit.
 func (t *Tunnel) SendRaw(flowID uint32, payload []byte) error {
 	if t.isClosed() {
 		return ErrClosed
+	}
+	if len(payload) > t.cfg.MaxPayload {
+		return fmt.Errorf("%w (%d > %d)", ErrTooLarge, len(payload), t.cfg.MaxPayload)
 	}
 	return t.send(frameRaw, flowID, 0, payload)
 }
@@ -277,17 +311,41 @@ func (t *Tunnel) isClosed() bool {
 	return t.closed
 }
 
-func (t *Tunnel) send(typ uint8, id, seq uint32, payload []byte) error {
-	if len(payload) > 0xffff {
-		return fmt.Errorf("tunnel: payload %d too large", len(payload))
-	}
-	buf := make([]byte, headerLen+len(payload))
+// NumStreams returns the number of live streams in the stream table. It
+// is the leak check of the load harness and stress tests: once every
+// flow has drained it must return to zero.
+func (t *Tunnel) NumStreams() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.streams)
+}
+
+// buildFrame serializes one frame into a pooled buffer; pass it to
+// writeFrame (which recycles it) or return it with framePool.put.
+func (t *Tunnel) buildFrame(typ uint8, id, seq uint32, payload []byte) []byte {
+	buf := t.framePool.get(headerLen + len(payload))
 	buf[0] = typ
 	binary.BigEndian.PutUint32(buf[1:5], id)
 	binary.BigEndian.PutUint32(buf[5:9], seq)
 	binary.BigEndian.PutUint16(buf[9:11], uint16(len(payload)))
 	copy(buf[headerLen:], payload)
-	return t.tr.WriteDatagram(buf)
+	return buf
+}
+
+// writeFrame hands a built frame to the transport and recycles the
+// buffer (Transport.WriteDatagram must not retain it).
+func (t *Tunnel) writeFrame(buf []byte) error {
+	err := t.tr.WriteDatagram(buf)
+	t.framePool.put(buf)
+	mFramesSent.Inc()
+	return err
+}
+
+func (t *Tunnel) send(typ uint8, id, seq uint32, payload []byte) error {
+	if len(payload) > 0xffff {
+		return fmt.Errorf("tunnel: payload %d too large", len(payload))
+	}
+	return t.writeFrame(t.buildFrame(typ, id, seq, payload))
 }
 
 func (t *Tunnel) readLoop() {
@@ -326,6 +384,7 @@ func (t *Tunnel) dispatch(dgram []byte) {
 		return // truncated: drop
 	}
 	payload := dgram[headerLen : headerLen+n]
+	mFramesReceived.Inc()
 
 	if typ == frameRaw {
 		cp := make([]byte, len(payload))
@@ -334,6 +393,7 @@ func (t *Tunnel) dispatch(dgram []byte) {
 		case t.rawCh <- RawDatagram{FlowID: id, Payload: cp}:
 		default:
 			// Receiver not draining: drop, as UDP would.
+			mRawDrops.Inc()
 		}
 		return
 	}
@@ -343,10 +403,18 @@ func (t *Tunnel) dispatch(dgram []byte) {
 	if !ok {
 		if d, wasDead := t.dead[id]; wasDead {
 			t.mu.Unlock()
-			// TIME_WAIT: the peer retransmitted because our final ACK
-			// was lost — repeat it rather than resetting.
 			if typ == frameData || typ == frameFin || typ == frameOpen {
-				_ = t.send(frameAck, id, d.recvNext, nil)
+				if d.reset {
+					// The stream ended in a reset on our side: the peer
+					// must not be talked back into believing it is
+					// established — repeat the reset, never an ACK.
+					_ = t.send(frameReset, id, 0, nil)
+				} else {
+					// TIME_WAIT: the peer retransmitted because our
+					// final ACK was lost — repeat it rather than
+					// resetting.
+					_ = t.send(frameAck, id, d.recvNext, nil)
+				}
 			}
 			return
 		}
@@ -358,13 +426,20 @@ func (t *Tunnel) dispatch(dgram []byte) {
 			replay := t.early[id]
 			delete(t.early, id)
 			t.mu.Unlock()
-			s.sendAckLocked(1)
+			mStreamsOpened.Inc()
+			mStreamsActive.Add(1)
+			s.sendAck(1)
 			select {
 			case t.acceptCh <- s:
 			default:
-				// Backlog full: reset the stream.
+				// Backlog full: reset the stream. The removal must leave
+				// a reset tombstone, not an ACKing one — an ACKing
+				// tombstone would re-acknowledge the peer's
+				// retransmissions and leave it believing the stream is
+				// established while our side has discarded it.
+				mStreamsReset.Inc()
 				_ = t.send(frameReset, id, 0, nil)
-				t.removeStream(id)
+				t.removeStream(id, true)
 				return
 			}
 			// Replay the first flight that outran its OPEN.
@@ -394,6 +469,10 @@ func (t *Tunnel) dispatch(dgram []byte) {
 type tombstone struct {
 	recvNext uint32
 	at       time.Time
+	// reset marks a stream that ended in a reset (backlog overflow,
+	// max-retransmit teardown, peer abort): its tombstone answers
+	// retransmissions with another reset instead of an ACK.
+	reset bool
 }
 
 type earlyFrame struct {
@@ -403,14 +482,19 @@ type earlyFrame struct {
 	at      time.Time
 }
 
-func (t *Tunnel) removeStream(id uint32) {
+// removeStream drops a stream from the table and installs its TIME_WAIT
+// tombstone. reset selects the tombstone flavour: a gracefully closed
+// stream re-ACKs peer retransmissions, a reset stream repeats the reset.
+func (t *Tunnel) removeStream(id uint32, reset bool) {
 	t.mu.Lock()
 	if s, ok := t.streams[id]; ok {
 		delete(t.streams, id)
 		s.mu.Lock()
 		next := s.recvNext
 		s.mu.Unlock()
-		t.dead[id] = tombstone{recvNext: next, at: time.Now()}
+		t.dead[id] = tombstone{recvNext: next, at: time.Now(), reset: reset}
+		mStreamsClosed.Inc()
+		mStreamsActive.Add(-1)
 	}
 	t.mu.Unlock()
 }

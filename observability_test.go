@@ -9,6 +9,11 @@ import (
 	"satwatch/internal/obs"
 	"satwatch/internal/prof"
 	"satwatch/internal/trace"
+
+	// The tunnel/PEP socket stack is not on the satwatch.go pipeline path;
+	// import it for registration so the doc cross-checks cover its metrics.
+	_ "satwatch/internal/pep"
+	_ "satwatch/internal/tunnel"
 )
 
 // TestObservabilityDocCoversRegistry asserts that OBSERVABILITY.md
@@ -51,7 +56,7 @@ func TestObservabilityDocHasNoStaleMetrics(t *testing.T) {
 		// Manifest timings/allocs stage key, not a metric.
 		"mac_prebuild": true,
 	}
-	re := regexp.MustCompile("`((?:netsim|mac|pep|phy|shaper|tstat|dnssim|satpep)_[a-z0-9_]+)`")
+	re := regexp.MustCompile("`((?:netsim|mac|pep|phy|shaper|tstat|dnssim|satpep|tunnel)_[a-z0-9_]+)`")
 	for _, m := range re.FindAllStringSubmatch(string(doc), -1) {
 		name := m[1]
 		if !registered[name] && !allowed[name] {
