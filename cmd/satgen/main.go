@@ -38,6 +38,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"satwatch/internal/faults"
@@ -99,10 +100,12 @@ func run() (int, error) {
 		return 0, err
 	}
 
-	// First SIGINT cancels the run gracefully (workers stop at the next
-	// customer boundary, logs and manifest are flushed); a second one
-	// restores the default handler, so it kills the process.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// First SIGINT/SIGTERM cancels the run gracefully (workers stop at the
+	// next customer boundary, logs and manifest are flushed); a second one
+	// restores the default handler, so it kills the process. SIGTERM is
+	// what container runtimes send on stop, so containerized runs drain
+	// instead of dying with lost output.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()

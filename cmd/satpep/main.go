@@ -26,11 +26,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"satwatch/internal/faults"
@@ -86,8 +89,14 @@ func run() (int, error) {
 	obs.Default.Reset()
 	start := time.Now()
 
+	// First SIGINT/SIGTERM stops launching flows and drains gracefully
+	// (the load report and metrics dump still get written); a second one
+	// kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *load {
-		return runLoad(loadOptions{
+		return runLoad(ctx, loadOptions{
 			flows: *flows, concurrency: *concurrency, mix: *mixArg, arrival: *arrival,
 			delay: *delay, jitter: *jitter, loss: *loss, rate: *rate,
 			faults: *faultsArg, faultSpeedup: *faultSpeedup, seed: *seed,
@@ -211,7 +220,7 @@ type loadOptions struct {
 
 // runLoad executes the load harness and enforces its acceptance gates:
 // zero flow errors and zero leaked streams after the drain.
-func runLoad(o loadOptions) (int, error) {
+func runLoad(ctx context.Context, o loadOptions) (int, error) {
 	mix, err := pep.ParseMix(o.mix)
 	if err != nil {
 		return 0, err
@@ -242,6 +251,7 @@ func runLoad(o loadOptions) (int, error) {
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
+		Ctx: ctx,
 	})
 	if err != nil {
 		return 0, err

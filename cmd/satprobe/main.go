@@ -7,7 +7,8 @@
 // /progress and /debug/pprof live during the replay (see
 // OBSERVABILITY.md). Exit codes: 0 on success, 1 on error, 2 when
 // packets had to be skipped (logs were salvaged from a partially
-// decodable capture).
+// decodable capture) or the replay was interrupted by SIGINT/SIGTERM
+// (logs salvaged up to the stop point).
 //
 // Usage:
 //
@@ -16,12 +17,15 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"satwatch/internal/obs"
@@ -93,9 +97,22 @@ func run() (int, error) {
 		return 0, fmt.Errorf("capture link type %d, need LINKTYPE_RAW (%d)", rd.LinkType(), pcapio.LinkTypeRaw)
 	}
 
+	// First SIGINT/SIGTERM stops the replay at a packet boundary and
+	// salvages the logs tracked so far; a second one kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	tr := tstat.NewTracker(tstat.Config{})
 	var epoch time.Time
-	for {
+	interrupted := false
+	for !interrupted {
+		select {
+		case <-ctx.Done():
+			stop()
+			interrupted = true
+			continue
+		default:
+		}
 		ts, data, err := rd.Next()
 		if errors.Is(err, io.EOF) {
 			break
@@ -113,6 +130,9 @@ func run() (int, error) {
 		packets.Add(1)
 	}
 	flows, dns := tr.Flush()
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "satprobe: interrupted, salvaging logs tracked so far")
+	}
 
 	fmt.Printf("replayed %d packets (%d undecodable): %d flows, %d DNS transactions\n",
 		packets.Load(), badPackets.Load(), len(flows), len(dns))
@@ -154,8 +174,10 @@ func run() (int, error) {
 		fmt.Printf("metrics written to %s\n", *metricsOut)
 	}
 
-	if badPackets.Load() > 0 {
-		fmt.Fprintf(os.Stderr, "satprobe: skipped %d undecodable packets\n", badPackets.Load())
+	if interrupted || badPackets.Load() > 0 {
+		if badPackets.Load() > 0 {
+			fmt.Fprintf(os.Stderr, "satprobe: skipped %d undecodable packets\n", badPackets.Load())
+		}
 		return 2, nil
 	}
 	return 0, nil

@@ -38,6 +38,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"satwatch"
@@ -103,8 +104,9 @@ func run() (int, error) {
 		return 0, err
 	}
 
-	// First SIGINT cancels the run gracefully; the second kills.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// First SIGINT/SIGTERM cancels the run gracefully; the second kills.
+	// SIGTERM is included so containerized runs drain instead of dying.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()

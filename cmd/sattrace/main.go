@@ -20,11 +20,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"satwatch/internal/netsim"
 	"satwatch/internal/obs"
@@ -54,6 +57,12 @@ func run() (int, error) {
 	// Metrics are cleared at run start so every dump reflects this run
 	// only, not process-lifetime totals.
 	obs.Default.Reset()
+
+	// First SIGINT/SIGTERM is absorbed so the metrics dump and any
+	// in-flight atomic write complete (rendering is skipped); a second
+	// one restores the default handler and kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *spans {
 		fmt.Println(strings.Join(trace.SpanNames(), "\n"))
@@ -102,6 +111,11 @@ func run() (int, error) {
 		}
 		fmt.Print(trace.Waterfall(f))
 		return finish(exitSkipped(st.Skipped), *metricsOut)
+	}
+
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "sattrace: interrupted, skipping rendering")
+		return finish(2, *metricsOut)
 	}
 
 	ranked := trace.TopK(flows, *by, *top)

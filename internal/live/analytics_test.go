@@ -1,0 +1,122 @@
+package live
+
+import (
+	"net/netip"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"satwatch/internal/dnssim"
+	"satwatch/internal/geo"
+	"satwatch/internal/tstat"
+)
+
+func testAnalytics(degraded *atomic.Bool) *Analytics {
+	prefixes := map[netip.Prefix]geo.CountryCode{
+		netip.MustParsePrefix("10.1.0.0/16"): "IT",
+		netip.MustParsePrefix("10.2.0.0/16"): "NG",
+	}
+	return NewAnalytics(10*time.Minute, time.Minute, 8, prefixes, degraded)
+}
+
+func flowAt(t time.Duration, client string, down int64, rtt time.Duration) tstat.FlowRecord {
+	return tstat.FlowRecord{
+		Client: netip.MustParseAddr(client),
+		Start:  t, End: t + time.Second,
+		BytesDown: down, BytesUp: 10,
+		SatRTT: rtt,
+	}
+}
+
+func TestAnalyticsWindowsFinalizeOnWatermark(t *testing.T) {
+	a := testAnalytics(nil)
+	a.AddFlow(flowAt(1*time.Minute, "10.1.0.5", 1000, 550*time.Millisecond))
+	a.AddFlow(flowAt(5*time.Minute, "10.2.0.9", 500, 0))
+	if got := len(a.Recent()); got != 0 {
+		t.Fatalf("windows finalized before watermark passed grace: %d", got)
+	}
+
+	// A record at 11:30 sets the watermark past 10m + 1m grace: the
+	// first window must finalize.
+	a.AddFlow(flowAt(11*time.Minute+30*time.Second, "10.1.0.5", 42, 0))
+	recent := a.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("finalized windows = %d, want 1", len(recent))
+	}
+	w := recent[0]
+	if w.Start != 0 || w.End != 10*time.Minute {
+		t.Errorf("window bounds = [%s, %s)", w.Start, w.End)
+	}
+	if w.Flows != 2 || w.BytesDown != 1500 {
+		t.Errorf("window totals = %d flows, %d bytes down; want 2, 1500", w.Flows, w.BytesDown)
+	}
+	if w.BytesByCountry["IT"] != 1010 || w.BytesByCountry["NG"] != 510 {
+		t.Errorf("per-country volumes = %v", w.BytesByCountry)
+	}
+	if w.RTTSamples != 1 || w.RTTMeanMs != 550 {
+		t.Errorf("rtt aggregate = %d samples, mean %.1f ms", w.RTTSamples, w.RTTMeanMs)
+	}
+	if w.Degraded {
+		t.Error("healthy window marked degraded")
+	}
+}
+
+func TestAnalyticsResolverShares(t *testing.T) {
+	a := testAnalytics(nil)
+	res := dnssim.Resolvers()
+	a.AddDNS(tstat.DNSRecord{Resolver: res[0].Addr, T: time.Minute})
+	a.AddDNS(tstat.DNSRecord{Resolver: res[0].Addr, T: 2 * time.Minute})
+	a.AddDNS(tstat.DNSRecord{Resolver: res[1].Addr, T: 3 * time.Minute})
+	a.Finalize()
+	recent := a.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("finalized windows = %d, want 1", len(recent))
+	}
+	w := recent[0]
+	if w.DNS != 3 {
+		t.Errorf("dns total = %d, want 3", w.DNS)
+	}
+	if w.DNSByResolver[string(res[0].ID)] != 2 || w.DNSByResolver[string(res[1].ID)] != 1 {
+		t.Errorf("resolver shares = %v", w.DNSByResolver)
+	}
+}
+
+func TestAnalyticsDegradedDropsBreakdowns(t *testing.T) {
+	var degraded atomic.Bool
+	degraded.Store(true)
+	a := testAnalytics(&degraded)
+	a.AddFlow(flowAt(time.Minute, "10.1.0.5", 1000, 0))
+	a.Finalize()
+	recent := a.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("finalized windows = %d, want 1", len(recent))
+	}
+	w := recent[0]
+	if !w.Degraded {
+		t.Error("degraded window not marked")
+	}
+	if w.BytesByCountry != nil || w.DNSByResolver != nil {
+		t.Error("degraded window kept per-country/per-resolver maps")
+	}
+	if w.Flows != 1 || w.BytesDown != 1000 {
+		t.Errorf("degraded window lost totals: %+v", w)
+	}
+}
+
+func TestAnalyticsRingBounded(t *testing.T) {
+	a := testAnalytics(nil)
+	for i := 0; i < 20; i++ {
+		a.AddFlow(flowAt(time.Duration(i)*10*time.Minute+time.Minute, "10.1.0.5", 1, 0))
+	}
+	a.Finalize()
+	if got := len(a.Recent()); got != 8 {
+		t.Fatalf("ring holds %d summaries, want keep=8", got)
+	}
+	// Oldest first, newest last.
+	recent := a.Recent()
+	for i := 1; i < len(recent); i++ {
+		if recent[i].Start <= recent[i-1].Start {
+			t.Fatalf("ring out of order: %s after %s", recent[i].Start, recent[i-1].Start)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"satwatch/internal/faults"
+	"satwatch/internal/obs"
+)
+
+// ControlHandler grows the batch tools' -debug-addr surface (/metrics,
+// /progress, /debug/pprof) into the daemon's control plane:
+//
+//   - GET  /healthz            200 while no stage is stalled, else 503
+//   - GET  /readyz             200 while running and not draining
+//   - GET  /analytics          finalized window summaries, oldest first
+//   - GET|POST /control/rate     read / set the workload multiplier
+//   - GET|POST /control/faults   read / set the fault schedule (presets)
+//   - GET|POST /control/scenario read / hot-swap the constellation
+//
+// Mutations take query parameters (?multiplier=, ?preset=, ?constellation=)
+// so they are curl-able; every accepted mutation counts in
+// live_control_requests_total. See OBSERVABILITY.md for the endpoint table.
+func ControlHandler(p *Pipeline, reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", obs.DebugHandler(reg, func() any { return p.Progress() }))
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if stalled := p.Stalled(); len(stalled) > 0 {
+			http.Error(w, fmt.Sprintf("stalled stages: %v", stalled), http.StatusServiceUnavailable)
+			return
+		}
+		degraded, reason := p.Degraded()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status": "ok", "degraded": degraded, "reason": reason,
+		})
+	})
+
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !p.Ready() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("/analytics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{
+			"watermark_seconds": p.Analytics().Watermark().Seconds(),
+			"windows":           p.Analytics().Recent(),
+		})
+	})
+
+	mux.HandleFunc("/control/rate", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			raw := r.URL.Query().Get("multiplier")
+			m, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad multiplier %q: %v", raw, err), http.StatusBadRequest)
+				return
+			}
+			if err := p.SetRate(m); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			mControlRequests.Inc()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]float64{"multiplier": p.Rate()})
+	})
+
+	mux.HandleFunc("/control/faults", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			preset := r.URL.Query().Get("preset")
+			if preset == "" {
+				http.Error(w, "missing ?preset= (a faults preset name, or \"clear\")", http.StatusBadRequest)
+				return
+			}
+			if preset == "clear" {
+				p.Sim().SetFaults(nil)
+			} else {
+				sched, err := faults.Preset(preset, 1, p.Sim().Seed())
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				// Presets are authored against day 0; shift them to start
+				// at the current simulated instant so an injected fault
+				// bites now, not days in the past.
+				p.Sim().SetFaults(shiftSchedule(sched, p.Clock().Now()))
+			}
+			mControlRequests.Inc()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		sched := p.Sim().Faults()
+		if sched == nil {
+			enc.Encode(map[string]any{"active": false})
+			return
+		}
+		enc.Encode(map[string]any{"active": true, "schedule": sched})
+	})
+
+	mux.HandleFunc("/control/scenario", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			con := r.URL.Query().Get("constellation")
+			if con == "" {
+				http.Error(w, "missing ?constellation=", http.StatusBadRequest)
+				return
+			}
+			if err := p.Sim().SwapScenario(con); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			mScenarioSwaps.Inc()
+			mControlRequests.Inc()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{"constellation": p.Sim().ScenarioName()})
+	})
+
+	return mux
+}
+
+// shiftSchedule rebases every event of s by offset (fault presets start
+// at the epoch; live injection wants them to start now).
+func shiftSchedule(s *faults.Schedule, offset time.Duration) *faults.Schedule {
+	if s == nil {
+		return nil
+	}
+	out := &faults.Schedule{Name: s.Name, Seed: s.Seed, Events: make([]faults.Event, len(s.Events))}
+	copy(out.Events, s.Events)
+	for i := range out.Events {
+		out.Events[i].Start += offset
+		out.Events[i].End += offset
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package live
+
+import "satwatch/internal/obs"
+
+// Exported metrics (see OBSERVABILITY.md). The obs registry has no label
+// support, so every queue edge gets its own flat metric family; worker
+// shard queues share one family (depths are deltas, so they aggregate).
+var (
+	mSimSeconds = obs.NewGauge("live_sim_seconds",
+		"Simulated time reached by the live pipeline's clock.", "seconds")
+	mSpeedup = obs.NewGauge("live_speedup",
+		"Simulated seconds advanced per wall second.", "")
+	mRate = obs.NewGauge("live_rate_multiplier",
+		"Workload rate multiplier applied at intent admission (set via /control/rate).", "")
+	mIntents = obs.NewCounter("live_intents_total",
+		"Flow intents admitted into the pipeline (after rate multiplication).", "")
+	mSynthErrors = obs.NewCounter("live_synth_errors_total",
+		"Intents whose synthesis failed; the worker drops them and continues.", "")
+	mFlowRecords = obs.NewCounter("live_flow_records_total",
+		"Flow records emitted by worker trackers into the analytics stage.", "")
+	mDNSRecords = obs.NewCounter("live_dns_records_total",
+		"DNS records emitted by worker trackers into the analytics stage.", "")
+	mActiveFlows = obs.NewGauge("live_active_flows",
+		"In-flight flows across all worker trackers.", "")
+	mDegraded = obs.NewGauge("live_degraded",
+		"1 while the daemon is in degraded mode (stalled/restarted stage or coarse analytics), else 0.", "")
+	mStageRestarts = obs.NewCounter("live_stage_restarts_total",
+		"Stage goroutines relaunched by the supervisor after a panic or watchdog cancel.", "")
+	mWatchdogStalls = obs.NewCounter("live_watchdog_stalls_total",
+		"Heartbeat stalls detected by the per-stage watchdog.", "")
+	mWindows = obs.NewCounter("live_windows_total",
+		"Analytics windows finalized (watermark passed window end plus grace).", "")
+	mWindowRTT = obs.NewHistogram("live_window_rtt_seconds",
+		"Satellite-segment RTT of flows entering the rolling analytics windows.", "seconds",
+		obs.LatencyBuckets())
+	mScenarioSwaps = obs.NewCounter("live_scenario_swaps_total",
+		"Constellation hot-swaps applied via /control/scenario.", "")
+	mControlRequests = obs.NewCounter("live_control_requests_total",
+		"Mutating control-plane requests accepted (/control/rate, /control/faults, /control/scenario).", "")
+
+	// Queue edges. intents: generator → dispatcher (Block). synth:
+	// dispatcher → worker shards (Shed). records: workers → analytics
+	// (Shed).
+	qmIntents = QueueMetrics{
+		Depth: obs.NewGauge("live_q_intents_depth",
+			"Items buffered on the generator → dispatcher queue.", ""),
+		HighWater: obs.NewGauge("live_q_intents_highwater",
+			"Peak depth observed on the generator → dispatcher queue.", ""),
+		Shed: obs.NewCounter("live_q_intents_shed_total",
+			"Items shed at the generator → dispatcher queue (0 by construction: this edge blocks).", ""),
+		Pushed: obs.NewCounter("live_q_intents_pushed_total",
+			"Items accepted onto the generator → dispatcher queue.", ""),
+	}
+	qmSynth = QueueMetrics{
+		Depth: obs.NewGauge("live_q_synth_depth",
+			"Items buffered across all dispatcher → worker shard queues.", ""),
+		HighWater: obs.NewGauge("live_q_synth_highwater",
+			"Peak per-shard depth observed on the dispatcher → worker queues.", ""),
+		Shed: obs.NewCounter("live_q_synth_shed_total",
+			"Intents shed at full worker shard queues (load shedding under overload).", ""),
+		Pushed: obs.NewCounter("live_q_synth_pushed_total",
+			"Intents accepted onto worker shard queues.", ""),
+	}
+	qmRecords = QueueMetrics{
+		Depth: obs.NewGauge("live_q_records_depth",
+			"Records buffered on the workers → analytics queue.", ""),
+		HighWater: obs.NewGauge("live_q_records_highwater",
+			"Peak depth observed on the workers → analytics queue.", ""),
+		Shed: obs.NewCounter("live_q_records_shed_total",
+			"Records shed at the full analytics queue (analytics lag under overload).", ""),
+		Pushed: obs.NewCounter("live_q_records_pushed_total",
+			"Records accepted onto the analytics queue.", ""),
+	}
+)

@@ -1,0 +1,493 @@
+// Package live is the always-on streaming daemon: it runs the batch
+// simulator's model stack as a continuous pipeline in simulated real
+// time. Explicit stages — workload generation, dispatch, synthesis
+// workers, windowed analytics — are connected by bounded queues, each
+// edge with a declared backpressure policy (block upstream vs shed and
+// count). A per-stage watchdog restarts wedged stages into degraded
+// mode, and SIGTERM triggers a graceful drain that flushes trackers and
+// finalizes analytics windows. See DESIGN.md §11.
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"satwatch/internal/dist"
+	"satwatch/internal/faults"
+	"satwatch/internal/netsim"
+	"satwatch/internal/tstat"
+	"satwatch/internal/workload"
+)
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Customers, Seed, Constellation and Faults configure the underlying
+	// simulator exactly as a batch run would.
+	Customers     int
+	Seed          uint64
+	Constellation string
+	// Faults is recorded in the manifest under its own key, not the
+	// config dump (matching netsim.Config).
+	Faults *faults.Schedule `json:"-"`
+
+	// Speedup is simulated seconds per wall second (default 60).
+	Speedup float64
+	// Workers is the synthesis shard count (default 4).
+	Workers int
+	// Rate is the initial workload multiplier (default 1). Values > 1
+	// replicate intents at admission — an overload knob; the replicas get
+	// fresh random streams so they diverge.
+	Rate float64
+
+	// Queue depths per edge (defaults 1024 / 256 per shard / 4096).
+	IntentDepth, WorkerDepth, RecordDepth int
+
+	// Window and Grace shape the rolling analytics (simulated time;
+	// defaults 10 min each). KeepWindows bounds retained summaries.
+	Window, Grace time.Duration
+	KeepWindows   int
+
+	// Lookahead is how far ahead of the sim clock the generator may
+	// admit intents (simulated; default 30 s).
+	Lookahead time.Duration
+
+	// StallTimeout is the watchdog's heartbeat deadline (wall; default
+	// 5 s). DrainTimeout bounds the graceful drain (wall; default 20 s).
+	StallTimeout, DrainTimeout time.Duration
+
+	// Logf receives operational log lines; nil discards them. Excluded
+	// from the manifest config dump.
+	Logf func(format string, args ...any) `json:"-"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.Speedup <= 0 {
+		c.Speedup = 60
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Rate <= 0 {
+		c.Rate = 1
+	}
+	if c.IntentDepth <= 0 {
+		c.IntentDepth = 1024
+	}
+	if c.WorkerDepth <= 0 {
+		c.WorkerDepth = 256
+	}
+	if c.RecordDepth <= 0 {
+		c.RecordDepth = 4096
+	}
+	if c.Lookahead <= 0 {
+		c.Lookahead = 30 * time.Second
+	}
+	if c.StallTimeout <= 0 {
+		c.StallTimeout = 5 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 20 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// intentItem is one admitted intent plus its run-unique sequence number
+// (the key of its private random stream).
+type intentItem struct {
+	fi  workload.FlowIntent
+	seq uint64
+}
+
+// recordItem is either a flow or a DNS record on the analytics edge.
+type recordItem struct {
+	flow *tstat.FlowRecord
+	dns  *tstat.DNSRecord
+}
+
+// Pipeline is the wired daemon. Build with New, drive with Run.
+type Pipeline struct {
+	cfg Config
+	sim *netsim.LiveSim
+
+	clock     *Clock
+	source    *workload.Source
+	intentQ   *Queue[intentItem]
+	workerQs  []*Queue[intentItem]
+	recordQ   *Queue[recordItem]
+	analytics *Analytics
+	sup       *supervisor
+
+	rateBits       atomic.Uint64 // math.Float64bits of the multiplier
+	degraded       atomic.Bool
+	degradedReason atomic.Pointer[string]
+	seq            atomic.Uint64
+	ready          atomic.Bool
+	draining       atomic.Bool
+
+	intents     atomic.Int64
+	flowRecs    atomic.Int64
+	dnsRecs     atomic.Int64
+	activeFlows []atomic.Int64 // per worker shard
+
+	workersLeft atomic.Int64
+}
+
+// New builds (but does not start) a pipeline.
+func New(cfg Config) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	sim, err := netsim.NewLiveSim(netsim.Config{
+		Customers: cfg.Customers, Seed: cfg.Seed,
+		Constellation: cfg.Constellation, Faults: cfg.Faults,
+	})
+	if err != nil {
+		return nil, err
+	}
+	prefixes, err := sim.CountryPrefixes()
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		cfg:         cfg,
+		sim:         sim,
+		clock:       NewClock(cfg.Speedup, 0),
+		source:      workload.NewSource(sim.Customers(), sim.Root()),
+		activeFlows: make([]atomic.Int64, cfg.Workers),
+	}
+	p.setRate(cfg.Rate)
+	p.intentQ = NewQueue[intentItem](cfg.IntentDepth, Block, qmIntents, &p.degraded)
+	p.workerQs = make([]*Queue[intentItem], cfg.Workers)
+	for i := range p.workerQs {
+		p.workerQs[i] = NewQueue[intentItem](cfg.WorkerDepth, Shed, qmSynth, &p.degraded)
+	}
+	p.recordQ = NewQueue[recordItem](cfg.RecordDepth, Shed, qmRecords, &p.degraded)
+	p.analytics = NewAnalytics(cfg.Window, cfg.Grace, cfg.KeepWindows, prefixes, &p.degraded)
+	p.workersLeft.Store(int64(cfg.Workers))
+
+	p.sup = &supervisor{
+		timeout: cfg.StallTimeout,
+		degrade: p.degrade,
+		logf:    cfg.Logf,
+	}
+	mSpeedup.Set(cfg.Speedup)
+	return p, nil
+}
+
+// Sim exposes the underlying live simulator (control plane: fault and
+// scenario swaps).
+func (p *Pipeline) Sim() *netsim.LiveSim { return p.sim }
+
+// Analytics exposes the rolling-window aggregator.
+func (p *Pipeline) Analytics() *Analytics { return p.analytics }
+
+// Clock exposes the simulation clock.
+func (p *Pipeline) Clock() *Clock { return p.clock }
+
+// Rate returns the live workload multiplier.
+func (p *Pipeline) Rate() float64 { return math.Float64frombits(p.rateBits.Load()) }
+
+// SetRate updates the workload multiplier (values clamped to [0, 100]).
+func (p *Pipeline) SetRate(m float64) error {
+	if math.IsNaN(m) || m < 0 || m > 100 {
+		return fmt.Errorf("live: rate multiplier %v out of range [0, 100]", m)
+	}
+	p.setRate(m)
+	return nil
+}
+
+func (p *Pipeline) setRate(m float64) {
+	p.rateBits.Store(math.Float64bits(m))
+	mRate.Set(m)
+}
+
+// Degraded reports whether the daemon is in degraded mode and why.
+func (p *Pipeline) Degraded() (bool, string) {
+	if !p.degraded.Load() {
+		return false, ""
+	}
+	if r := p.degradedReason.Load(); r != nil {
+		return true, *r
+	}
+	return true, "unknown"
+}
+
+// degrade flips the daemon into degraded mode (idempotent; first reason
+// wins).
+func (p *Pipeline) degrade(reason string) {
+	if p.degraded.CompareAndSwap(false, true) {
+		p.degradedReason.Store(&reason)
+		mDegraded.Set(1)
+		p.cfg.Logf("live: entering degraded mode: %s", reason)
+	}
+}
+
+// Ready reports whether the pipeline is running and not draining (for
+// /readyz).
+func (p *Pipeline) Ready() bool { return p.ready.Load() && !p.draining.Load() }
+
+// Stalled returns the names of currently stalled stages (for /healthz).
+func (p *Pipeline) Stalled() []string { return p.sup.stalled() }
+
+// Progress is the /progress and manifest snapshot.
+type Progress struct {
+	SimSeconds  float64  `json:"sim_seconds"`
+	Day         int      `json:"day"`
+	Scenario    string   `json:"scenario"`
+	Rate        float64  `json:"rate_multiplier"`
+	Intents     int64    `json:"intents"`
+	FlowRecords int64    `json:"flow_records"`
+	DNSRecords  int64    `json:"dns_records"`
+	ActiveFlows int64    `json:"active_flows"`
+	Windows     int      `json:"windows_finalized"`
+	Degraded    bool     `json:"degraded"`
+	Reason      string   `json:"degraded_reason,omitempty"`
+	Stalled     []string `json:"stalled_stages,omitempty"`
+	QueueDepths struct {
+		Intents int `json:"intents"`
+		Synth   int `json:"synth"`
+		Records int `json:"records"`
+	} `json:"queue_depths"`
+}
+
+// Progress snapshots the run state.
+func (p *Pipeline) Progress() Progress {
+	var pr Progress
+	pr.SimSeconds = p.clock.Now().Seconds()
+	pr.Day = p.source.Day() // generator-owned, but an int read is tear-free in practice
+	pr.Scenario = p.sim.ScenarioName()
+	pr.Rate = p.Rate()
+	pr.Intents = p.intents.Load()
+	pr.FlowRecords = p.flowRecs.Load()
+	pr.DNSRecords = p.dnsRecs.Load()
+	pr.ActiveFlows = p.activeFlowsTotal()
+	pr.Windows = len(p.analytics.Recent())
+	pr.Degraded, pr.Reason = p.Degraded()
+	pr.Stalled = p.Stalled()
+	pr.QueueDepths.Intents = p.intentQ.Len()
+	for _, q := range p.workerQs {
+		pr.QueueDepths.Synth += q.Len()
+	}
+	pr.QueueDepths.Records = p.recordQ.Len()
+	return pr
+}
+
+func (p *Pipeline) activeFlowsTotal() int64 {
+	var n int64
+	for i := range p.activeFlows {
+		n += p.activeFlows[i].Load()
+	}
+	return n
+}
+
+// QueueDepths returns the per-edge buffered totals (soak assertions).
+func (p *Pipeline) QueueDepths() (intents, synth, records int) {
+	intents = p.intentQ.Len()
+	for _, q := range p.workerQs {
+		synth += q.Len()
+	}
+	records = p.recordQ.Len()
+	return
+}
+
+// ErrDrainTimeout reports that the graceful drain did not finish inside
+// Config.DrainTimeout and the pipeline was hard-aborted.
+var ErrDrainTimeout = errors.New("live: drain timed out, pipeline aborted")
+
+// Run starts every stage and blocks until ctx is cancelled, then drains:
+// the generator stops, queues empty downstream, workers flush their
+// trackers, and analytics finalizes every open window. Returns nil on a
+// clean drain, ErrDrainTimeout when the drain had to be aborted.
+func (p *Pipeline) Run(ctx context.Context) error {
+	// Stage lifetimes are decoupled from ctx: they must outlive it to
+	// drain. hardCtx is the abort hammer of last resort.
+	hardCtx, hardAbort := context.WithCancel(context.Background())
+	defer hardAbort()
+
+	drainCh := make(chan struct{})
+	genR := p.sim.Root().Fork("live-rate")
+	p.sup.add("generate", func(sctx context.Context, beat func()) error {
+		return p.generate(sctx, drainCh, genR, beat)
+	}, p.intentQ.Close)
+	p.sup.add("dispatch", p.dispatch, func() {
+		for _, q := range p.workerQs {
+			q.Close()
+		}
+	})
+	for i := 0; i < p.cfg.Workers; i++ {
+		i := i
+		p.sup.add(fmt.Sprintf("synth-%d", i), func(sctx context.Context, beat func()) error {
+			return p.synth(sctx, i, beat)
+		}, func() {
+			if p.workersLeft.Add(-1) == 0 {
+				p.recordQ.Close()
+			}
+		})
+	}
+	p.sup.add("analytics", p.analyze, p.analytics.Finalize)
+
+	p.sup.start(hardCtx)
+	p.ready.Store(true)
+	<-ctx.Done()
+
+	p.draining.Store(true)
+	p.cfg.Logf("live: draining (timeout %s)", p.cfg.DrainTimeout)
+	close(drainCh)
+	done := make(chan struct{})
+	go func() { p.sup.wait(); close(done) }()
+	var err error
+	select {
+	case <-done:
+	case <-time.After(p.cfg.DrainTimeout):
+		hardAbort()
+		<-done
+		p.analytics.Finalize()
+		err = ErrDrainTimeout
+	}
+	p.ready.Store(false)
+	hardAbort() // reap the watchdog
+	<-p.sup.wdDone
+	return err
+}
+
+// generate is the source stage: it paces intents against the sim clock
+// and admits them (times the rate multiplier) onto the blocking intent
+// queue. Exits cleanly when drain closes.
+func (p *Pipeline) generate(ctx context.Context, drain <-chan struct{}, r *dist.Rand, beat func()) error {
+	for {
+		beat()
+		select {
+		case <-drain:
+			return nil
+		case <-ctx.Done():
+			return nil
+		default:
+		}
+		fi := *p.source.Next() // copy: the source reuses its buffer per day
+
+		// Pace: hold until the sim clock is within Lookahead of the
+		// intent's start, heartbeating through long waits.
+		for {
+			wait := p.clock.WallUntil(fi.Start - p.cfg.Lookahead)
+			if wait <= 0 {
+				break
+			}
+			if wait > 100*time.Millisecond {
+				wait = 100 * time.Millisecond
+			}
+			select {
+			case <-drain:
+				return nil
+			case <-ctx.Done():
+				return nil
+			case <-time.After(wait):
+				beat()
+			}
+		}
+		mSimSeconds.Set(p.clock.Now().Seconds())
+
+		// Rate multiplier: floor copies plus a Bernoulli trial on the
+		// fraction. Replicas get distinct sequence numbers, hence
+		// distinct random streams downstream.
+		rate := p.Rate()
+		n := int(rate)
+		if frac := rate - float64(n); frac > 0 && r.Float64() < frac {
+			n++
+		}
+		for c := 0; c < n; c++ {
+			item := intentItem{fi: fi, seq: p.seq.Add(1)}
+			if !p.intentQ.Push(ctx, item, beat) {
+				return nil // cancelled mid-push
+			}
+			p.intents.Add(1)
+			mIntents.Inc()
+		}
+	}
+}
+
+// dispatch shards intents to workers by customer ID (each customer's
+// port allocator and tracker state must stay on one goroutine). The
+// worker edges shed under overload.
+func (p *Pipeline) dispatch(ctx context.Context, beat func()) error {
+	for {
+		beat()
+		item, ok := p.intentQ.Pop(ctx, beat)
+		if !ok {
+			if ctx.Err() != nil {
+				return nil // hard abort; supervisor sorts it out
+			}
+			return nil // drained
+		}
+		shard := item.fi.Customer.ID % p.cfg.Workers
+		p.workerQs[shard].Push(ctx, item, beat) // Shed: drop + count when full
+	}
+}
+
+// synth is one synthesis shard: a LiveWorker owning a tracker whose
+// records stream onto the analytics queue. Restarts build a fresh
+// worker (in-flight flows of the old incarnation are lost — degraded).
+func (p *Pipeline) synth(ctx context.Context, shard int, beat func()) error {
+	w := p.sim.NewWorker(
+		func(rec tstat.FlowRecord) {
+			r := rec
+			if p.recordQ.Push(ctx, recordItem{flow: &r}, beat) {
+				p.flowRecs.Add(1)
+				mFlowRecords.Inc()
+			}
+		},
+		func(rec tstat.DNSRecord) {
+			r := rec
+			if p.recordQ.Push(ctx, recordItem{dns: &r}, beat) {
+				p.dnsRecs.Add(1)
+				mDNSRecords.Inc()
+			}
+		},
+	)
+	defer func() {
+		p.activeFlows[shard].Store(0)
+		p.publishActiveFlows()
+	}()
+	for {
+		beat()
+		item, ok := p.workerQs[shard].Pop(ctx, beat)
+		if !ok {
+			if ctx.Err() == nil {
+				w.Flush() // graceful drain: emit everything in flight
+			}
+			return nil
+		}
+		if err := w.Process(&item.fi, item.seq); err != nil {
+			mSynthErrors.Inc()
+			p.cfg.Logf("live: synth-%d: %v", shard, err)
+		}
+		w.Advance(p.clock.Now())
+		p.activeFlows[shard].Store(int64(w.ActiveFlows()))
+		p.publishActiveFlows()
+	}
+}
+
+func (p *Pipeline) publishActiveFlows() {
+	mActiveFlows.Set(float64(p.activeFlowsTotal()))
+}
+
+// analyze folds the record stream into rolling windows.
+func (p *Pipeline) analyze(ctx context.Context, beat func()) error {
+	for {
+		beat()
+		item, ok := p.recordQ.Pop(ctx, beat)
+		if !ok {
+			return nil
+		}
+		switch {
+		case item.flow != nil:
+			p.analytics.AddFlow(*item.flow)
+		case item.dns != nil:
+			p.analytics.AddDNS(*item.dns)
+		}
+	}
+}

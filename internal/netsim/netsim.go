@@ -365,9 +365,21 @@ type beamLoad struct {
 	setupsHour []float64 // connection setups per absolute hour
 	capacity   float64   // bytes/sec, dimensioned after pass A
 	pepPeak    float64   // setups/sec at the dimensioning peak
+	// wrap makes the hourly profile periodic: the live pipeline
+	// dimensions one day and indexes it forever with hour % len, while a
+	// batch run keeps the absolute out-of-range → zero-load behavior.
+	wrap bool
+}
+
+func (b *beamLoad) hourIdx(hour int) int {
+	if b.wrap && len(b.bytesHour) > 0 && hour >= 0 {
+		return hour % len(b.bytesHour)
+	}
+	return hour
 }
 
 func (b *beamLoad) util(hour int) float64 {
+	hour = b.hourIdx(hour)
 	if b.capacity <= 0 || hour < 0 || hour >= len(b.bytesHour) {
 		return 0
 	}
@@ -375,6 +387,7 @@ func (b *beamLoad) util(hour int) float64 {
 }
 
 func (b *beamLoad) pepRho(hour int, factor float64) float64 {
+	hour = b.hourIdx(hour)
 	if hour < 0 || hour >= len(b.setupsHour) {
 		return 0
 	}

@@ -51,11 +51,19 @@ func DebugHandler(reg *Registry, progress func() any) http.Handler {
 // and serves DebugHandler until stop is called. It returns the bound
 // address so callers can print where the server actually lives.
 func StartDebugServer(addr string, reg *Registry, progress func() any) (bound string, stop func(), err error) {
+	return StartServer(addr, DebugHandler(reg, progress))
+}
+
+// StartServer is StartDebugServer for an arbitrary handler — daemons
+// that grow the debug mux into a control plane (satlive) mount their own
+// handler but keep the same lifecycle: graceful 2 s drain on stop, then
+// a forced close so no handler goroutine outlives the run.
+func StartServer(addr string, h http.Handler) (bound string, stop func(), err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("obs: debug server: %w", err)
 	}
-	srv := &http.Server{Handler: DebugHandler(reg, progress)}
+	srv := &http.Server{Handler: h}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -66,7 +74,13 @@ func StartDebugServer(addr string, reg *Registry, progress func() any) (bound st
 	return ln.Addr().String(), func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
-		_ = srv.Shutdown(ctx)
+		if err := srv.Shutdown(ctx); err != nil {
+			// The graceful drain timed out — an active connection (a
+			// streaming pprof profile, a stuck client) is keeping its
+			// handler goroutine alive. Force-close the remaining
+			// connections so nothing outlives the run.
+			_ = srv.Close()
+		}
 		<-done
 	}, nil
 }

@@ -7,8 +7,10 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 func debugTestRegistry(t *testing.T) *Registry {
@@ -90,6 +92,95 @@ func TestStartDebugServerServesAndStops(t *testing.T) {
 	stop()
 	if _, err := http.Get("http://" + bound + "/metrics"); err == nil {
 		t.Fatal("server still serving after stop")
+	}
+}
+
+// TestStartDebugServerNoGoroutineLeak cycles the server up and down and
+// checks the goroutine count returns to baseline: a lingering Serve or
+// handler goroutine per cycle is exactly the leak the stop() contract
+// forbids.
+func TestStartDebugServerNoGoroutineLeak(t *testing.T) {
+	// Warm up the HTTP machinery (transport pools, resolver) so its
+	// one-time goroutines do not count against the cycles.
+	bound, stop, err := StartDebugServer("127.0.0.1:0", debugTestRegistry(t), nil)
+	if err != nil {
+		t.Fatalf("StartDebugServer: %v", err)
+	}
+	if resp, err := http.Get("http://" + bound + "/metrics"); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	stop()
+	http.DefaultClient.CloseIdleConnections()
+
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		bound, stop, err := StartDebugServer("127.0.0.1:0", debugTestRegistry(t), nil)
+		if err != nil {
+			t.Fatalf("cycle %d: StartDebugServer: %v", i, err)
+		}
+		resp, err := http.Get("http://" + bound + "/metrics")
+		if err != nil {
+			t.Fatalf("cycle %d: GET /metrics: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		stop()
+	}
+	http.DefaultClient.CloseIdleConnections()
+
+	// Stopped servers' goroutines unwind asynchronously; poll briefly
+	// before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked across 10 start/stop cycles: baseline %d, now %d\n%s",
+		baseline, runtime.NumGoroutine(), buf[:n])
+}
+
+// TestStartDebugServerStopForcesActiveConns pins the Shutdown→Close
+// fallback: a connection held open past the drain timeout must be
+// force-closed instead of keeping its handler goroutine alive forever.
+func TestStartDebugServerStopForcesActiveConns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out the 2s drain timeout")
+	}
+	bound, stop, err := StartDebugServer("127.0.0.1:0", debugTestRegistry(t), nil)
+	if err != nil {
+		t.Fatalf("StartDebugServer: %v", err)
+	}
+	// A 30s streaming CPU profile holds its handler well past the 2s
+	// drain window.
+	slow := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + bound + "/debug/pprof/profile?seconds=30")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		slow <- err
+	}()
+	time.Sleep(200 * time.Millisecond) // let the handler start streaming
+
+	done := make(chan struct{})
+	go func() { stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stop() hung on an active connection")
+	}
+	// The client side must observe the forced close, not a clean 30s
+	// profile.
+	select {
+	case <-slow:
+	case <-time.After(5 * time.Second):
+		t.Fatal("held connection survived stop()")
 	}
 }
 

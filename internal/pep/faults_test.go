@@ -1,0 +1,138 @@
+package pep
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"satwatch/internal/faults"
+	"satwatch/internal/geo"
+	"satwatch/internal/linkemu"
+)
+
+// These tests pin the overlap semantics of the fault→link-condition
+// reduction that feeds Endpoint.SetConditions: two events active in the
+// same tick must compose into one Conditions value, not clobber each
+// other (SetConditions replaces the whole struct, so composition has to
+// happen before the call).
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestConditionsAtComposesRainAndGatewaySwitch(t *testing.T) {
+	beams := geo.Beams()
+	sched := &faults.Schedule{Name: "test", Events: []faults.Event{
+		{Kind: faults.RainFront, Start: 0, End: 2 * time.Minute, Beam: beams[0].ID, Peak: 1.0},
+		{Kind: faults.GatewaySwitch, Start: 30 * time.Second, End: 90 * time.Second, RTTStep: 200 * time.Millisecond},
+	}}
+
+	// t=60s: rain midpoint (intensity 1.0) and the switch window overlap.
+	cond := conditionsAt(sched, 60*time.Second, beams)
+	if !almostEqual(cond.ExtraLoss, 0.2) {
+		t.Errorf("ExtraLoss = %v, want 0.2 (rain at peak)", cond.ExtraLoss)
+	}
+	if cond.ExtraDelay != 100*time.Millisecond {
+		t.Errorf("ExtraDelay = %v, want 100ms (half the 200ms detour RTT)", cond.ExtraDelay)
+	}
+
+	// Outside the switch window the rain must persist alone, and vice
+	// versa: composition, not one event masking the other.
+	cond = conditionsAt(sched, 100*time.Second, beams)
+	if cond.ExtraDelay != 0 {
+		t.Errorf("ExtraDelay after switch window = %v, want 0", cond.ExtraDelay)
+	}
+	if cond.ExtraLoss <= 0 {
+		t.Errorf("ExtraLoss after switch window = %v, want > 0 (rain still active)", cond.ExtraLoss)
+	}
+}
+
+func TestConditionsAtOverlappingRainTakesWorst(t *testing.T) {
+	beams := geo.Beams()
+	// Two fronts on the same beam: a wide weak one and a narrow strong
+	// one centered at t=60s.
+	sched := &faults.Schedule{Name: "test", Events: []faults.Event{
+		{Kind: faults.RainFront, Start: 0, End: 2 * time.Minute, Beam: beams[0].ID, Peak: 0.4},
+		{Kind: faults.RainFront, Start: 40 * time.Second, End: 80 * time.Second, Beam: beams[0].ID, Peak: 1.0},
+	}}
+
+	// At the shared midpoint both are at peak: the worst (1.0) wins.
+	cond := conditionsAt(sched, 60*time.Second, beams)
+	if !almostEqual(cond.ExtraLoss, 0.2) {
+		t.Errorf("ExtraLoss at overlap = %v, want 0.2 (worst front, not sum or last)", cond.ExtraLoss)
+	}
+
+	// At t=30s only the weak front is active, at its midpoint ramp
+	// fraction 0.5 → intensity 0.2 → loss 0.04.
+	cond = conditionsAt(sched, 30*time.Second, beams)
+	if !almostEqual(cond.ExtraLoss, 0.2*0.2) {
+		t.Errorf("ExtraLoss outside overlap = %v, want 0.04", cond.ExtraLoss)
+	}
+}
+
+func TestConditionsAtOutageDominatesRain(t *testing.T) {
+	beams := geo.Beams()
+	sched := &faults.Schedule{Name: "test", Events: []faults.Event{
+		{Kind: faults.RainFront, Start: 0, End: 2 * time.Minute, Beam: beams[0].ID, Peak: 0.5},
+		{Kind: faults.BeamOutage, Start: 50 * time.Second, End: 70 * time.Second, Beam: beams[0].ID},
+		{Kind: faults.GatewaySwitch, Start: 0, End: 2 * time.Minute, RTTStep: 100 * time.Millisecond},
+	}}
+
+	cond := conditionsAt(sched, 60*time.Second, beams)
+	if cond.ExtraLoss != 1.0 {
+		t.Errorf("ExtraLoss during outage = %v, want 1.0 (outage dominates fade)", cond.ExtraLoss)
+	}
+	// The detour delay still composes with the outage.
+	if cond.ExtraDelay != 50*time.Millisecond {
+		t.Errorf("ExtraDelay during outage = %v, want 50ms", cond.ExtraDelay)
+	}
+}
+
+// TestOverlappingFaultsReachLink drives the composed conditions through a
+// live endpoint pair: during the overlap the link must show both the
+// detour delay and the fade loss at once.
+func TestOverlappingFaultsReachLink(t *testing.T) {
+	beams := geo.Beams()
+	sched := &faults.Schedule{Name: "test", Events: []faults.Event{
+		{Kind: faults.RainFront, Start: 0, End: 2 * time.Minute, Beam: beams[0].ID, Peak: 1.0},
+		{Kind: faults.GatewaySwitch, Start: 0, End: 2 * time.Minute, RTTStep: 400 * time.Millisecond},
+	}}
+	cond := conditionsAt(sched, 60*time.Second, beams)
+
+	a, b := linkemu.NewPair(linkemu.Link{Delay: time.Millisecond}, linkemu.Link{Delay: time.Millisecond}, 7)
+	defer a.Close()
+	defer b.Close()
+	a.SetConditions(cond)
+	b.SetConditions(cond)
+
+	// With ExtraDelay = 200ms per direction, no datagram can arrive in
+	// under 200ms after its send; without composition (delay clobbered by
+	// the rain event's zero) the first arrival would come in ~1ms. The
+	// composed ExtraLoss (0.2) may eat datagrams, so keep resending.
+	got := make(chan struct{})
+	go func() {
+		if _, err := b.ReadDatagram(); err == nil {
+			close(got)
+		}
+	}()
+	start := time.Now()
+	if err := a.WriteDatagram([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	resend := time.NewTicker(50 * time.Millisecond)
+	defer resend.Stop()
+	deadline := time.After(5 * time.Second)
+	for arrived := false; !arrived; {
+		select {
+		case <-got:
+			arrived = true
+		case <-resend.C:
+			if err := a.WriteDatagram([]byte("ping")); err != nil {
+				t.Fatal(err)
+			}
+		case <-deadline:
+			t.Fatal("no datagram arrived in 5s despite resends")
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 200*time.Millisecond {
+		t.Errorf("datagram arrived in %v, want ≥ 200ms (composed ExtraDelay lost)", elapsed)
+	}
+}

@@ -9,6 +9,7 @@ package pep
 // lifecycle fixes are measured against.
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -130,6 +131,10 @@ type LoadConfig struct {
 	DrainTimeout time.Duration
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
+	// Ctx, when non-nil, stops the run gracefully on cancellation: no new
+	// flows are launched, in-flight flows finish, and the drain check
+	// still runs. Used for SIGINT/SIGTERM handling in satpep.
+	Ctx context.Context
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -150,6 +155,9 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
+	}
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
 	}
 	return c
 }
@@ -253,7 +261,12 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	sem := make(chan struct{}, cfg.Concurrency)
 	arrivals := rnd.Fork("arrivals")
 	start := time.Now()
+	launched := 0
 	for i := 0; i < cfg.Flows; i++ {
+		if cfg.Ctx.Err() != nil {
+			cfg.Logf("pep/load: interrupted after %d/%d flows, draining", launched, cfg.Flows)
+			break
+		}
 		if cfg.ArrivalRate > 0 {
 			time.Sleep(time.Duration(arrivals.ExpFloat64() / cfg.ArrivalRate * float64(time.Second)))
 		}
@@ -289,8 +302,9 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			mLoadHandshake.ObserveDuration(hs)
 			mLoadTransfer.ObserveDuration(tr)
 		}(size)
-		if done := i + 1; done%500 == 0 {
-			cfg.Logf("pep/load: %d/%d flows launched, %d in flight", done, cfg.Flows, active.Load())
+		launched++
+		if launched%500 == 0 {
+			cfg.Logf("pep/load: %d/%d flows launched, %d in flight", launched, cfg.Flows, active.Load())
 		}
 	}
 	wg.Wait()
@@ -305,10 +319,10 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	}
 
 	rep := &LoadReport{
-		Flows:          cfg.Flows,
+		Flows:          launched,
 		Errors:         errCount,
 		Duration:       duration,
-		FlowsPerSecond: float64(cfg.Flows) / duration.Seconds(),
+		FlowsPerSecond: float64(launched) / duration.Seconds(),
 		BytesDown:      bytesDown,
 		PeakConcurrent: int(peak.Load()),
 		HandshakeP50:   percentile(handshake, 0.50),
@@ -405,27 +419,7 @@ func playFaults(sched *faults.Schedule, speedup float64, a, b *linkemu.Endpoint,
 		case <-tick.C:
 		}
 		simT := time.Duration(float64(time.Since(start)) * speedup)
-		var cond linkemu.Conditions
-		rain := 0.0
-		down := false
-		for _, bm := range beams {
-			if r := sched.Rain(simT, bm.ID); r > rain {
-				rain = r
-			}
-			if sched.BeamDown(simT, bm.ID) {
-				down = true
-			}
-		}
-		switch {
-		case down:
-			cond.ExtraLoss = 1.0
-		default:
-			// A deep fade past the ACM floor drops frames: map intensity
-			// onto up to 20% extra loss.
-			cond.ExtraLoss = 0.2 * rain
-		}
-		// The detour RTT splits across the two one-way directions.
-		cond.ExtraDelay = sched.GatewayRTTExtra(simT) / 2
+		cond := conditionsAt(sched, simT, beams)
 		if cond != applied {
 			a.SetConditions(cond)
 			b.SetConditions(cond)
@@ -436,6 +430,37 @@ func playFaults(sched *faults.Schedule, speedup float64, a, b *linkemu.Endpoint,
 			mLoadFaultTicks.Inc()
 		}
 	}
+}
+
+// conditionsAt reduces every fault event active at simT to one link
+// condition. Overlapping events compose instead of clobbering: concurrent
+// rain fronts take the worst intensity, an outage dominates any fade, and
+// a gateway switch's extra delay stacks on top of whatever loss the
+// weather contributes (the detour RTT splits across the two one-way
+// directions). It is a pure function of (schedule, simT, beams) so tests
+// can probe overlap semantics directly.
+func conditionsAt(sched *faults.Schedule, simT time.Duration, beams []geo.Beam) linkemu.Conditions {
+	var cond linkemu.Conditions
+	rain := 0.0
+	down := false
+	for _, bm := range beams {
+		if r := sched.Rain(simT, bm.ID); r > rain {
+			rain = r
+		}
+		if sched.BeamDown(simT, bm.ID) {
+			down = true
+		}
+	}
+	switch {
+	case down:
+		cond.ExtraLoss = 1.0
+	default:
+		// A deep fade past the ACM floor drops frames: map intensity
+		// onto up to 20% extra loss.
+		cond.ExtraLoss = 0.2 * rain
+	}
+	cond.ExtraDelay = sched.GatewayRTTExtra(simT) / 2
+	return cond
 }
 
 func normalizeMix(mix []SizeWeight) []SizeWeight {

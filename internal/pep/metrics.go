@@ -13,5 +13,7 @@ var (
 	mRelayErrors = obs.NewCounter("pep_relay_errors_total",
 		"Relays that ended on a stream error (reset, timeout, tunnel failure) instead of clean EOFs.", "")
 	mDialErrors = obs.NewCounter("pep_dial_errors_total",
-		"Gateway dials toward the origin that failed; the customer sees a reset.", "")
+		"Gateway dials toward the origin that failed after exhausting retries; the customer sees a reset.", "")
+	mDialRetries = obs.NewCounter("pep_dial_retries_total",
+		"Gateway re-dials toward the origin after a transient dial failure (capped exponential backoff).", "")
 )

@@ -11,9 +11,11 @@ import (
 	"errors"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"satwatch/internal/tunnel"
 )
@@ -79,6 +81,21 @@ func (c *CPE) ProxyConn(conn net.Conn, dst string) {
 	c.Stats.BytesDown.Add(down)
 }
 
+// Gateway dial-retry defaults: a transient origin dial failure (listener
+// backlog blip, ephemeral port exhaustion, flapping route) is retried a
+// few times with capped exponential backoff before the customer pays the
+// satellite-RTT cost of a reset.
+const (
+	// DefaultDialRetries is the number of re-dials after the first
+	// failure before the stream is Reset.
+	DefaultDialRetries = 3
+	// DefaultDialRetryBase is the first backoff step; each retry doubles
+	// it, capped at DefaultDialRetryCap, with ±50% jitter to decorrelate
+	// a burst of failing streams.
+	DefaultDialRetryBase = 50 * time.Millisecond
+	DefaultDialRetryCap  = time.Second
+)
+
 // Gateway is the ground-station side: it accepts tunnel streams and opens
 // the real TCP connections toward the internet.
 type Gateway struct {
@@ -86,6 +103,16 @@ type Gateway struct {
 	dial  func(dst string) (net.Conn, error)
 	Stats Stats
 	log   *slog.Logger
+
+	// DialRetries / DialRetryBase / DialRetryCap tune the dial-retry
+	// policy. The zero values take the Default* constants; DialRetries
+	// < 0 disables retrying. Set them before Serve.
+	DialRetries   int
+	DialRetryBase time.Duration
+	DialRetryCap  time.Duration
+
+	// sleep is swapped out by tests to observe backoff without waiting.
+	sleep func(time.Duration)
 }
 
 // NewGateway builds the gateway over a satellite transport. dial opens the
@@ -123,8 +150,47 @@ func (g *Gateway) Serve() error {
 	}
 }
 
-func (g *Gateway) handle(stream *tunnel.Stream, dst string) {
+// dialWithRetry dials dst, retrying transient failures with capped
+// exponential backoff and jitter. A stream that dies while we back off
+// (peer reset, tunnel teardown) aborts the retry loop early.
+func (g *Gateway) dialWithRetry(stream *tunnel.Stream, dst string) (net.Conn, error) {
+	retries := g.DialRetries
+	if retries == 0 {
+		retries = DefaultDialRetries
+	}
+	base := g.DialRetryBase
+	if base <= 0 {
+		base = DefaultDialRetryBase
+	}
+	cap := g.DialRetryCap
+	if cap <= 0 {
+		cap = DefaultDialRetryCap
+	}
+	sleep := g.sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
 	conn, err := g.dial(dst)
+	for attempt := 0; err != nil && attempt < retries; attempt++ {
+		backoff := base << attempt
+		if backoff > cap {
+			backoff = cap
+		}
+		// ±50% jitter decorrelates a burst of streams all re-dialing a
+		// briefly unreachable origin.
+		backoff = backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+		sleep(backoff)
+		if stream.Err() != nil {
+			return nil, err
+		}
+		mDialRetries.Inc()
+		conn, err = g.dial(dst)
+	}
+	return conn, err
+}
+
+func (g *Gateway) handle(stream *tunnel.Stream, dst string) {
+	conn, err := g.dialWithRetry(stream, dst)
 	if err != nil {
 		g.Stats.Errors.Add(1)
 		mDialErrors.Inc()

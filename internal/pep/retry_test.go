@@ -1,0 +1,141 @@
+package pep
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"satwatch/internal/linkemu"
+)
+
+// startPEPWithDial is startPEP with a custom gateway dial function, so
+// tests can inject transient origin failures.
+func startPEPWithDial(t *testing.T, dst string, dial func(string) (net.Conn, error), tune func(*Gateway)) (addr string, gw *Gateway) {
+	t.Helper()
+	cpeSide, gwSide := linkemu.NewPair(testLink(0), testLink(0), 42)
+	cpe := NewCPE(cpeSide, testTunnelConfig(), nil)
+	gw = NewGateway(gwSide, testTunnelConfig(), dial, nil)
+	if tune != nil {
+		tune(gw)
+	}
+	go gw.Serve()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go cpe.ServeListener(ln, dst)
+	t.Cleanup(func() {
+		ln.Close()
+		cpe.Close()
+		gw.Close()
+	})
+	return ln.Addr().String(), gw
+}
+
+// TestDialRetryRecoversTransientFailure is the regression test for the
+// retry path: a dial that fails twice and then succeeds must complete the
+// flow (no reset) and count exactly two retries, where before the fix the
+// first failure reset the stream immediately.
+func TestDialRetryRecoversTransientFailure(t *testing.T) {
+	origin := startOrigin(t, func(c net.Conn) {
+		defer c.Close()
+		c.Write([]byte("hello"))
+	})
+
+	var attempts atomic.Int64
+	flaky := func(dst string) (net.Conn, error) {
+		if attempts.Add(1) <= 2 {
+			return nil, errors.New("transient: connection refused")
+		}
+		return net.Dial("tcp", dst)
+	}
+	retriesBefore := mDialRetries.Value()
+	errorsBefore := mDialErrors.Value()
+	addr, gw := startPEPWithDial(t, origin, flaky, func(g *Gateway) {
+		g.DialRetryBase = time.Millisecond
+		g.DialRetryCap = 4 * time.Millisecond
+	})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	got, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatalf("flow failed despite dial recovery: %v", err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("got %q, want %q", got, "hello")
+	}
+	if n := attempts.Load(); n != 3 {
+		t.Fatalf("dial attempts = %d, want 3 (1 failure-free retry budget left unused)", n)
+	}
+	if d := mDialRetries.Value() - retriesBefore; d != 2 {
+		t.Fatalf("pep_dial_retries_total delta = %d, want 2", d)
+	}
+	if d := mDialErrors.Value() - errorsBefore; d != 0 {
+		t.Fatalf("pep_dial_errors_total delta = %d, want 0 (the dial recovered)", d)
+	}
+	if gw.Stats.Errors.Load() != 0 {
+		t.Fatalf("gateway recorded %d errors for a recovered dial", gw.Stats.Errors.Load())
+	}
+}
+
+// TestDialRetryExhaustionResets verifies the failure side: a permanently
+// dead origin is retried exactly DialRetries times with capped exponential
+// backoff, then the stream is reset and the error counted once.
+func TestDialRetryExhaustionResets(t *testing.T) {
+	var attempts atomic.Int64
+	dead := func(string) (net.Conn, error) {
+		attempts.Add(1)
+		return nil, errors.New("connection refused")
+	}
+	var backoffs []time.Duration
+	errorsBefore := mDialErrors.Value()
+	addr, gw := startPEPWithDial(t, "127.0.0.1:1", dead, func(g *Gateway) {
+		g.DialRetries = 4
+		g.DialRetryBase = time.Millisecond
+		g.DialRetryCap = 4 * time.Millisecond
+		g.sleep = func(d time.Duration) { backoffs = append(backoffs, d) }
+	})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("read succeeded against a dead origin")
+	}
+	if n := attempts.Load(); n != 5 {
+		t.Fatalf("dial attempts = %d, want 5 (1 initial + 4 retries)", n)
+	}
+	if len(backoffs) != 4 {
+		t.Fatalf("backoff sleeps = %d, want 4", len(backoffs))
+	}
+	// Jittered capped exponential: each sleep lands in [step/2, 3*step/2]
+	// for step = min(base<<attempt, cap).
+	for i, d := range backoffs {
+		step := time.Millisecond << i
+		if step > 4*time.Millisecond {
+			step = 4 * time.Millisecond
+		}
+		if d < step/2 || d > step+step/2 {
+			t.Errorf("backoff %d = %v, want within [%v, %v]", i, d, step/2, step+step/2)
+		}
+	}
+	if d := mDialErrors.Value() - errorsBefore; d != 1 {
+		t.Fatalf("pep_dial_errors_total delta = %d, want 1", d)
+	}
+	if gw.Stats.Errors.Load() != 1 {
+		t.Fatalf("gateway errors = %d, want 1", gw.Stats.Errors.Load())
+	}
+}

@@ -207,6 +207,20 @@ func (t *Tracker) Flush() ([]FlowRecord, []DNSRecord) {
 // Active returns the number of in-flight flows.
 func (t *Tracker) Active() int { return len(t.flows) }
 
+// AdvanceTime moves the tracker clock forward without an event and runs
+// the idle sweep when due. Streaming consumers (the live pipeline) call
+// it as simulated time passes so flows that went quiet are emitted even
+// when no new traffic arrives on this shard. Like every other method it
+// must be called from the tracker's owning goroutine.
+func (t *Tracker) AdvanceTime(now time.Duration) {
+	if now > t.now {
+		t.now = now
+	}
+	if t.now-t.lastSweep >= time.Second {
+		t.sweep()
+	}
+}
+
 // TraceFlow registers a trace handle for the flow identified by tuple.
 // When the tracker emits that flow's record it appends a
 // tstat.handshake_rtt span (the probe's satellite-RTT measurement, when

@@ -10,8 +10,10 @@ import (
 	"satwatch/internal/prof"
 	"satwatch/internal/trace"
 
-	// The tunnel/PEP socket stack is not on the satwatch.go pipeline path;
-	// import it for registration so the doc cross-checks cover its metrics.
+	// The tunnel/PEP socket stack and the live daemon are not on the
+	// satwatch.go pipeline path; import them for registration so the doc
+	// cross-checks cover their metrics.
+	_ "satwatch/internal/live"
 	_ "satwatch/internal/pep"
 	_ "satwatch/internal/tunnel"
 )
@@ -56,7 +58,7 @@ func TestObservabilityDocHasNoStaleMetrics(t *testing.T) {
 		// Manifest timings/allocs stage key, not a metric.
 		"mac_prebuild": true,
 	}
-	re := regexp.MustCompile("`((?:netsim|mac|pep|phy|shaper|tstat|dnssim|satpep|tunnel)_[a-z0-9_]+)`")
+	re := regexp.MustCompile("`((?:netsim|mac|pep|phy|shaper|tstat|dnssim|satpep|tunnel|live)_[a-z0-9_]+)`")
 	for _, m := range re.FindAllStringSubmatch(string(doc), -1) {
 		name := m[1]
 		if !registered[name] && !allowed[name] {
