@@ -8,9 +8,16 @@
 // survives overload instead of falling over.
 //
 // -control-addr serves the control plane: the familiar /metrics,
-// /progress and /debug/pprof plus /healthz, /readyz, /analytics and the
-// mutating /control/{rate,faults,scenario} endpoints (see
+// /progress and /debug/pprof plus /healthz, /readyz, /analytics,
+// /trace/recent, /metrics/history, the embedded /dashboard observatory
+// and the mutating /control/{rate,faults,scenario} endpoints (see
 // OBSERVABILITY.md).
+//
+// -trace-sample N samples 1 in N flows into the live flight recorder
+// (ring + optional -trace DIR rotating JSONL, readable with sattrace).
+// -history DIR persists finalized analytics windows to a crash-tolerant
+// JSONL log replayed at startup, so a restarted daemon serves the same
+// /analytics history and resumes the sim clock past it.
 //
 // SIGINT/SIGTERM (or -duration elapsing) triggers a graceful drain:
 // generation stops, queues empty, trackers flush, analytics windows
@@ -26,7 +33,8 @@
 //	satlive [-customers 400] [-seed 1] [-constellation geo|leo]
 //	        [-faults PRESET|FILE] [-speedup 60] [-workers 4] [-rate 1]
 //	        [-window 10m] [-duration 0] [-control-addr 127.0.0.1:0]
-//	        [-out DIR] [-metrics FILE]
+//	        [-out DIR] [-metrics FILE] [-trace DIR] [-trace-sample N]
+//	        [-history DIR] [-metrics-every 30s]
 //	satlive -soak 30s [-faults stress] [...]
 package main
 
@@ -73,7 +81,19 @@ func run() (int, error) {
 	outDir := flag.String("out", "", "write manifest.json and windows.json here on exit")
 	metricsOut := flag.String("metrics", "", "write a JSON metrics dump here on exit")
 	soak := flag.Duration("soak", 0, "run the self-checking soak mode for this wall duration")
+	traceDir := flag.String("trace", "", "write sampled flow span trees as rotating JSONL here")
+	traceSample := flag.Int("trace-sample", 0, "trace 1 in N flows on the streaming path (0 disables, 1 = all)")
+	traceRing := flag.Int("trace-ring", live.DefaultTraceRing, "recent traced flows retained for /trace/recent")
+	traceFileMB := flag.Int("trace-file-mb", 8, "trace log size cap per file before rotation (MiB)")
+	traceKeep := flag.Int("trace-keep", 4, "rotated trace files kept")
+	historyDir := flag.String("history", "", "persist finalized windows to a JSONL log here and replay it at startup")
+	metricsEvery := flag.Duration("metrics-every", 30*time.Second, "/metrics/history sampling cadence (simulated)")
+	metricsKeep := flag.Int("metrics-keep", obs.DefaultHistoryKeep, "registry time-series points retained")
 	flag.Parse()
+
+	if *traceDir != "" && *traceSample <= 0 {
+		*traceSample = 100 // -trace alone means "trace, at the default rate"
+	}
 
 	// Metrics reflect this run only.
 	obs.Default.Reset()
@@ -93,6 +113,10 @@ func run() (int, error) {
 		Speedup: *speedup, Workers: *workers, Rate: *rate,
 		Window: *window, Grace: *grace,
 		StallTimeout: *stallTimeout, DrainTimeout: *drainTimeout,
+		TraceSample: *traceSample, TraceDir: *traceDir, TraceRing: *traceRing,
+		TraceFileMaxBytes: int64(*traceFileMB) << 20, TraceKeepFiles: *traceKeep,
+		HistoryDir:   *historyDir,
+		MetricsEvery: *metricsEvery, MetricsKeep: *metricsKeep,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

@@ -46,6 +46,7 @@ import (
 	"satwatch/internal/errant"
 	"satwatch/internal/faults"
 	"satwatch/internal/geo"
+	"satwatch/internal/live"
 	"satwatch/internal/netsim"
 	"satwatch/internal/obs"
 	"satwatch/internal/prof"
@@ -72,6 +73,7 @@ func run() (int, error) {
 	faultsArg := flag.String("faults", "", "fault schedule: a JSON file or a preset ("+strings.Join(faults.PresetNames(), ", ")+")")
 	logsDir := flag.String("logs", "", "directory to write flows.tsv and dns.tsv into")
 	fromDir := flag.String("from", "", "re-analyze saved logs (flows.tsv/dns.tsv/meta.tsv/prefixes.tsv) instead of simulating")
+	liveHistory := flag.String("live-history", "", "replay a satlive -history window log (file or directory) into report tables instead of simulating")
 	strict := flag.Bool("strict", false, "fail on the first corrupt log line in -from replay instead of skipping it")
 	errantOut := flag.Bool("errant", false, "also print ERRANT-style emulation profiles")
 	metricsOut := flag.String("metrics", "", "write a JSON metrics dump to this file after the run")
@@ -86,6 +88,11 @@ func run() (int, error) {
 	// Metrics are cleared at run start so every dump and debug endpoint
 	// reflects this run only, not process-lifetime totals.
 	obs.Default.Reset()
+
+	if *liveHistory != "" {
+		return runLiveHistory(*liveHistory, *strict, *metricsOut)
+	}
+
 	memSampler := obs.StartMemSampler(0)
 	start := time.Now()
 
@@ -272,6 +279,38 @@ func run() (int, error) {
 				st, res.Output.Stats.CustomersDone, *customers, len(res.Output.Stats.Errors))
 			return 2, nil
 		}
+	}
+	return 0, nil
+}
+
+// runLiveHistory replays a satlive window-history log into the standard
+// report tables: the offline view of what the daemon's /analytics
+// served. path may be the log file itself or a -history directory.
+// Unless strict, corrupt lines (a crash-truncated tail) are skipped and
+// counted, exiting 2 like every other salvage path.
+func runLiveHistory(path string, strict bool, metricsOut string) (int, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		path = filepath.Join(path, live.HistoryFileName)
+	}
+	ws, st, err := live.ReadHistoryFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if strict && st.Skipped > 0 {
+		return 0, fmt.Errorf("%s: %d corrupt history lines", path, st.Skipped)
+	}
+	netsim.CountSkippedRows(st.Skipped)
+	fmt.Print(live.RenderHistory(ws))
+	if metricsOut != "" {
+		if err := obs.WriteFileAtomic(metricsOut, func(w io.Writer) error {
+			return obs.Default.WriteJSON(w)
+		}); err != nil {
+			return 0, fmt.Errorf("metrics dump: %w", err)
+		}
+	}
+	if st.Skipped > 0 {
+		fmt.Fprintf(os.Stderr, "satreport: skipped %d corrupt history lines (use -strict to fail instead)\n", st.Skipped)
+		return 2, nil
 	}
 	return 0, nil
 }

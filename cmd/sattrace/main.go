@@ -9,6 +9,10 @@
 // error, 2 when lines were skipped (the rendering ran on salvaged,
 // incomplete data).
 //
+// Multiple inputs — positional paths after the flags, or -glob — are
+// merged by flow start time, so a satlive -trace directory's rotated
+// logs read as one stream.
+//
 // Usage:
 //
 //	sattrace -in trace.jsonl                    # top 10 slowest, with waterfalls
@@ -17,6 +21,8 @@
 //	sattrace -in trace.jsonl -flow c12-d0-f3    # one flow's waterfall
 //	sattrace -in trace.jsonl -spans             # list recordable span names
 //	sattrace -in trace.jsonl -metrics FILE      # also dump the metrics registry
+//	sattrace a.jsonl b.jsonl                    # merge several trace files
+//	sattrace -glob 'tracedir/trace*.jsonl'      # merge a rotated live log set
 package main
 
 import (
@@ -26,6 +32,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strings"
 	"syscall"
 
@@ -44,7 +52,8 @@ func main() {
 }
 
 func run() (int, error) {
-	in := flag.String("in", "", "trace JSONL file written by satgen/satreport -trace (required)")
+	in := flag.String("in", "", "trace JSONL file written by satgen/satreport -trace")
+	glob := flag.String("glob", "", "glob of trace JSONL files to merge (rotated satlive -trace logs)")
 	top := flag.Int("top", 10, "show the K slowest flows")
 	by := flag.String("by", "", "rank by this component's span time (e.g. pep.setup) instead of total RTT")
 	flowID := flag.String("flow", "", "render a single flow's waterfall by id (c<customer>-d<day>-f<index>)")
@@ -68,9 +77,25 @@ func run() (int, error) {
 		fmt.Println(strings.Join(trace.SpanNames(), "\n"))
 		return finish(0, *metricsOut)
 	}
-	if *in == "" {
+	// Inputs: -in, positional paths, and -glob expansions, merged.
+	paths := flag.Args()
+	if *in != "" {
+		paths = append([]string{*in}, paths...)
+	}
+	if *glob != "" {
+		matches, err := filepath.Glob(*glob)
+		if err != nil {
+			return 0, fmt.Errorf("bad -glob %q: %w", *glob, err)
+		}
+		if len(matches) == 0 {
+			return 0, fmt.Errorf("-glob %q matched no files", *glob)
+		}
+		sort.Strings(matches)
+		paths = append(paths, matches...)
+	}
+	if len(paths) == 0 {
 		flag.Usage()
-		return 0, fmt.Errorf("-in is required")
+		return 0, fmt.Errorf("no inputs: pass -in, positional trace files, or -glob")
 	}
 	if *by != "" {
 		known := false
@@ -89,12 +114,17 @@ func run() (int, error) {
 	var st trace.ReadStats
 	var err error
 	if *strict {
-		flows, err = trace.ReadFile(*in)
+		flows, err = trace.ReadFiles(paths)
 	} else {
-		flows, st, err = trace.ReadFileTolerant(*in)
+		flows, st, err = trace.ReadFilesTolerant(paths)
 	}
 	if err != nil {
 		return 0, err
+	}
+	if len(paths) > 1 {
+		// Rotated logs arrive newest-first; present one chronological
+		// stream regardless of file order.
+		trace.SortByStart(flows)
 	}
 	// The same salvage counter the replay path uses, so the -metrics dump
 	// records how much of the trace was unreadable.
@@ -107,7 +137,7 @@ func run() (int, error) {
 	if *flowID != "" {
 		f, ok := trace.ByID(flows, *flowID)
 		if !ok {
-			return 0, fmt.Errorf("flow %s not in %s (%d flows)", *flowID, *in, len(flows))
+			return 0, fmt.Errorf("flow %s not in %s (%d flows)", *flowID, strings.Join(paths, ","), len(flows))
 		}
 		fmt.Print(trace.Waterfall(f))
 		return finish(exitSkipped(st.Skipped), *metricsOut)
@@ -123,7 +153,11 @@ func run() (int, error) {
 	if *by != "" {
 		what = *by
 	}
-	fmt.Printf("%d traced flows in %s · top %d by %s\n\n", len(flows), *in, len(ranked), what)
+	src := paths[0]
+	if len(paths) > 1 {
+		src = fmt.Sprintf("%d files", len(paths))
+	}
+	fmt.Printf("%d traced flows in %s · top %d by %s\n\n", len(flows), src, len(ranked), what)
 	fmt.Print(trace.Summary(ranked, *by))
 	if !*summary {
 		for _, f := range ranked {

@@ -68,6 +68,7 @@ type Analytics struct {
 	open      map[int64]*windowAgg
 	watermark time.Duration
 	recent    []WindowSummary // newest last, capped at keep
+	onFinal   func(WindowSummary)
 }
 
 // NewAnalytics builds the rolling-window aggregator. window and grace
@@ -101,10 +102,19 @@ func (a *Analytics) countryOf(addr netip.Addr) (geo.CountryCode, bool) {
 	return "", false
 }
 
-// aggAt returns the open aggregate for the window containing t. Callers
-// hold a.mu.
+// aggAt returns the open aggregate for the window containing t, or nil
+// when that window's finalization boundary has already passed the
+// watermark. Folding a too-late record in would reopen the window and
+// re-emit a duplicate summary for a span the control plane — and the
+// history log — has already served; instead the record is dropped and
+// counted, keeping finalization exactly-once per window. Callers hold
+// a.mu.
 func (a *Analytics) aggAt(t time.Duration) *windowAgg {
 	k := int64(t / a.window)
+	if time.Duration(k+1)*a.window+a.grace <= a.watermark {
+		mLateRecords.Inc()
+		return nil
+	}
 	agg, ok := a.open[k]
 	if !ok {
 		agg = &windowAgg{}
@@ -122,6 +132,9 @@ func (a *Analytics) AddFlow(rec tstat.FlowRecord) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	agg := a.aggAt(rec.Start)
+	if agg == nil {
+		return
+	}
 	agg.flows++
 	agg.bytesUp += rec.BytesUp
 	agg.bytesDown += rec.BytesDown
@@ -146,6 +159,9 @@ func (a *Analytics) AddDNS(rec tstat.DNSRecord) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	agg := a.aggAt(rec.T)
+	if agg == nil {
+		return
+	}
 	agg.dns++
 	if agg.byResolver != nil {
 		agg.byResolver[string(dnssim.ByAddr(rec.Resolver).ID)]++
@@ -205,6 +221,37 @@ func (a *Analytics) finalize(k int64, agg *windowAgg) {
 		a.recent = a.recent[len(a.recent)-a.keep:]
 	}
 	mWindows.Inc()
+	if a.onFinal != nil {
+		a.onFinal(s)
+	}
+}
+
+// OnFinalize registers fn to receive every finalized summary (the
+// history-log persistence hook). fn runs under the analytics lock on
+// whatever goroutine triggered finalization, so it must not call back
+// into Analytics. Call before the pipeline starts.
+func (a *Analytics) OnFinalize(fn func(WindowSummary)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.onFinal = fn
+}
+
+// Preload seeds the ring with previously finalized summaries (a
+// restarted daemon replaying its history log) and advances the
+// watermark past them so already-covered windows cannot reopen. The
+// OnFinalize hook is not invoked — these windows are already persisted.
+func (a *Analytics) Preload(ws []WindowSummary) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, s := range ws {
+		a.recent = append(a.recent, s)
+		if s.End > a.watermark {
+			a.watermark = s.End
+		}
+	}
+	if len(a.recent) > a.keep {
+		a.recent = a.recent[len(a.recent)-a.keep:]
+	}
 }
 
 // Recent returns the finalized summaries, oldest first.

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"satwatch/internal/faults"
 	"satwatch/internal/obs"
+	"satwatch/internal/trace"
 )
 
 // ControlHandler grows the batch tools' -debug-addr surface (/metrics,
@@ -17,46 +19,120 @@ import (
 //   - GET  /healthz            200 while no stage is stalled, else 503
 //   - GET  /readyz             200 while running and not draining
 //   - GET  /analytics          finalized window summaries, oldest first
+//   - GET  /trace/recent       recent traced flows, newest first (?limit=)
+//   - GET  /metrics/history    registry time series (?metrics=a,b filter)
+//   - GET  /dashboard          embedded single-file HTML observatory
 //   - GET|POST /control/rate     read / set the workload multiplier
 //   - GET|POST /control/faults   read / set the fault schedule (presets)
 //   - GET|POST /control/scenario read / hot-swap the constellation
 //
-// Mutations take query parameters (?multiplier=, ?preset=, ?constellation=)
-// so they are curl-able; every accepted mutation counts in
-// live_control_requests_total. See OBSERVABILITY.md for the endpoint table.
+// Read-only endpoints reject non-GET methods, set Cache-Control:
+// no-store (the payloads are live state) and count encode failures in
+// live_control_encode_errors_total. Mutations take query parameters
+// (?multiplier=, ?preset=, ?constellation=) so they are curl-able; every
+// accepted mutation counts in live_control_requests_total. See
+// OBSERVABILITY.md for the endpoint table.
 func ControlHandler(p *Pipeline, reg *obs.Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", obs.DebugHandler(reg, func() any { return p.Progress() }))
 
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	// encode writes v as JSON, counting (not masking) encode failures —
+	// by the time Encode fails the status line is gone anyway.
+	encode := func(w http.ResponseWriter, indent bool, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		if indent {
+			enc.SetIndent("", "  ")
+		}
+		if err := enc.Encode(v); err != nil {
+			mControlEncodeErrors.Inc()
+		}
+	}
+	// readOnly wraps a GET-only live-state handler: non-GET is rejected
+	// and responses are marked uncacheable.
+	readOnly := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet && r.Method != http.MethodHead {
+				w.Header().Set("Allow", http.MethodGet)
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			w.Header().Set("Cache-Control", "no-store")
+			h(w, r)
+		}
+	}
+
+	mux.HandleFunc("/healthz", readOnly(func(w http.ResponseWriter, _ *http.Request) {
 		if stalled := p.Stalled(); len(stalled) > 0 {
 			http.Error(w, fmt.Sprintf("stalled stages: %v", stalled), http.StatusServiceUnavailable)
 			return
 		}
 		degraded, reason := p.Degraded()
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{
+		encode(w, false, map[string]any{
 			"status": "ok", "degraded": degraded, "reason": reason,
 		})
-	})
+	}))
 
-	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/readyz", readOnly(func(w http.ResponseWriter, _ *http.Request) {
 		if !p.Ready() {
 			http.Error(w, "not ready", http.StatusServiceUnavailable)
 			return
 		}
 		fmt.Fprintln(w, "ok")
-	})
+	}))
 
-	mux.HandleFunc("/analytics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(map[string]any{
-			"watermark_seconds": p.Analytics().Watermark().Seconds(),
-			"windows":           p.Analytics().Recent(),
+	mux.HandleFunc("/analytics", readOnly(func(w http.ResponseWriter, _ *http.Request) {
+		encode(w, true, map[string]any{
+			"watermark_seconds":   p.Analytics().Watermark().Seconds(),
+			"resume_from_seconds": p.ResumeFrom().Seconds(),
+			"windows":             p.Analytics().Recent(),
 		})
-	})
+	}))
+
+	mux.HandleFunc("/trace/recent", readOnly(func(w http.ResponseWriter, r *http.Request) {
+		limit := 50
+		if raw := r.URL.Query().Get("limit"); raw != "" {
+			n, err := strconv.Atoi(raw)
+			if err != nil || n < 0 {
+				http.Error(w, fmt.Sprintf("bad limit %q", raw), http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		flows := p.Tracing().Recent(limit)
+		if flows == nil {
+			flows = []*trace.Flow{} // keep the field an array, never null
+		}
+		encode(w, true, map[string]any{
+			"sample_n": p.Tracing().SampleN(),
+			"total":    p.Tracing().Total(),
+			"flows":    flows,
+		})
+	}))
+
+	mux.HandleFunc("/metrics/history", readOnly(func(w http.ResponseWriter, r *http.Request) {
+		var names []string
+		if raw := r.URL.Query().Get("metrics"); raw != "" {
+			for _, n := range strings.Split(raw, ",") {
+				if n = strings.TrimSpace(n); n != "" {
+					names = append(names, n)
+				}
+			}
+		}
+		points := p.MetricsHistory().Recent(names)
+		if points == nil {
+			points = []obs.Point{}
+		}
+		encode(w, false, map[string]any{
+			"every_seconds": p.cfg.MetricsEvery.Seconds(),
+			"points":        points,
+		})
+	}))
+
+	mux.HandleFunc("/dashboard", readOnly(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(dashboardHTML)
+	}))
 
 	mux.HandleFunc("/control/rate", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -72,8 +148,7 @@ func ControlHandler(p *Pipeline, reg *obs.Registry) http.Handler {
 			}
 			mControlRequests.Inc()
 		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]float64{"multiplier": p.Rate()})
+		encode(w, false, map[string]float64{"multiplier": p.Rate()})
 	})
 
 	mux.HandleFunc("/control/faults", func(w http.ResponseWriter, r *http.Request) {
@@ -98,15 +173,12 @@ func ControlHandler(p *Pipeline, reg *obs.Registry) http.Handler {
 			}
 			mControlRequests.Inc()
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
 		sched := p.Sim().Faults()
 		if sched == nil {
-			enc.Encode(map[string]any{"active": false})
+			encode(w, true, map[string]any{"active": false})
 			return
 		}
-		enc.Encode(map[string]any{"active": true, "schedule": sched})
+		encode(w, true, map[string]any{"active": true, "schedule": sched})
 	})
 
 	mux.HandleFunc("/control/scenario", func(w http.ResponseWriter, r *http.Request) {
@@ -123,8 +195,7 @@ func ControlHandler(p *Pipeline, reg *obs.Registry) http.Handler {
 			mScenarioSwaps.Inc()
 			mControlRequests.Inc()
 		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]string{"constellation": p.Sim().ScenarioName()})
+		encode(w, false, map[string]string{"constellation": p.Sim().ScenarioName()})
 	})
 
 	return mux

@@ -1,0 +1,10 @@
+package live
+
+import _ "embed"
+
+// dashboardHTML is the single-file observatory served at /dashboard: a
+// dependency-free HTML+JS page (no CDN fetches, no external assets)
+// polling /progress, /analytics, /metrics/history and /trace/recent.
+//
+//go:embed dashboard.html
+var dashboardHTML []byte

@@ -30,6 +30,8 @@ var (
 		"Heartbeat stalls detected by the per-stage watchdog.", "")
 	mWindows = obs.NewCounter("live_windows_total",
 		"Analytics windows finalized (watermark passed window end plus grace).", "")
+	mLateRecords = obs.NewCounter("live_analytics_late_records_total",
+		"Records dropped because they arrived after their window's end-plus-grace boundary had already finalized.", "")
 	mWindowRTT = obs.NewHistogram("live_window_rtt_seconds",
 		"Satellite-segment RTT of flows entering the rolling analytics windows.", "seconds",
 		obs.LatencyBuckets())
@@ -37,6 +39,22 @@ var (
 		"Constellation hot-swaps applied via /control/scenario.", "")
 	mControlRequests = obs.NewCounter("live_control_requests_total",
 		"Mutating control-plane requests accepted (/control/rate, /control/faults, /control/scenario).", "")
+	mTracedFlows = obs.NewCounter("live_traced_flows_total",
+		"Sampled flow span trees published to the recent-trace ring (and disk log when -trace is set).", "")
+	mTraceWriteErrors = obs.NewCounter("live_trace_write_errors_total",
+		"Failed writes to the rotating live trace log (the flow stays in the ring; the pipeline continues).", "")
+	mTraceRotations = obs.NewCounter("live_trace_rotations_total",
+		"Size-cap rotations of the live trace log.", "")
+	mHistoryAppends = obs.NewCounter("live_history_appended_total",
+		"Finalized windows appended to the history log.", "")
+	mHistoryWriteErrors = obs.NewCounter("live_history_write_errors_total",
+		"Failed history-log appends (the window stays in the in-memory ring; the pipeline continues).", "")
+	mHistoryReloaded = obs.NewGauge("live_history_reloaded_windows",
+		"Windows replayed from the history log at startup (-history restart).", "")
+	mMetricsSamples = obs.NewCounter("live_metrics_samples_total",
+		"Registry snapshots taken into the /metrics/history time series.", "")
+	mControlEncodeErrors = obs.NewCounter("live_control_encode_errors_total",
+		"JSON encode failures on control-plane read endpoints (client likely disconnected mid-response).", "")
 
 	// Queue edges. intents: generator → dispatcher (Block). synth:
 	// dispatcher → worker shards (Shed). records: workers → analytics

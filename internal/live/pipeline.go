@@ -19,6 +19,8 @@ import (
 	"satwatch/internal/dist"
 	"satwatch/internal/faults"
 	"satwatch/internal/netsim"
+	"satwatch/internal/obs"
+	"satwatch/internal/trace"
 	"satwatch/internal/tstat"
 	"satwatch/internal/workload"
 )
@@ -59,6 +61,32 @@ type Config struct {
 	// 5 s). DrainTimeout bounds the graceful drain (wall; default 20 s).
 	StallTimeout, DrainTimeout time.Duration
 
+	// TraceSample enables live flight-recorder tracing of 1 in N
+	// synthesized flows (0 disables; 1 traces everything). The sampling
+	// key matches batch -trace-sample: a deterministic hash of
+	// (customer, day, sequence), independent of worker count.
+	TraceSample int
+	// TraceDir, when set (and TraceSample > 0), writes traced flows to a
+	// size-capped rotating JSONL log. TraceRing bounds the in-memory
+	// recent ring served at /trace/recent; TraceFileMaxBytes and
+	// TraceKeepFiles shape rotation (internal/trace defaults).
+	TraceDir          string
+	TraceRing         int
+	TraceFileMaxBytes int64
+	TraceKeepFiles    int
+
+	// HistoryDir, when set, appends finalized window summaries to a
+	// crash-tolerant JSONL log and replays it at startup, so restarts
+	// keep their /analytics history and resume the sim clock past the
+	// last persisted window.
+	HistoryDir string
+
+	// MetricsEvery is the /metrics/history sampling cadence in simulated
+	// time (default 30 s); MetricsKeep bounds the retained points
+	// (default obs.DefaultHistoryKeep).
+	MetricsEvery time.Duration
+	MetricsKeep  int
+
 	// Logf receives operational log lines; nil discards them. Excluded
 	// from the manifest config dump.
 	Logf func(format string, args ...any) `json:"-"`
@@ -92,6 +120,9 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 20 * time.Second
 	}
+	if c.MetricsEvery <= 0 {
+		c.MetricsEvery = 30 * time.Second
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -99,10 +130,13 @@ func (c Config) withDefaults() Config {
 }
 
 // intentItem is one admitted intent plus its run-unique sequence number
-// (the key of its private random stream).
+// (the key of its private random stream). admitNS is the wall-clock
+// admission stamp for the queue-wait trace span; zero when tracing is
+// off.
 type intentItem struct {
-	fi  workload.FlowIntent
-	seq uint64
+	fi      workload.FlowIntent
+	seq     uint64
+	admitNS int64
 }
 
 // recordItem is either a flow or a DNS record on the analytics edge.
@@ -123,6 +157,14 @@ type Pipeline struct {
 	recordQ   *Queue[recordItem]
 	analytics *Analytics
 	sup       *supervisor
+
+	tracing     *Tracing
+	history     *HistoryLog
+	metricsHist *obs.History
+	// resumeFrom is the simulated instant the clock restarts at after a
+	// history replay; intents starting before it are already covered by
+	// persisted windows and are skipped at generation.
+	resumeFrom time.Duration
 
 	rateBits       atomic.Uint64 // math.Float64bits of the multiplier
 	degraded       atomic.Bool
@@ -156,7 +198,6 @@ func New(cfg Config) (*Pipeline, error) {
 	p := &Pipeline{
 		cfg:         cfg,
 		sim:         sim,
-		clock:       NewClock(cfg.Speedup, 0),
 		source:      workload.NewSource(sim.Customers(), sim.Root()),
 		activeFlows: make([]atomic.Int64, cfg.Workers),
 	}
@@ -169,6 +210,45 @@ func New(cfg Config) (*Pipeline, error) {
 	p.recordQ = NewQueue[recordItem](cfg.RecordDepth, Shed, qmRecords, &p.degraded)
 	p.analytics = NewAnalytics(cfg.Window, cfg.Grace, cfg.KeepWindows, prefixes, &p.degraded)
 	p.workersLeft.Store(int64(cfg.Workers))
+
+	p.tracing, err = NewTracing(TracingConfig{
+		SampleN: cfg.TraceSample, Ring: cfg.TraceRing,
+		Dir: cfg.TraceDir, MaxBytes: cfg.TraceFileMaxBytes, KeepFiles: cfg.TraceKeepFiles,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.HistoryDir != "" {
+		h, prior, st, err := OpenHistory(cfg.HistoryDir)
+		if err != nil {
+			return nil, err
+		}
+		p.history = h
+		if st.Skipped > 0 {
+			cfg.Logf("live: history replay skipped %d corrupt lines", st.Skipped)
+		}
+		if len(prior) > 0 {
+			p.analytics.Preload(prior)
+			// Restart past the last persisted window: the clock resumes
+			// there and already-covered intents are skipped, so the
+			// replayed window list never collides with new ones.
+			p.resumeFrom = prior[len(prior)-1].End
+			cfg.Logf("live: replayed %d windows from %s, resuming at sim %s",
+				len(prior), h.Path(), p.resumeFrom)
+		}
+		mHistoryReloaded.Set(float64(len(prior)))
+		p.analytics.OnFinalize(func(s WindowSummary) {
+			if err := p.history.Append(s); err != nil {
+				mHistoryWriteErrors.Inc()
+				p.cfg.Logf("live: %v", err)
+			} else {
+				mHistoryAppends.Inc()
+			}
+		})
+	}
+	p.clock = NewClock(cfg.Speedup, p.resumeFrom)
+	p.metricsHist = obs.NewHistory(nil, cfg.MetricsKeep)
+	mSimSeconds.Set(p.resumeFrom.Seconds())
 
 	p.sup = &supervisor{
 		timeout: cfg.StallTimeout,
@@ -185,6 +265,19 @@ func (p *Pipeline) Sim() *netsim.LiveSim { return p.sim }
 
 // Analytics exposes the rolling-window aggregator.
 func (p *Pipeline) Analytics() *Analytics { return p.analytics }
+
+// Tracing exposes the live flight recorder (nil when tracing is off).
+func (p *Pipeline) Tracing() *Tracing { return p.tracing }
+
+// MetricsHistory exposes the registry time-series sampler.
+func (p *Pipeline) MetricsHistory() *obs.History { return p.metricsHist }
+
+// History exposes the window-history log (nil without -history).
+func (p *Pipeline) History() *HistoryLog { return p.history }
+
+// ResumeFrom reports the simulated instant a history replay resumed the
+// clock at (zero on a fresh start).
+func (p *Pipeline) ResumeFrom() time.Duration { return p.resumeFrom }
 
 // Clock exposes the simulation clock.
 func (p *Pipeline) Clock() *Clock { return p.clock }
@@ -245,6 +338,8 @@ type Progress struct {
 	DNSRecords  int64    `json:"dns_records"`
 	ActiveFlows int64    `json:"active_flows"`
 	Windows     int      `json:"windows_finalized"`
+	Traced      uint64   `json:"traced_flows,omitempty"`
+	Faults      string   `json:"faults_active,omitempty"`
 	Degraded    bool     `json:"degraded"`
 	Reason      string   `json:"degraded_reason,omitempty"`
 	Stalled     []string `json:"stalled_stages,omitempty"`
@@ -267,6 +362,10 @@ func (p *Pipeline) Progress() Progress {
 	pr.DNSRecords = p.dnsRecs.Load()
 	pr.ActiveFlows = p.activeFlowsTotal()
 	pr.Windows = len(p.analytics.Recent())
+	pr.Traced = p.tracing.Total()
+	if sched := p.sim.Faults(); sched != nil {
+		pr.Faults = sched.Name
+	}
 	pr.Degraded, pr.Reason = p.Degraded()
 	pr.Stalled = p.Stalled()
 	pr.QueueDepths.Intents = p.intentQ.Len()
@@ -330,6 +429,9 @@ func (p *Pipeline) Run(ctx context.Context) error {
 		})
 	}
 	p.sup.add("analytics", p.analyze, p.analytics.Finalize)
+	p.sup.add("sampler", func(sctx context.Context, beat func()) error {
+		return p.sampleMetrics(sctx, drainCh, beat)
+	}, nil)
 
 	p.sup.start(hardCtx)
 	p.ready.Store(true)
@@ -352,7 +454,39 @@ func (p *Pipeline) Run(ctx context.Context) error {
 	p.ready.Store(false)
 	hardAbort() // reap the watchdog
 	<-p.sup.wdDone
+	// All stages are down: the finalize hook cannot fire again and no
+	// worker holds a trace handle, so the persistence sinks close now.
+	if cerr := p.history.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if cerr := p.tracing.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	return err
+}
+
+// sampleMetrics snapshots the registry into the /metrics/history ring
+// every Config.MetricsEvery simulated seconds. It ticks on a short wall
+// interval so heartbeats stay fresh even at low speedups.
+func (p *Pipeline) sampleMetrics(ctx context.Context, drain <-chan struct{}, beat func()) error {
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	next := p.clock.Now() + p.cfg.MetricsEvery
+	for {
+		beat()
+		select {
+		case <-drain:
+			return nil
+		case <-ctx.Done():
+			return nil
+		case <-tick.C:
+		}
+		if now := p.clock.Now(); now >= next {
+			p.metricsHist.Sample(now.Seconds())
+			mMetricsSamples.Inc()
+			next = now + p.cfg.MetricsEvery
+		}
+	}
 }
 
 // generate is the source stage: it paces intents against the sim clock
@@ -369,6 +503,11 @@ func (p *Pipeline) generate(ctx context.Context, drain <-chan struct{}, r *dist.
 		default:
 		}
 		fi := *p.source.Next() // copy: the source reuses its buffer per day
+		if fi.Start < p.resumeFrom {
+			// History replay already covers this instant; regenerating it
+			// would double-count into finalized (persisted) windows.
+			continue
+		}
 
 		// Pace: hold until the sim clock is within Lookahead of the
 		// intent's start, heartbeating through long waits.
@@ -401,6 +540,9 @@ func (p *Pipeline) generate(ctx context.Context, drain <-chan struct{}, r *dist.
 		}
 		for c := 0; c < n; c++ {
 			item := intentItem{fi: fi, seq: p.seq.Add(1)}
+			if p.tracing != nil {
+				item.admitNS = time.Now().UnixNano()
+			}
 			if !p.intentQ.Push(ctx, item, beat) {
 				return nil // cancelled mid-push
 			}
@@ -431,11 +573,51 @@ func (p *Pipeline) dispatch(ctx context.Context, beat func()) error {
 // synth is one synthesis shard: a LiveWorker owning a tracker whose
 // records stream onto the analytics queue. Restarts build a fresh
 // worker (in-flight flows of the old incarnation are lost — degraded).
+//
+// Trace handles finish on this goroutine — either inside the tracker's
+// record emission (immediately before the OnFlow callback) or directly
+// on the failure path — and are buffered worker-locally until the end
+// of the iteration, when every span has been appended; only then are
+// they published to the shared ring. `fresh` marks a handle finished
+// synchronously by the emission the current callback belongs to, which
+// is the only moment the analytics-admit span can be attributed safely;
+// it is cleared between Process and Advance so a directly-finished
+// handle (beam outage) can never steal a later record's admit span.
 func (p *Pipeline) synth(ctx context.Context, shard int, beat func()) error {
+	var pending []*trace.Flow
+	fresh := false
+	sink := trace.SinkFunc(func(f *trace.Flow) {
+		pending = append(pending, f)
+		fresh = true
+	})
+	takeFresh := func() *trace.Flow {
+		if !fresh {
+			return nil
+		}
+		fresh = false
+		return pending[len(pending)-1]
+	}
+	publishPending := func() {
+		for _, f := range pending {
+			p.tracing.Publish(f)
+		}
+		pending = pending[:0]
+		fresh = false
+	}
 	w := p.sim.NewWorker(
 		func(rec tstat.FlowRecord) {
+			fl := takeFresh()
 			r := rec
-			if p.recordQ.Push(ctx, recordItem{flow: &r}, beat) {
+			start := time.Time{}
+			if fl != nil {
+				start = time.Now()
+			}
+			ok := p.recordQ.Push(ctx, recordItem{flow: &r}, beat)
+			if fl != nil {
+				fl.Span(trace.SpanLiveAdmit, trace.SegProbe, time.Since(start),
+					trace.Attrs{"admitted": ok})
+			}
+			if ok {
 				p.flowRecs.Add(1)
 				mFlowRecords.Inc()
 			}
@@ -459,13 +641,33 @@ func (p *Pipeline) synth(ctx context.Context, shard int, beat func()) error {
 			if ctx.Err() == nil {
 				w.Flush() // graceful drain: emit everything in flight
 			}
+			publishPending()
 			return nil
 		}
-		if err := w.Process(&item.fi, item.seq); err != nil {
+		var fl *trace.Flow
+		var synthStart time.Time
+		if p.tracing != nil {
+			day := int(item.fi.Start / (24 * time.Hour))
+			fl = p.tracing.Start(sink, item.fi.Customer.ID, day, int(item.seq))
+			if fl != nil {
+				if item.admitNS != 0 {
+					fl.Span(trace.SpanLiveQueueWait, trace.SegProbe,
+						time.Since(time.Unix(0, item.admitNS)), nil)
+				}
+				synthStart = time.Now()
+			}
+		}
+		if err := w.Process(&item.fi, item.seq, fl); err != nil {
 			mSynthErrors.Inc()
 			p.cfg.Logf("live: synth-%d: %v", shard, err)
 		}
+		if fl != nil {
+			fl.Span(trace.SpanLiveSynth, trace.SegProbe, time.Since(synthStart),
+				trace.Attrs{"shard": shard})
+		}
+		fresh = false // direct finishes (failure paths) must not claim admit spans
 		w.Advance(p.clock.Now())
+		publishPending()
 		p.activeFlows[shard].Store(int64(w.ActiveFlows()))
 		p.publishActiveFlows()
 	}

@@ -23,6 +23,7 @@ import (
 	"satwatch/internal/geo"
 	"satwatch/internal/mac"
 	"satwatch/internal/phy"
+	"satwatch/internal/trace"
 	"satwatch/internal/tstat"
 	"satwatch/internal/workload"
 )
@@ -262,11 +263,14 @@ func (w *LiveWorker) refresh() {
 // Process synthesizes one intent into tracker events. seq must be unique
 // per intent across the run (the pipeline's intent sequence number): it
 // keys the flow's private random stream, so replicated intents (overload
-// multipliers) still diverge.
-func (w *LiveWorker) Process(fi *workload.FlowIntent, seq uint64) error {
+// multipliers) still diverge. fl is an optional flight-recorder handle
+// (nil when the flow is unsampled or live tracing is off); the
+// synthesizer appends model spans to it and hands it to the tracker,
+// which finishes it at record emission.
+func (w *LiveWorker) Process(fi *workload.FlowIntent, seq uint64, fl *trace.Flow) error {
 	w.refresh()
 	r := w.lv.root.ForkN("live-synth", seq)
-	if err := w.syn.flow(fi, r, nil); err != nil {
+	if err := w.syn.flow(fi, r, fl); err != nil {
 		return fmt.Errorf("netsim: live intent %d: %w", seq, err)
 	}
 	mFlows.Inc()

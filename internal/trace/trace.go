@@ -64,6 +64,16 @@ const (
 	// it from the captured handshake (ServerHello → next client flight),
 	// recorded when the tracker emits the flow record.
 	SpanHandshakeRTT = "tstat.handshake_rtt"
+	// SpanLiveQueueWait is the wall time a flow intent spent buffered on
+	// the live pipeline's queues between admission and synthesis pickup.
+	SpanLiveQueueWait = "live.queue_wait"
+	// SpanLiveSynth is the wall time the live synthesis worker spent
+	// turning the intent into tracker events (the whole model stack).
+	SpanLiveSynth = "live.synth"
+	// SpanLiveAdmit is the wall time spent pushing the flow's record onto
+	// the analytics queue; its attrs record whether admission succeeded
+	// or the record was shed.
+	SpanLiveAdmit = "live.analytics_admit"
 )
 
 // SpanNames returns every span name the pipeline can emit, sorted.
@@ -72,6 +82,9 @@ func SpanNames() []string {
 		SpanGroundRTT,
 		SpanHandover,
 		SpanPropagation,
+		SpanLiveAdmit,
+		SpanLiveQueueWait,
+		SpanLiveSynth,
 		SpanMACDownlink,
 		SpanMACUplink,
 		SpanPEPSetup,
@@ -131,7 +144,31 @@ type Flow struct {
 	Attrs Attrs  `json:"attrs,omitempty"`
 	Spans []Span `json:"spans"`
 
-	tracer *Tracer
+	sink sink
+}
+
+// sink receives a flow tree when Finish is called. The batch Tracer
+// collects into its sorted done list; the live pipeline's per-worker
+// collector buffers for ring publication.
+type sink interface {
+	collect(*Flow)
+}
+
+// SinkFunc adapts a function to the Finish destination, letting callers
+// outside the package (the live pipeline) receive finished span trees.
+// The function runs on whatever goroutine calls Finish.
+type SinkFunc func(*Flow)
+
+func (fn SinkFunc) collect(f *Flow) { fn(f) }
+
+// StartSampled returns a recording handle delivering to fn when the
+// flow identity is in the 1-in-sampleN sample, nil otherwise. It is the
+// streaming-path analogue of Tracer.Start.
+func StartSampled(fn SinkFunc, customer, day, index int, sampleN uint64) *Flow {
+	if fn == nil || !Sampled(customer, day, index, sampleN) {
+		return nil
+	}
+	return &Flow{Customer: customer, Day: day, Index: index, sink: fn}
 }
 
 // ID renders the flow identity as "c<customer>-d<day>-f<index>".
@@ -176,17 +213,15 @@ func (f *Flow) Span(name, seg string, d time.Duration, attrs Attrs) {
 	f.Spans = append(f.Spans, Span{Name: name, Seg: seg, DurMS: ms(d), Attrs: attrs})
 }
 
-// Finish hands the completed tree to the Tracer. Nil-safe; finishing a
+// Finish hands the completed tree to its sink. Nil-safe; finishing a
 // flow twice records it once.
 func (f *Flow) Finish() {
-	if f == nil || f.tracer == nil {
+	if f == nil || f.sink == nil {
 		return
 	}
-	t := f.tracer
-	f.tracer = nil
-	t.mu.Lock()
-	t.done = append(t.done, f)
-	t.mu.Unlock()
+	s := f.sink
+	f.sink = nil
+	s.collect(f)
 }
 
 // SatSumMS returns the sum of the flow's SegSatellite span durations —
@@ -234,6 +269,13 @@ func New(w io.Writer, sampleN int) *Tracer {
 	return &Tracer{w: w, sampleN: uint64(sampleN)}
 }
 
+// collect implements sink: finished flows join the sorted-at-Close list.
+func (t *Tracer) collect(f *Flow) {
+	t.mu.Lock()
+	t.done = append(t.done, f)
+	t.mu.Unlock()
+}
+
 // SampleN reports the configured 1-in-N sampling rate.
 func (t *Tracer) SampleN() int {
 	if t == nil {
@@ -249,7 +291,7 @@ func (t *Tracer) Start(customer, day, index int) *Flow {
 	if t == nil || !Sampled(customer, day, index, t.sampleN) {
 		return nil
 	}
-	return &Flow{Customer: customer, Day: day, Index: index, tracer: t}
+	return &Flow{Customer: customer, Day: day, Index: index, sink: t}
 }
 
 // Sampled reports whether the flow identity hashes into the 1-in-N

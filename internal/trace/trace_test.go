@@ -148,6 +148,7 @@ func TestSpanNamesSortedAndComplete(t *testing.T) {
 		SpanPropagation: true, SpanHandover: true, SpanMACUplink: true,
 		SpanMACDownlink: true, SpanPEPSetup: true, SpanShaperThrottle: true,
 		SpanGroundRTT: true, SpanHandshakeRTT: true,
+		SpanLiveQueueWait: true, SpanLiveSynth: true, SpanLiveAdmit: true,
 	}
 	if len(names) != len(want) {
 		t.Fatalf("SpanNames has %d entries, want %d", len(names), len(want))

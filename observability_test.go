@@ -118,7 +118,7 @@ func TestObservabilityDocCoversSpans(t *testing.T) {
 	}
 	// Span names are "<component>.<snake_case>"; the metric cross-check
 	// above covers the underscore-only metric names.
-	re := regexp.MustCompile("`((?:geo|mac|pep|shaper|cdn|tstat)\\.[a-z0-9_]+)`")
+	re := regexp.MustCompile("`((?:geo|mac|pep|shaper|cdn|tstat|live)\\.[a-z0-9_]+)`")
 	for _, m := range re.FindAllStringSubmatch(text, -1) {
 		if !known[m[1]] {
 			t.Errorf("OBSERVABILITY.md documents span %q, which the pipeline cannot emit", m[1])
